@@ -1,0 +1,356 @@
+(* EPOC evaluation harness.
+
+   Regenerates every table and figure of the paper's evaluation section:
+
+     fig5    ZX depth optimization on 34 random circuits  (paper: 1.48x avg)
+     fig8    latency with vs without regrouping           (paper: -51.11% avg)
+     fig9    compilation time with vs without regrouping  (paper: +7.11% avg)
+     fig10   ESP fidelity with vs without regrouping      (paper: +33.77% avg)
+     table1  gate-based vs PAQOC-like vs EPOC             (paper: -31.74% vs
+             PAQOC, -76.80% vs gate-based)
+     ablation  partition-width sweep and pulse-library phase matching
+     graperef  GRAPE-vs-estimator cross-validation on small targets
+     micro     Bechamel micro-benchmarks of the pipeline stages
+
+   Absolute numbers differ from the paper (its substrate is a calibrated
+   superconducting testbed; ours is the simulator in lib/qoc), but each
+   experiment prints the paper's claim next to the measured shape.  Pulse
+   durations come from the calibrated analytic estimator by default;
+   [graperef] validates the estimator against real GRAPE searches, and
+   setting EPOC_BENCH_GRAPE=1 runs table1 with full GRAPE pulses. *)
+
+open Epoc
+open Epoc_circuit
+
+let suite = Epoc_benchmarks.Benchmarks.suite ()
+
+let line = String.make 78 '-'
+
+let header title paper =
+  Printf.printf "\n%s\n%s\n  paper: %s\n%s\n%!" line title paper line
+
+let pct a b = if b = 0.0 then 0.0 else 100.0 *. (b -. a) /. b
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* --- fig5: ZX depth optimization ----------------------------------------- *)
+
+let fig5 () =
+  header "FIG 5 - graph-based depth optimization, 34 random circuits"
+    "average depth reduction 1.48x (extreme case: VQE 7656 -> 1110)";
+  Printf.printf "%-8s %6s %6s %6s %8s  %s\n" "circuit" "qubits" "before" "after"
+    "ratio" "method";
+  let ratios =
+    List.map
+      (fun seed ->
+        let n = 4 + (seed mod 7) in
+        let len = 20 + (7 * (seed mod 15)) in
+        let c = Epoc_benchmarks.Benchmarks.random_circuit ~seed ~n ~length:len in
+        let r = Epoc_zx.Zx.optimize ~objective:Epoc_zx.Zx.Depth c in
+        let before = r.Epoc_zx.Zx.input_depth in
+        let after = max 1 r.Epoc_zx.Zx.output_depth in
+        let ratio = float_of_int before /. float_of_int after in
+        Printf.printf "rand%-4d %6d %6d %6d %8.2f  %s\n" seed n before after ratio
+          (match r.Epoc_zx.Zx.used with
+          | Epoc_zx.Zx.Graph -> "zx-graph"
+          | Epoc_zx.Zx.Peephole_only -> "peephole");
+        ratio)
+      (List.init 34 (fun i -> i + 1))
+  in
+  (* the paper's extreme case: a deep VQE ansatz *)
+  let vqe = Epoc_benchmarks.Benchmarks.vqe ~layers:8 6 in
+  let r = Epoc_zx.Zx.optimize ~objective:Epoc_zx.Zx.Depth vqe in
+  Printf.printf "vqe      %6d %6d %6d %8.2f  (deep ansatz case)\n" 6
+    r.Epoc_zx.Zx.input_depth r.Epoc_zx.Zx.output_depth
+    (float_of_int r.Epoc_zx.Zx.input_depth
+    /. float_of_int (max 1 r.Epoc_zx.Zx.output_depth));
+  Printf.printf "\nmeasured average depth reduction: %.2fx (paper: 1.48x)\n"
+    (mean ratios)
+
+(* --- fig8/9/10: regrouping ablation ---------------------------------------- *)
+
+let regroup_rows () =
+  List.map
+    (fun (name, c) ->
+      let with_g = Pipeline.run ~config:Config.default ~name c in
+      let without = Pipeline.run ~config:Config.no_regroup ~name c in
+      (name, with_g, without))
+    suite
+
+let fig8 rows =
+  header "FIG 8 - pulse latency with vs without grouping"
+    "grouping shortens latency on all benchmarks; average -51.11%";
+  Printf.printf "%-12s %12s %12s %9s\n" "bench" "no-group(ns)" "grouped(ns)"
+    "reduction";
+  let reds =
+    List.map
+      (fun (name, w, wo) ->
+        let red = pct w.Pipeline.latency wo.Pipeline.latency in
+        Printf.printf "%-12s %12.1f %12.1f %8.1f%%\n" name wo.Pipeline.latency
+          w.Pipeline.latency red;
+        red)
+      rows
+  in
+  Printf.printf
+    "\nmeasured average latency reduction from grouping: %.2f%% (paper: 51.11%%)\n"
+    (mean reds)
+
+let fig9 rows =
+  header "FIG 9 - compilation time with vs without grouping"
+    "grouping adds minimal overhead; average +7.11% compile time";
+  Printf.printf "%-12s %12s %12s %9s\n" "bench" "no-group(s)" "grouped(s)" "overhead";
+  let ovs =
+    List.map
+      (fun (name, w, wo) ->
+        let ov =
+          if wo.Pipeline.compile_time <= 0.0 then 0.0
+          else
+            100.0
+            *. (w.Pipeline.compile_time -. wo.Pipeline.compile_time)
+            /. wo.Pipeline.compile_time
+        in
+        Printf.printf "%-12s %12.4f %12.4f %8.1f%%\n" name wo.Pipeline.compile_time
+          w.Pipeline.compile_time ov;
+        ov)
+      rows
+  in
+  (* sub-10ms compiles are dominated by timer noise; report the median and
+     the mean over the benchmarks with meaningful compile times *)
+  let significant =
+    List.filter_map
+      (fun ((_, _, wo), ov) ->
+        if wo.Pipeline.compile_time >= 0.01 then Some ov else None)
+      (List.combine rows ovs)
+  in
+  let median l =
+    match List.sort compare l with
+    | [] -> 0.0
+    | s -> List.nth s (List.length s / 2)
+  in
+  Printf.printf
+    "\nmeasured compile-time overhead of grouping: median %.2f%%, mean over\n\
+     >=10ms compiles %.2f%% (paper: +7.11%%)\n"
+    (median ovs) (mean significant)
+
+let fig10 rows =
+  header "FIG 10 - circuit fidelity (ESP) with vs without grouping"
+    "grouping increases fidelity on all benchmarks; average +33.77%";
+  Printf.printf "%-12s %12s %12s %9s\n" "bench" "no-group" "grouped" "gain";
+  let gains =
+    List.map
+      (fun (name, w, wo) ->
+        let gain =
+          if wo.Pipeline.esp <= 0.0 then 0.0
+          else 100.0 *. (w.Pipeline.esp -. wo.Pipeline.esp) /. wo.Pipeline.esp
+        in
+        Printf.printf "%-12s %12.4f %12.4f %8.1f%%\n" name wo.Pipeline.esp
+          w.Pipeline.esp gain;
+        gain)
+      rows
+  in
+  Printf.printf
+    "\nmeasured average fidelity gain from grouping: %.2f%% (paper: +33.77%%)\n"
+    (mean gains)
+
+(* --- table 1 ----------------------------------------------------------------- *)
+
+(* The paper's reported numbers, for side-by-side comparison. *)
+let paper_table1 =
+  [
+    ("simon", (469.0, 141.23, 92.0));
+    ("bb84", (56.5, 13.0, 10.0));
+    ("bv", (901.0, 321.0, 268.5));
+    ("qaoa", (1324.5, 393.0, 111.5));
+    ("decod24", (1315.5, 315.0, 144.0));
+    ("dnn", (3174.5, 385.0, 453.5));
+    ("ham7", (5238.5, 1186.5, 675.5));
+  ]
+
+let table1 ?(grape = false) () =
+  let mode = if grape then Config.Grape else Config.Estimate in
+  header
+    (Printf.sprintf
+       "TABLE 1 - latency & fidelity: gate-based / PAQOC / EPOC (%s pulses)"
+       (if grape then "GRAPE" else "estimated"))
+    "EPOC: -31.74% latency vs PAQOC, -76.80% vs gate-based; higher fidelity";
+  Printf.printf "%-9s | %26s | %26s | %15s\n" "" "measured latency (ns)"
+    "paper latency (ns)" "measured fid";
+  Printf.printf "%-9s | %8s %8s %8s | %8s %8s %8s | %7s %7s\n" "bench" "gate"
+    "paqoc" "epoc" "gate" "paqoc" "epoc" "paqoc" "epoc";
+  let cfg = { Config.default with Config.qoc_mode = mode } in
+  let vs_paqoc = ref [] and vs_gate = ref [] in
+  List.iter
+    (fun (name, c) ->
+      let g = Baselines.gate_based ~config:cfg ~name c in
+      let p = Baselines.paqoc_like ~config:cfg ~name c in
+      let e = Pipeline.run ~config:cfg ~name c in
+      let pg, pp, pe =
+        match List.assoc_opt name paper_table1 with
+        | Some t -> t
+        | None -> (0.0, 0.0, 0.0)
+      in
+      vs_paqoc := pct e.Pipeline.latency p.Pipeline.latency :: !vs_paqoc;
+      vs_gate := pct e.Pipeline.latency g.Pipeline.latency :: !vs_gate;
+      Printf.printf
+        "%-9s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f | %7.4f %7.4f\n%!" name
+        g.Pipeline.latency p.Pipeline.latency e.Pipeline.latency pg pp pe
+        p.Pipeline.esp e.Pipeline.esp)
+    (Epoc_benchmarks.Benchmarks.table1 ());
+  Printf.printf
+    "\nmeasured EPOC latency reduction: %.2f%% vs PAQOC (paper: 31.74%%), %.2f%% vs gate-based (paper: 76.80%%)\n"
+    (mean !vs_paqoc) (mean !vs_gate)
+
+(* --- ablations ------------------------------------------------------------------ *)
+
+let ablation_partition () =
+  header "ABLATION 1 - partition width sweep"
+    "design-choice study behind the paper's 'up to 8 qubits' partitioning";
+  Printf.printf "%-12s %8s %12s %12s\n" "bench" "width" "latency(ns)" "compile(s)";
+  List.iter
+    (fun name ->
+      let c = Epoc_benchmarks.Benchmarks.find name in
+      List.iter
+        (fun w ->
+          let cfg =
+            {
+              Config.default with
+              Config.partition =
+                {
+                  Config.default.Config.partition with
+                  Epoc_partition.Partition.qubit_limit = w;
+                };
+              regroup_widths = [ 2; w ];
+            }
+          in
+          let r = Pipeline.run ~config:cfg ~name c in
+          Printf.printf "%-12s %8d %12.1f %12.4f\n" name w r.Pipeline.latency
+            r.Pipeline.compile_time)
+        [ 2; 3; 4 ])
+    [ "qaoa"; "ham7"; "dnn" ]
+
+let ablation_library () =
+  header "ABLATION 2 - global-phase-aware pulse library matching"
+    "EPOC matches unitaries up to global phase: higher cache hit rate";
+  Printf.printf "%-12s %16s %16s\n" "bench" "phase-aware" "phase-sensitive";
+  List.iter
+    (fun (name, c) ->
+      let run phase =
+        let lib = Epoc_pulse.Library.create ~match_global_phase:phase () in
+        let cfg = { Config.default with Config.match_global_phase = phase } in
+        ignore (Pipeline.run ~config:cfg ~library:lib ~name c);
+        Epoc_pulse.Library.hit_rate lib
+      in
+      Printf.printf "%-12s %15.1f%% %15.1f%%\n" name
+        (100.0 *. run true)
+        (100.0 *. run false))
+    suite
+
+(* --- grape cross-validation ------------------------------------------------------- *)
+
+let graperef () =
+  header "GRAPE REFERENCE - analytic estimator vs real GRAPE duration search"
+    "(methodology check: estimator tracks GRAPE minimum durations)";
+  let open Epoc_qoc in
+  let op gate qubits = { Circuit.gate; qubits } in
+  let cases =
+    [
+      ("x gate", Circuit.of_ops 1 [ op Gate.X [ 0 ] ]);
+      ("hadamard", Circuit.of_ops 1 [ op Gate.H [ 0 ] ]);
+      ("rx(0.8)", Circuit.of_ops 1 [ op (Gate.RX 0.8) [ 0 ] ]);
+      ("cnot", Circuit.of_ops 2 [ op Gate.CX [ 0; 1 ] ]);
+      ( "cx-rz-cx",
+        Circuit.of_ops 2
+          [ op Gate.CX [ 0; 1 ]; op (Gate.RZ 0.8) [ 1 ]; op Gate.CX [ 0; 1 ] ] );
+      ("h+cnot", Circuit.of_ops 2 [ op Gate.H [ 0 ]; op Gate.CX [ 0; 1 ] ]);
+    ]
+  in
+  Printf.printf "%-10s %10s %10s %10s\n" "target" "grape(ns)" "est(ns)" "error";
+  List.iter
+    (fun (name, c) ->
+      let n = Circuit.n_qubits c in
+      let hw = Hardware.make n in
+      let u = Circuit.unitary c in
+      let est = (Latency.estimate ~unitary:u hw c).Latency.est_duration in
+      match
+        Latency.find_min_duration
+          ~initial_guess:(Latency.guess_slots ~unitary:u hw c) hw u
+      with
+      | Some s ->
+          Printf.printf "%-10s %10.1f %10.1f %9.1f%%\n%!" name s.Latency.duration
+            est
+            (100.0 *. (est -. s.Latency.duration) /. s.Latency.duration)
+      | None -> Printf.printf "%-10s %10s %10.1f\n%!" name "failed" est)
+    cases
+
+(* --- bechamel micro-benchmarks ------------------------------------------------------ *)
+
+let micro () =
+  header "MICRO - Bechamel stage micro-benchmarks" "(compile-stage costs)";
+  let open Bechamel in
+  let qaoa = Epoc_benchmarks.Benchmarks.find "qaoa" in
+  let simon = Epoc_benchmarks.Benchmarks.find "simon" in
+  let op gate qubits = { Circuit.gate; qubits } in
+  let cx_block =
+    Circuit.of_ops 2
+      [ op Gate.H [ 0 ]; op Gate.CX [ 0; 1 ]; op (Gate.RZ 0.3) [ 1 ] ]
+  in
+  let hw1 = Epoc_qoc.Hardware.make 1 in
+  let test =
+    Test.make_grouped ~name:"epoc"
+      [
+        Test.make ~name:"zx-optimize-qaoa"
+          (Staged.stage (fun () -> ignore (Epoc_zx.Zx.optimize qaoa)));
+        Test.make ~name:"partition-simon"
+          (Staged.stage (fun () ->
+               ignore (Epoc_partition.Partition.partition simon)));
+        Test.make ~name:"synthesis-2q"
+          (Staged.stage (fun () ->
+               ignore (Epoc_synthesis.Synthesis.synthesize_block cx_block)));
+        Test.make ~name:"grape-x-24slots"
+          (Staged.stage (fun () ->
+               ignore
+                 (Epoc_qoc.Grape.optimize hw1 ~target:(Gate.matrix Gate.X)
+                    ~slots:24)));
+        Test.make ~name:"pipeline-simon"
+          (Staged.stage (fun () -> ignore (Pipeline.run ~name:"simon" simon)));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "%-28s %14.1f ns/run\n" name est
+      | _ -> Printf.printf "%-28s (no estimate)\n" name)
+    results
+
+(* --- driver --------------------------------------------------------------------------- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let all = List.length args = 1 in
+  let want x = all || List.mem x args in
+  let grape_table1 = Sys.getenv_opt "EPOC_BENCH_GRAPE" = Some "1" in
+  if want "fig5" then fig5 ();
+  if want "fig8" || want "fig9" || want "fig10" then begin
+    let rows = regroup_rows () in
+    if want "fig8" then fig8 rows;
+    if want "fig9" then fig9 rows;
+    if want "fig10" then fig10 rows
+  end;
+  if want "table1" then table1 ~grape:grape_table1 ();
+  if want "ablation" then begin
+    ablation_partition ();
+    ablation_library ()
+  end;
+  if want "graperef" then graperef ();
+  if want "micro" then micro ();
+  Printf.printf "\n%s\nall requested experiments done.\n" line

@@ -1,0 +1,160 @@
+(* epoc — command-line front end to the EPOC pulse compiler.
+
+   epoc compile <file.qasm|bench:name> [--flow epoc|paqoc|accqoc|gate]
+                [--grape] [--no-zx] [--no-synthesis] [--no-regroup]
+                [--partition-width N] [--verbose] [--schedule]
+   epoc list                 list builtin benchmarks
+   epoc zx <file|bench:name> run only the graph optimization stage *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let load spec =
+  match String.length spec >= 6 && String.sub spec 0 6 = "bench:" with
+  | true ->
+      let name = String.sub spec 6 (String.length spec - 6) in
+      Epoc_benchmarks.Benchmarks.find name
+  | false -> Epoc_qasm.Qasm.of_file spec
+
+let circuit_arg =
+  let doc = "Input circuit: a .qasm file or bench:<name> for a builtin benchmark." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let flow_arg =
+  let doc = "Compilation flow: epoc, paqoc, accqoc or gate." in
+  Arg.(value & opt string "epoc" & info [ "flow" ] ~docv:"FLOW" ~doc)
+
+let grape_arg =
+  let doc = "Generate pulses with real GRAPE duration searches (slow)." in
+  Arg.(value & flag & info [ "grape" ] ~doc)
+
+let no_zx = Arg.(value & flag & info [ "no-zx" ] ~doc:"Disable the ZX stage.")
+let no_synthesis =
+  Arg.(value & flag & info [ "no-synthesis" ] ~doc:"Disable VUG synthesis.")
+let no_regroup =
+  Arg.(value & flag & info [ "no-regroup" ] ~doc:"Disable regrouping before QOC.")
+
+let partition_width =
+  Arg.(value & opt int 3 & info [ "partition-width" ] ~docv:"N"
+         ~doc:"Partition qubit budget (default 3).")
+
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
+let show_schedule =
+  Arg.(value & flag & info [ "schedule" ] ~doc:"Print the pulse schedule.")
+
+let report (r : Epoc.Pipeline.result) show =
+  Printf.printf "flow             : %s\n" r.Epoc.Pipeline.name;
+  Printf.printf "latency          : %.1f ns\n" r.Epoc.Pipeline.latency;
+  Printf.printf "fidelity (ESP)   : %.4f\n" r.Epoc.Pipeline.esp;
+  Printf.printf "pulses           : %d\n" r.Epoc.Pipeline.stats.Epoc.Pipeline.pulse_count;
+  Printf.printf "depth            : %d -> %d%s\n"
+    r.Epoc.Pipeline.stats.Epoc.Pipeline.input_depth
+    r.Epoc.Pipeline.stats.Epoc.Pipeline.zx_depth
+    (if r.Epoc.Pipeline.stats.Epoc.Pipeline.zx_used_graph then " (zx-graph)"
+     else "");
+  Printf.printf "blocks/synth     : %d / %d\n"
+    r.Epoc.Pipeline.stats.Epoc.Pipeline.blocks
+    r.Epoc.Pipeline.stats.Epoc.Pipeline.synthesized_blocks;
+  Printf.printf "library          : %d entries, %d hits / %d misses\n"
+    r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.entries
+    r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.hits
+    r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.misses;
+  Printf.printf "compile time     : %.3f s\n" r.Epoc.Pipeline.compile_time;
+  if show then Format.printf "@.%a@." Epoc_pulse.Schedule.pp r.Epoc.Pipeline.schedule
+
+let compile_cmd =
+  let run spec flow grape no_zx no_synth no_regroup width verbose schedule =
+    setup_logs verbose;
+    match load spec with
+    | exception Epoc_qasm.Qasm.Parse_error m ->
+        Printf.eprintf "parse error: %s\n" m;
+        1
+    | exception Invalid_argument m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | circuit ->
+        let base = Epoc.Config.default in
+        let config =
+          {
+            base with
+            Epoc.Config.qoc_mode =
+              (if grape then Epoc.Config.Grape else Epoc.Config.Estimate);
+            use_zx = not no_zx;
+            use_synthesis = not no_synth;
+            regroup = not no_regroup;
+            partition =
+              {
+                base.Epoc.Config.partition with
+                Epoc_partition.Partition.qubit_limit = width;
+              };
+          }
+        in
+        let result =
+          match flow with
+          | "epoc" -> Epoc.Pipeline.run ~config ~name:spec circuit
+          | "paqoc" -> Epoc.Baselines.paqoc_like ~config ~name:spec circuit
+          | "accqoc" -> Epoc.Baselines.accqoc_like ~config ~name:spec circuit
+          | "gate" -> Epoc.Baselines.gate_based ~config ~name:spec circuit
+          | other ->
+              Printf.eprintf "unknown flow %S\n" other;
+              exit 1
+        in
+        report result schedule;
+        0
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
+      $ no_regroup $ partition_width $ verbose $ show_schedule)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit to a pulse schedule.") term
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        let c = Epoc_benchmarks.Benchmarks.find name in
+        Printf.printf "%-12s %2d qubits, %3d gates, depth %d\n" name
+          (Epoc_circuit.Circuit.n_qubits c)
+          (Epoc_circuit.Circuit.gate_count c)
+          (Epoc_circuit.Circuit.depth c))
+      (Epoc_benchmarks.Benchmarks.names ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List builtin benchmark circuits.")
+    Term.(const run $ const ())
+
+let zx_cmd =
+  let run spec verbose =
+    setup_logs verbose;
+    match load spec with
+    | exception Epoc_qasm.Qasm.Parse_error m ->
+        Printf.eprintf "parse error: %s\n" m;
+        1
+    | circuit ->
+        let r = Epoc_zx.Zx.optimize ~objective:Epoc_zx.Zx.Depth circuit in
+        Printf.printf "depth  : %d -> %d\n" r.Epoc_zx.Zx.input_depth
+          r.Epoc_zx.Zx.output_depth;
+        Printf.printf "gates  : %d -> %d\n" r.Epoc_zx.Zx.input_gates
+          r.Epoc_zx.Zx.output_gates;
+        Printf.printf "method : %s (verified=%b)\n"
+          (match r.Epoc_zx.Zx.used with
+          | Epoc_zx.Zx.Graph -> "zx-graph"
+          | Epoc_zx.Zx.Peephole_only -> "peephole")
+          r.Epoc_zx.Zx.verified;
+        0
+  in
+  Cmd.v
+    (Cmd.info "zx" ~doc:"Run only the graph-based optimization stage.")
+    Term.(const run $ circuit_arg $ verbose)
+
+let () =
+  let info =
+    Cmd.info "epoc" ~version:"1.0.0"
+      ~doc:"EPOC: efficient pulse generation with advanced synthesis"
+  in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; list_cmd; zx_cmd ]))

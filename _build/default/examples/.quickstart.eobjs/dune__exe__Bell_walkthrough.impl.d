@@ -1,0 +1,1 @@
+examples/bell_walkthrough.ml: Circuit Epoc Epoc_benchmarks Epoc_circuit Epoc_partition Epoc_pulse Epoc_synthesis Epoc_zx Fmt Format List Partition Synthesis

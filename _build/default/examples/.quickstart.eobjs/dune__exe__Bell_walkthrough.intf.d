@@ -1,0 +1,1 @@
+examples/bell_walkthrough.mli:

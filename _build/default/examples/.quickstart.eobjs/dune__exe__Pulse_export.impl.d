@@ -1,0 +1,1 @@
+examples/pulse_export.ml: Array Circuit Epoc_circuit Epoc_qoc Gate Grape Hardware Latency List Printf String Sys

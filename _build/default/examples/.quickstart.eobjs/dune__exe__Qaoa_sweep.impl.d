@@ -1,0 +1,1 @@
+examples/qaoa_sweep.ml: Baselines Epoc Epoc_benchmarks List Pipeline Printf

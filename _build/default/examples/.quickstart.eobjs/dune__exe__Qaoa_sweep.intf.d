@@ -1,0 +1,1 @@
+examples/qaoa_sweep.mli:

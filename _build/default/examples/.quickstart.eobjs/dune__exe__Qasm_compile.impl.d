@@ -1,0 +1,1 @@
+examples/qasm_compile.ml: Array Epoc Epoc_circuit Epoc_pulse Epoc_qasm Format Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Circuit Epoc Epoc_circuit Epoc_pulse Format Gate Pipeline

@@ -1,0 +1,29 @@
+(* QAOA latency sweep: the optimization workload the paper's introduction
+   motivates.  Sweeps ring size and layer count, comparing EPOC against the
+   gate-based flow and the PAQOC-like baseline.
+
+   Run with:  dune exec examples/qaoa_sweep.exe *)
+
+open Epoc
+
+let () =
+  Printf.printf "%6s %3s | %10s %10s %10s | %8s %8s\n" "qubits" "p" "gate(ns)"
+    "paqoc(ns)" "epoc(ns)" "f_paqoc" "f_epoc";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun p ->
+          let c = Epoc_benchmarks.Benchmarks.qaoa ~p n in
+          let name = Printf.sprintf "qaoa-%d-%d" n p in
+          let g = Baselines.gate_based ~name c in
+          let pq = Baselines.paqoc_like ~name c in
+          let e = Pipeline.run ~name c in
+          Printf.printf "%6d %3d | %10.1f %10.1f %10.1f | %8.4f %8.4f\n%!" n p
+            g.Pipeline.latency pq.Pipeline.latency e.Pipeline.latency
+            pq.Pipeline.esp e.Pipeline.esp)
+        [ 1; 2 ])
+    [ 4; 6; 8 ];
+  Printf.printf
+    "\nEPOC's fine-grained pulses absorb each commuting RZZ ring layer into\n\
+     near-minimal-duration pulses, which is where the large QAOA wins in the\n\
+     paper's Table 1 come from.\n"

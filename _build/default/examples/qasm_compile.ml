@@ -1,0 +1,43 @@
+(* Compile an OpenQASM 2.0 program (QASMBench style) to pulses.
+
+   Run with:  dune exec examples/qasm_compile.exe [file.qasm]
+   Without an argument it compiles the embedded program below. *)
+
+let default_program =
+  {|OPENQASM 2.0;
+include "qelib1.inc";
+
+gate majority a,b,c { cx c,b; cx c,a; ccx a,b,c; }
+
+qreg q[5];
+creg c[5];
+
+h q[0];
+rz(pi/4) q[1];
+majority q[0],q[1],q[2];
+cx q[2],q[3];
+u3(0.3,0.1,pi/2) q[4];
+cz q[3],q[4];
+barrier q;
+measure q -> c;
+|}
+
+let () =
+  let source =
+    if Array.length Sys.argv > 1 then (
+      let ic = open_in_bin Sys.argv.(1) in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s)
+    else default_program
+  in
+  match Epoc_qasm.Qasm.of_string source with
+  | exception Epoc_qasm.Qasm.Parse_error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+  | circuit ->
+      Format.printf "parsed circuit:@.%a@.@." Epoc_circuit.Circuit.pp circuit;
+      let r = Epoc.Pipeline.run ~name:"qasm" circuit in
+      Format.printf "schedule:@.%a@." Epoc_pulse.Schedule.pp r.Epoc.Pipeline.schedule;
+      Format.printf "@.latency %.1f ns, ESP %.4f, compiled in %.3f s@."
+        r.Epoc.Pipeline.latency r.Epoc.Pipeline.esp r.Epoc.Pipeline.compile_time

@@ -1,0 +1,1 @@
+lib/benchmarks/benchmarks.ml: Array Circuit Epoc_circuit Float Gate List Random

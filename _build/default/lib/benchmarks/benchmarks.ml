@@ -1,0 +1,446 @@
+(* QASMBench-style benchmark circuits.
+
+   The paper evaluates on 17 QASMBench circuits; the same algorithm
+   families are generated here programmatically (sizes follow the
+   QASMBench "small" suite).  Generators are deterministic, and each
+   circuit is also loadable through the QASM front end (see
+   [Qasm.of_string] round-trip tests). *)
+
+open Epoc_circuit
+
+let pi = Float.pi
+
+let op gate qubits = { Circuit.gate; qubits }
+
+(* --- entangled state preparation --------------------------------------- *)
+
+let ghz n =
+  let b = Circuit.Builder.create n in
+  Circuit.Builder.add b Gate.H [ 0 ];
+  for q = 0 to n - 2 do
+    Circuit.Builder.add b Gate.CX [ q; q + 1 ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* W-state preparation by distributing a single excitation: starting from
+   |10...0>, each controlled-RY peels off amplitude sqrt(1/(n-k+1)) and the
+   following CX moves the excitation along (standard construction). *)
+let wstate n =
+  if n < 2 then invalid_arg "wstate: need >= 2 qubits";
+  let b = Circuit.Builder.create n in
+  Circuit.Builder.add b Gate.X [ 0 ];
+  for k = 1 to n - 1 do
+    let theta = 2.0 *. acos (sqrt (1.0 /. float_of_int (n - k + 1))) in
+    Circuit.Builder.add b (Gate.CRY theta) [ k - 1; k ];
+    Circuit.Builder.add b Gate.CX [ k; k - 1 ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* The paper's Figure 4 walkthrough circuit: 4-qubit Bell-pair preparation
+   expressed in the {rz, sx, cx} basis, depth 23 before optimization. *)
+let bell_fig4 () =
+  let b = Circuit.Builder.create 4 in
+  let basis_h q =
+    (* H = RZ(pi/2) SX RZ(pi/2) up to global phase *)
+    Circuit.Builder.add b (Gate.RZ (pi /. 2.0)) [ q ];
+    Circuit.Builder.add b Gate.SX [ q ];
+    Circuit.Builder.add b (Gate.RZ (pi /. 2.0)) [ q ]
+  in
+  basis_h 0;
+  basis_h 2;
+  Circuit.Builder.add b (Gate.RZ (pi /. 4.0)) [ 0 ];
+  Circuit.Builder.add b (Gate.RZ (-.pi /. 4.0)) [ 2 ];
+  Circuit.Builder.add b Gate.CX [ 0; 1 ];
+  Circuit.Builder.add b Gate.CX [ 2; 3 ];
+  Circuit.Builder.add b (Gate.RZ (pi /. 4.0)) [ 1 ];
+  Circuit.Builder.add b (Gate.RZ (-.pi /. 4.0)) [ 3 ];
+  basis_h 1;
+  basis_h 3;
+  Circuit.Builder.add b (Gate.RZ (-.pi /. 2.0)) [ 1 ];
+  Circuit.Builder.add b Gate.SX [ 1 ];
+  Circuit.Builder.add b (Gate.RZ (-.pi /. 2.0)) [ 1 ];
+  Circuit.Builder.add b Gate.CX [ 1; 2 ];
+  basis_h 2;
+  Circuit.Builder.to_circuit b
+
+(* --- oracles and textbook algorithms ------------------------------------ *)
+
+(* Bernstein-Vazirani with a hidden bit-string (LSB on qubit n-2); qubit
+   n-1 is the oracle ancilla. *)
+let bv ?(hidden = 0b1011011) n =
+  if n < 2 then invalid_arg "bv: need >= 2 qubits";
+  let b = Circuit.Builder.create n in
+  let anc = n - 1 in
+  Circuit.Builder.add b Gate.X [ anc ];
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  for q = 0 to n - 2 do
+    if hidden land (1 lsl q) <> 0 then Circuit.Builder.add b Gate.CX [ q; anc ]
+  done;
+  for q = 0 to n - 2 do
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* Simon's algorithm, 6 qubits (3 input + 3 output), secret s = 110. *)
+let simon () =
+  let b = Circuit.Builder.create 6 in
+  for q = 0 to 2 do
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  (* copy oracle *)
+  for q = 0 to 2 do
+    Circuit.Builder.add b Gate.CX [ q; q + 3 ]
+  done;
+  (* secret xor structure for s = 110 *)
+  Circuit.Builder.add b Gate.CX [ 1; 3 ];
+  Circuit.Builder.add b Gate.CX [ 1; 4 ];
+  for q = 0 to 2 do
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* BB84 state preparation on 8 qubits: deterministic bit/basis choices. *)
+let bb84 () =
+  let bits = [| 1; 0; 1; 1; 0; 0; 1; 0 |] in
+  let bases = [| 0; 1; 1; 0; 1; 0; 0; 1 |] in
+  let b = Circuit.Builder.create 8 in
+  Array.iteri
+    (fun q bit ->
+      if bit = 1 then Circuit.Builder.add b Gate.X [ q ];
+      if bases.(q) = 1 then Circuit.Builder.add b Gate.H [ q ])
+    bits;
+  (* receiver measurement basis rotations *)
+  Array.iteri
+    (fun q basis -> if basis = 1 then Circuit.Builder.add b Gate.H [ q ])
+    bases;
+  Circuit.Builder.to_circuit b
+
+(* QAOA MaxCut on a ring, p layers. *)
+let qaoa ?(p = 1) n =
+  let b = Circuit.Builder.create n in
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  for layer = 1 to p do
+    let gamma = 0.7 *. float_of_int layer and beta = 0.4 *. float_of_int layer in
+    for q = 0 to n - 1 do
+      Circuit.Builder.add b (Gate.RZZ (2.0 *. gamma)) [ q; (q + 1) mod n ]
+    done;
+    for q = 0 to n - 1 do
+      Circuit.Builder.add b (Gate.RX (2.0 *. beta)) [ q ]
+    done
+  done;
+  Circuit.Builder.to_circuit b
+
+(* decod24: the RevLib 2-to-4 decoder (4 qubits), CX/X/CCX network. *)
+let decod24 () =
+  let b = Circuit.Builder.create 4 in
+  Circuit.Builder.add b Gate.X [ 0 ];
+  Circuit.Builder.add b Gate.CX [ 1; 2 ];
+  Circuit.Builder.add b Gate.CCX [ 0; 1; 3 ];
+  Circuit.Builder.add b Gate.X [ 1 ];
+  Circuit.Builder.add b Gate.CX [ 0; 2 ];
+  Circuit.Builder.add b Gate.CCX [ 1; 2; 0 ];
+  Circuit.Builder.add b Gate.X [ 2 ];
+  Circuit.Builder.add b Gate.CX [ 3; 1 ];
+  Circuit.Builder.to_circuit b
+
+(* Quantum neural network layer stack (the QASMBench "dnn" family):
+   angle-encoded inputs, two dense layers of RY rotations + CX ladders. *)
+let dnn ?(layers = 2) n =
+  let b = Circuit.Builder.create n in
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b (Gate.RY (0.3 +. (0.2 *. float_of_int q))) [ q ]
+  done;
+  for l = 1 to layers do
+    for q = 0 to n - 2 do
+      Circuit.Builder.add b Gate.CX [ q; q + 1 ]
+    done;
+    for q = 0 to n - 1 do
+      Circuit.Builder.add b (Gate.RY (0.1 *. float_of_int (l + q))) [ q ];
+      Circuit.Builder.add b (Gate.RZ (0.15 *. float_of_int (l + q))) [ q ]
+    done
+  done;
+  Circuit.Builder.to_circuit b
+
+(* Hamming(7,4) encoder: parity bits from data qubits. *)
+let ham7 () =
+  let b = Circuit.Builder.create 7 in
+  (* data on 0..3, parity on 4..6 *)
+  List.iter (fun q -> Circuit.Builder.add b Gate.H [ q ]) [ 0; 1; 2; 3 ];
+  List.iter
+    (fun (d, p) -> Circuit.Builder.add b Gate.CX [ d; p ])
+    [ (0, 4); (1, 4); (3, 4); (0, 5); (2, 5); (3, 5); (1, 6); (2, 6); (3, 6) ];
+  (* decode-side syndrome mixing *)
+  List.iter (fun q -> Circuit.Builder.add b Gate.H [ q ]) [ 4; 5; 6 ];
+  List.iter
+    (fun (a, bq) -> Circuit.Builder.add b Gate.CZ [ a; bq ])
+    [ (4, 5); (5, 6) ];
+  Circuit.Builder.to_circuit b
+
+(* Quantum Fourier transform. *)
+let qft n =
+  let b = Circuit.Builder.create n in
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b Gate.H [ q ];
+    for k = q + 1 to n - 1 do
+      Circuit.Builder.add b (Gate.CPhase (pi /. Float.pow 2.0 (float_of_int (k - q)))) [ k; q ]
+    done
+  done;
+  for q = 0 to (n / 2) - 1 do
+    Circuit.Builder.add b Gate.SWAP [ q; n - 1 - q ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* Ripple-carry adder on 2x2 bits + carry (Cuccaro-style, small). *)
+let adder () =
+  let b = Circuit.Builder.create 5 in
+  (* a: 0,1  b: 2,3  carry: 4 *)
+  Circuit.Builder.add b Gate.X [ 0 ];
+  Circuit.Builder.add b Gate.X [ 3 ];
+  Circuit.Builder.add b Gate.CCX [ 0; 2; 4 ];
+  Circuit.Builder.add b Gate.CX [ 0; 2 ];
+  Circuit.Builder.add b Gate.CCX [ 1; 3; 4 ];
+  Circuit.Builder.add b Gate.CX [ 1; 3 ];
+  Circuit.Builder.add b Gate.CX [ 2; 3 ];
+  Circuit.Builder.add b Gate.CX [ 0; 2 ];
+  Circuit.Builder.to_circuit b
+
+let toffoli_bench () =
+  let b = Circuit.Builder.create 3 in
+  Circuit.Builder.add b Gate.H [ 0 ];
+  Circuit.Builder.add b Gate.H [ 1 ];
+  Circuit.Builder.add b Gate.CCX [ 0; 1; 2 ];
+  Circuit.Builder.add b Gate.H [ 2 ];
+  Circuit.Builder.to_circuit b
+
+let fredkin_bench () =
+  let b = Circuit.Builder.create 3 in
+  Circuit.Builder.add b Gate.H [ 0 ];
+  Circuit.Builder.add b Gate.X [ 1 ];
+  Circuit.Builder.add b Gate.CSWAP [ 0; 1; 2 ];
+  Circuit.Builder.add b Gate.H [ 0 ];
+  Circuit.Builder.to_circuit b
+
+let iswap_bench () =
+  let b = Circuit.Builder.create 2 in
+  Circuit.Builder.add b Gate.X [ 0 ];
+  Circuit.Builder.add b Gate.ISWAP [ 0; 1 ];
+  Circuit.Builder.add b (Gate.RZ (pi /. 4.0)) [ 1 ];
+  Circuit.Builder.add b Gate.ISWAP [ 0; 1 ];
+  Circuit.Builder.to_circuit b
+
+(* Hidden-shift on 4 qubits with a CZ-MaxCut style bent function. *)
+let hs4 () =
+  let b = Circuit.Builder.create 4 in
+  let shift = [| 1; 0; 1; 1 |] in
+  for q = 0 to 3 do
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  Array.iteri (fun q s -> if s = 1 then Circuit.Builder.add b Gate.Z [ q ]) shift;
+  Circuit.Builder.add b Gate.CZ [ 0; 1 ];
+  Circuit.Builder.add b Gate.CZ [ 2; 3 ];
+  for q = 0 to 3 do
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  Circuit.Builder.add b Gate.CZ [ 0; 1 ];
+  Circuit.Builder.add b Gate.CZ [ 2; 3 ];
+  for q = 0 to 3 do
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* Single-particle basis change (free-fermion style Givens rotations). *)
+let basis_change n =
+  let b = Circuit.Builder.create n in
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b (Gate.RZ (0.2 *. float_of_int (q + 1))) [ q ]
+  done;
+  for layer = 0 to n - 1 do
+    let start = layer mod 2 in
+    let q = ref start in
+    while !q + 1 < n do
+      (* Givens rotation on neighbouring modes *)
+      Circuit.Builder.add b Gate.CX [ !q + 1; !q ];
+      Circuit.Builder.add b (Gate.CRY (0.37 +. (0.11 *. float_of_int (layer + !q)))) [ !q; !q + 1 ];
+      Circuit.Builder.add b Gate.CX [ !q + 1; !q ];
+      q := !q + 2
+    done
+  done;
+  Circuit.Builder.to_circuit b
+
+(* Hardware-efficient variational ansatz (the QASMBench "variational"
+   family). *)
+let variational ?(layers = 2) n =
+  let b = Circuit.Builder.create n in
+  for l = 0 to layers - 1 do
+    for q = 0 to n - 1 do
+      Circuit.Builder.add b (Gate.RX (0.2 +. (0.13 *. float_of_int (q + l)))) [ q ];
+      Circuit.Builder.add b (Gate.RZ (0.4 +. (0.21 *. float_of_int (q + l)))) [ q ]
+    done;
+    for q = 0 to n - 2 do
+      Circuit.Builder.add b Gate.CX [ q; q + 1 ]
+    done
+  done;
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b (Gate.RX (0.1 *. float_of_int (q + 1))) [ q ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* VQE trotterized ansatz fragment (deeper; the paper's extreme ZX case). *)
+let vqe ?(layers = 4) n =
+  let b = Circuit.Builder.create n in
+  for l = 0 to layers - 1 do
+    for q = 0 to n - 1 do
+      Circuit.Builder.add b Gate.H [ q ];
+      Circuit.Builder.add b (Gate.RZ (0.11 *. float_of_int ((l * n) + q + 1))) [ q ];
+      Circuit.Builder.add b Gate.H [ q ]
+    done;
+    for q = 0 to n - 2 do
+      Circuit.Builder.add b Gate.CX [ q; q + 1 ];
+      Circuit.Builder.add b (Gate.RZ (0.23 *. float_of_int (l + q + 1))) [ q + 1 ];
+      Circuit.Builder.add b Gate.CX [ q; q + 1 ]
+    done
+  done;
+  Circuit.Builder.to_circuit b
+
+(* Grover search on n qubits with a single marked item (phase oracle +
+   diffusion), one iteration. *)
+let grover ?(marked = 0b101) n =
+  if n < 2 then invalid_arg "grover: need >= 2 qubits";
+  let b = Circuit.Builder.create n in
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  (* phase oracle: flip phase of |marked> via X-conjugated multi-CZ *)
+  let flip_unmarked () =
+    for q = 0 to n - 1 do
+      if marked land (1 lsl (n - 1 - q)) = 0 then Circuit.Builder.add b Gate.X [ q ]
+    done
+  in
+  let multi_cz () =
+    match n with
+    | 2 -> Circuit.Builder.add b Gate.CZ [ 0; 1 ]
+    | 3 -> Circuit.Builder.add b Gate.CCZ [ 0; 1; 2 ]
+    | _ ->
+        (* cascade through CCZ pairs; exact for the benchmark sizes used *)
+        Circuit.Builder.add b Gate.CCZ [ 0; 1; 2 ];
+        for q = 3 to n - 1 do
+          Circuit.Builder.add b Gate.CZ [ q - 1; q ]
+        done
+  in
+  flip_unmarked ();
+  multi_cz ();
+  flip_unmarked ();
+  (* diffusion *)
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b Gate.H [ q ];
+    Circuit.Builder.add b Gate.X [ q ]
+  done;
+  multi_cz ();
+  for q = 0 to n - 1 do
+    Circuit.Builder.add b Gate.X [ q ];
+    Circuit.Builder.add b Gate.H [ q ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* Three-qubit bit-flip code: encode, inject an error, decode + correct. *)
+let qec_bit_flip ?(error_on = 1) () =
+  let b = Circuit.Builder.create 3 in
+  Circuit.Builder.add b (Gate.RY 0.9) [ 0 ];
+  (* arbitrary logical state *)
+  Circuit.Builder.add b Gate.CX [ 0; 1 ];
+  Circuit.Builder.add b Gate.CX [ 0; 2 ];
+  if error_on >= 0 && error_on < 3 then Circuit.Builder.add b Gate.X [ error_on ];
+  Circuit.Builder.add b Gate.CX [ 0; 1 ];
+  Circuit.Builder.add b Gate.CX [ 0; 2 ];
+  Circuit.Builder.add b Gate.CCX [ 2; 1; 0 ];
+  Circuit.Builder.to_circuit b
+
+(* 2x2-bit multiplier fragment (partial products via Toffolis). *)
+let multiplier () =
+  let b = Circuit.Builder.create 6 in
+  (* a: 0,1  b: 2,3  p: 4,5 *)
+  Circuit.Builder.add b Gate.X [ 0 ];
+  Circuit.Builder.add b Gate.X [ 3 ];
+  Circuit.Builder.add b Gate.CCX [ 0; 2; 4 ];
+  Circuit.Builder.add b Gate.CCX [ 0; 3; 5 ];
+  Circuit.Builder.add b Gate.CCX [ 1; 2; 5 ];
+  Circuit.Builder.add b Gate.CX [ 4; 5 ];
+  Circuit.Builder.to_circuit b
+
+(* Seeded random circuit (Figure 5 workload). *)
+let random_circuit ~seed ~n ~length =
+  let st = Random.State.make [| seed |] in
+  let b = Circuit.Builder.create n in
+  for _ = 1 to length do
+    let q = Random.State.int st n in
+    match Random.State.int st 10 with
+    | 0 -> Circuit.Builder.add b Gate.H [ q ]
+    | 1 -> Circuit.Builder.add b Gate.T [ q ]
+    | 2 -> Circuit.Builder.add b Gate.S [ q ]
+    | 3 -> Circuit.Builder.add b Gate.X [ q ]
+    | 4 -> Circuit.Builder.add b (Gate.RZ (Random.State.float st 6.28)) [ q ]
+    | 5 -> Circuit.Builder.add b Gate.Z [ q ]
+    | 6 | 7 ->
+        let q2 = (q + 1 + Random.State.int st (n - 1)) mod n in
+        Circuit.Builder.add b Gate.CX [ q; q2 ]
+    | _ ->
+        let q2 = (q + 1 + Random.State.int st (n - 1)) mod n in
+        Circuit.Builder.add b Gate.CZ [ q; q2 ]
+  done;
+  Circuit.Builder.to_circuit b
+
+(* --- suites --------------------------------------------------------------- *)
+
+(* The 17-benchmark evaluation suite (QASMBench small families). *)
+let suite () =
+  [
+    ("ghz", ghz 4);
+    ("wstate", wstate 3);
+    ("bell", bell_fig4 ());
+    ("bv", bv 7);
+    ("simon", simon ());
+    ("bb84", bb84 ());
+    ("qaoa", qaoa 6);
+    ("decod24", decod24 ());
+    ("dnn", dnn 8);
+    ("ham7", ham7 ());
+    ("qft", qft 4);
+    ("adder", adder ());
+    ("toffoli", toffoli_bench ());
+    ("fredkin", fredkin_bench ());
+    ("iswap", iswap_bench ());
+    ("hs4", hs4 ());
+    ("variational", variational 4);
+  ]
+
+(* Table 1 benchmark set. *)
+let table1 () =
+  [
+    ("simon", simon ());
+    ("bb84", bb84 ());
+    ("bv", bv 7);
+    ("qaoa", qaoa 6);
+    ("decod24", decod24 ());
+    ("dnn", dnn 8);
+    ("ham7", ham7 ());
+  ]
+
+(* Extra circuits beyond the 17-benchmark evaluation suite. *)
+let extras () =
+  [
+    ("vqe", vqe 6);
+    ("grover", grover 3);
+    ("qec", qec_bit_flip ());
+    ("multiplier", multiplier ());
+  ]
+
+let find name =
+  match List.assoc_opt name (suite () @ extras ()) with
+  | Some c -> c
+  | None -> invalid_arg ("Benchmarks.find: unknown benchmark " ^ name)
+
+let names () = List.map fst (suite ())

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Cx Epoc_linalg Fmt Fun Gate List Mat

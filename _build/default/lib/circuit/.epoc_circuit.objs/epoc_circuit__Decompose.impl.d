@@ -1,0 +1,1 @@
+lib/circuit/decompose.ml: Cx Epoc_linalg Float Gate Mat

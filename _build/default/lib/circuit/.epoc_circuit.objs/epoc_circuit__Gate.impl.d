@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Cx Epoc_linalg Float Fmt Mat

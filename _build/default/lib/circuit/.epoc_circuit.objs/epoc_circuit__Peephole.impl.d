@@ -1,0 +1,1 @@
+lib/circuit/peephole.ml: Array Circuit Decompose Epoc_linalg Float Gate List Mat

@@ -1,0 +1,1 @@
+lib/circuit/reorder.ml: Array Circuit Gate List Peephole

@@ -1,0 +1,47 @@
+(* Small analytic decompositions.
+
+   [zyz] recovers U3 angles (plus global phase) from an arbitrary 2x2
+   unitary; it is used by the peephole optimizer to fuse runs of
+   single-qubit gates and by reporting code to express VUGs as native
+   gates. *)
+
+open Epoc_linalg
+
+(* U = e^{i gamma} * U3(theta, phi, lambda), with
+   U3 = [[cos(t/2), -e^{il} sin(t/2)], [e^{ip} sin(t/2), e^{i(p+l)} cos(t/2)]] *)
+type zyz = { theta : float; phi : float; lambda : float; global_phase : float }
+
+let zyz (u : Mat.t) =
+  if Mat.rows u <> 2 || Mat.cols u <> 2 then invalid_arg "Decompose.zyz: need 2x2";
+  let u00 = Mat.get u 0 0
+  and u01 = Mat.get u 0 1
+  and u10 = Mat.get u 1 0
+  and u11 = Mat.get u 1 1 in
+  let c = Cx.norm u00 and s = Cx.norm u10 in
+  let theta = 2.0 *. Float.atan2 s c in
+  if s < 1e-9 then
+    (* diagonal: U = e^{i gamma} diag(1, e^{i phi}) *)
+    let global_phase = Cx.arg u00 in
+    let phi = Cx.arg u11 -. Cx.arg u00 in
+    { theta = 0.0; phi; lambda = 0.0; global_phase }
+  else if c < 1e-9 then
+    (* anti-diagonal: u10 = e^{i(gamma+phi)} , u01 = -e^{i(gamma+lambda)} *)
+    let lambda = 0.0 in
+    let global_phase = Cx.arg (Cx.neg u01) in
+    let phi = Cx.arg u10 -. global_phase in
+    { theta; phi; lambda; global_phase }
+  else
+    let global_phase = Cx.arg u00 in
+    let sum = Cx.arg u11 -. Cx.arg u00 in
+    (* phi + lambda *)
+    let phi = Cx.arg u10 -. global_phase in
+    let lambda = sum -. phi in
+    { theta; phi; lambda; global_phase }
+
+let to_u3_gate u =
+  let d = zyz u in
+  Gate.U3 (d.theta, d.phi, d.lambda)
+
+(* Check helper: rebuild the matrix from a decomposition. *)
+let matrix_of_zyz d =
+  Mat.scale (Cx.cis d.global_phase) (Gate.u3_matrix d.theta d.phi d.lambda)

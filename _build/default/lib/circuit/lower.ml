@@ -1,0 +1,101 @@
+(* Gate lowering to the ZX basis {H, Z-rotations, X-rotations, CX, CZ}.
+
+   The ZX translation only understands phase spiders, Hadamards and the two
+   standard entangling gates, so every other named gate is rewritten here
+   using textbook decompositions.  All decompositions are exact up to global
+   phase (which ZX-diagrams do not track anyway) and are property-tested
+   against the gate matrices. *)
+
+let pi = Float.pi
+
+(* Each case lists the replacement in circuit (application) order. *)
+let rec lower_op (op : Circuit.op) : Circuit.op list =
+  let g q gate = { Circuit.gate; qubits = [ q ] } in
+  let g2 a b gate = { Circuit.gate; qubits = [ a; b ] } in
+  match (op.Circuit.gate, op.Circuit.qubits) with
+  | (Gate.I | Gate.X | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T
+    | Gate.Tdg | Gate.SX | Gate.SXdg | Gate.RX _ | Gate.RZ _ | Gate.Phase _
+    | Gate.CX | Gate.CZ), _ ->
+      [ op ]
+  | Gate.RY theta, [ q ] ->
+      (* RY = S RX Sdg (matrix order), i.e. apply Sdg, RX, S *)
+      [ g q Gate.Sdg; g q (Gate.RX theta); g q Gate.S ]
+  | Gate.U3 (theta, phi, lambda), [ q ] ->
+      (* U3 = RZ(phi) RY(theta) RZ(lambda) up to phase *)
+      g q (Gate.RZ lambda) :: lower_op (g q (Gate.RY theta)) @ [ g q (Gate.RZ phi) ]
+  | Gate.CY, [ c; t ] ->
+      (* CY = (I (x) Sdg) CX (I (x) S) *)
+      [ g t Gate.Sdg; g2 c t Gate.CX; g t Gate.S ]
+  | Gate.CH, [ c; t ] ->
+      (* standard qelib1 decomposition of ch *)
+      [
+        g t Gate.S; g t Gate.H; g t Gate.T; g2 c t Gate.CX; g t Gate.Tdg;
+        g t Gate.H; g t Gate.Sdg;
+      ]
+  | Gate.SWAP, [ a; b ] -> [ g2 a b Gate.CX; g2 b a Gate.CX; g2 a b Gate.CX ]
+  | Gate.ISWAP, [ a; b ] ->
+      (* iswap = (S (x) S) (H (x) I) CX(a,b) CX(b,a) (I (x) H) *)
+      [
+        g a Gate.S; g b Gate.S; g a Gate.H; g2 a b Gate.CX; g2 b a Gate.CX;
+        g b Gate.H;
+      ]
+  | Gate.CRX (theta), [ c; t ] ->
+      (* controlled RX: RZ basis change around CRZ *)
+      [ g t Gate.H ] @ lower_op (g2 c t (Gate.CRZ theta)) @ [ g t Gate.H ]
+  | Gate.CRY (theta), [ c; t ] ->
+      lower_op (g t (Gate.RY (theta /. 2.0)))
+      @ [ g2 c t Gate.CX ]
+      @ lower_op (g t (Gate.RY (-.theta /. 2.0)))
+      @ [ g2 c t Gate.CX ]
+  | Gate.CRZ (theta), [ c; t ] ->
+      [
+        g t (Gate.RZ (theta /. 2.0)); g2 c t Gate.CX;
+        g t (Gate.RZ (-.theta /. 2.0)); g2 c t Gate.CX;
+      ]
+  | Gate.CPhase (theta), [ c; t ] ->
+      [
+        g c (Gate.RZ (theta /. 2.0)); g t (Gate.RZ (theta /. 2.0));
+        g2 c t Gate.CX; g t (Gate.RZ (-.theta /. 2.0)); g2 c t Gate.CX;
+      ]
+  | Gate.RZZ (theta), [ a; b ] ->
+      [ g2 a b Gate.CX; g b (Gate.RZ theta); g2 a b Gate.CX ]
+  | Gate.RXX (theta), [ a; b ] ->
+      [ g a Gate.H; g b Gate.H; g2 a b Gate.CX; g b (Gate.RZ theta);
+        g2 a b Gate.CX; g a Gate.H; g b Gate.H ]
+  | Gate.RYY (theta), [ a; b ] ->
+      [ g a Gate.Sdg; g b Gate.Sdg ]
+      @ lower_op (g2 a b (Gate.RXX theta))
+      @ [ g a Gate.S; g b Gate.S ]
+  | Gate.CCX, [ a; b; c ] ->
+      (* standard 6-CX Toffoli *)
+      [
+        g c Gate.H; g2 b c Gate.CX; g c Gate.Tdg; g2 a c Gate.CX; g c Gate.T;
+        g2 b c Gate.CX; g c Gate.Tdg; g2 a c Gate.CX; g c Gate.T; g b Gate.T;
+        g2 a b Gate.CX; g a Gate.T; g b Gate.Tdg; g2 a b Gate.CX; g c Gate.H;
+      ]
+  | Gate.CCZ, [ a; b; c ] ->
+      g c Gate.H :: lower_op { Circuit.gate = Gate.CCX; qubits = [ a; b; c ] }
+      @ [ g c Gate.H ]
+  | Gate.CSWAP, [ c; a; b ] ->
+      g2 b a Gate.CX
+      :: lower_op { Circuit.gate = Gate.CCX; qubits = [ c; a; b ] }
+      @ [ g2 b a Gate.CX ]
+  | Gate.Unitary _, _ ->
+      invalid_arg "Lower: cannot lower an opaque unitary gate to the ZX basis"
+  | _, qs ->
+      invalid_arg
+        (Fmt.str "Lower: gate %s with %d qubits" (Gate.name op.Circuit.gate)
+           (List.length qs))
+
+let is_zx_basis (op : Circuit.op) =
+  match op.Circuit.gate with
+  | Gate.I | Gate.X | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T
+  | Gate.Tdg | Gate.SX | Gate.SXdg | Gate.RX _ | Gate.RZ _ | Gate.Phase _
+  | Gate.CX | Gate.CZ ->
+      true
+  | _ -> false
+
+(* Lower a whole circuit to the ZX basis. *)
+let to_zx_basis (c : Circuit.t) =
+  Circuit.of_ops (Circuit.n_qubits c)
+    (List.concat_map lower_op (Circuit.ops c))

@@ -1,0 +1,219 @@
+(* Circuit-level gate commutation and aggregation (paper section 3.1 prose).
+
+   This optimizer implements the gate-commutation/aggregation rules the
+   paper describes alongside the ZX pass: delaying gates past commuting
+   neighbours to cancel them against future gates, and fusing rotation
+   families.  It serves two roles:
+   - a semantics-preserving cross-check for the ZX engine (both must agree
+     with the original circuit's unitary), and
+   - the fallback optimizer should ZX extraction ever fail verification. *)
+
+open Epoc_linalg
+
+let two_pi = 2.0 *. Float.pi
+
+(* Canonical angle in (-pi, pi]. *)
+let norm_angle a =
+  let a = Float.rem a two_pi in
+  let a = if a <= -.Float.pi then a +. two_pi else a in
+  if a > Float.pi then a -. two_pi else a
+
+let angle_is a b = Float.abs (norm_angle (a -. b)) < 1e-9
+
+(* Rotation families: a gate is (axis, angle) when it is, up to global
+   phase, a rotation about a fixed Pauli axis. *)
+type family = Zfam | Xfam | Yfam
+
+let family_of = function
+  | Gate.Z -> Some (Zfam, Float.pi)
+  | Gate.S -> Some (Zfam, Float.pi /. 2.0)
+  | Gate.Sdg -> Some (Zfam, -.Float.pi /. 2.0)
+  | Gate.T -> Some (Zfam, Float.pi /. 4.0)
+  | Gate.Tdg -> Some (Zfam, -.Float.pi /. 4.0)
+  | Gate.RZ a -> Some (Zfam, a)
+  | Gate.Phase a -> Some (Zfam, a)
+  | Gate.X -> Some (Xfam, Float.pi)
+  | Gate.SX -> Some (Xfam, Float.pi /. 2.0)
+  | Gate.SXdg -> Some (Xfam, -.Float.pi /. 2.0)
+  | Gate.RX a -> Some (Xfam, a)
+  | Gate.Y -> Some (Yfam, Float.pi)
+  | Gate.RY a -> Some (Yfam, a)
+  | _ -> None
+
+(* Preferred named gate for a fused rotation. *)
+let gate_of_family fam angle =
+  let a = norm_angle angle in
+  if angle_is a 0.0 then None
+  else
+    Some
+      (match fam with
+      | Zfam ->
+          if angle_is a Float.pi then Gate.Z
+          else if angle_is a (Float.pi /. 2.0) then Gate.S
+          else if angle_is a (-.Float.pi /. 2.0) then Gate.Sdg
+          else if angle_is a (Float.pi /. 4.0) then Gate.T
+          else if angle_is a (-.Float.pi /. 4.0) then Gate.Tdg
+          else Gate.RZ a
+      | Xfam ->
+          if angle_is a Float.pi then Gate.X
+          else if angle_is a (Float.pi /. 2.0) then Gate.SX
+          else if angle_is a (-.Float.pi /. 2.0) then Gate.SXdg
+          else Gate.RX a
+      | Yfam -> if angle_is a Float.pi then Gate.Y else Gate.RY a)
+
+let is_x_family g = match family_of g with Some (Xfam, _) -> true | _ -> false
+
+(* --- commutation ------------------------------------------------------- *)
+
+(* Does single-qubit gate [g] on qubit [q] commute with op [o]?  Both are
+   assumed to share qubit [q]. *)
+let one_q_commutes_through g q (o : Circuit.op) =
+  match (o.gate, o.qubits) with
+  | _ when Gate.is_diagonal g && Gate.is_diagonal o.gate -> true
+  | Gate.CX, [ ctrl; tgt ] ->
+      (Gate.is_diagonal g && q = ctrl) || (is_x_family g && q = tgt)
+  | Gate.CCX, [ c1; c2; tgt ] ->
+      (Gate.is_diagonal g && (q = c1 || q = c2)) || (is_x_family g && q = tgt)
+  | Gate.CRX _, [ _; tgt ] | Gate.RXX _, [ _; tgt ] -> is_x_family g && q = tgt
+  | _ -> false
+
+(* Do two multi-qubit ops commute?  Conservative rules only. *)
+let multi_q_commute (a : Circuit.op) (b : Circuit.op) =
+  if Gate.is_diagonal a.gate && Gate.is_diagonal b.gate then true
+  else
+    match (a.gate, a.qubits, b.gate, b.qubits) with
+    | Gate.CX, [ c1; t1 ], Gate.CX, [ c2; t2 ] ->
+        (* share only controls or only targets *)
+        (c1 = c2 && t1 <> t2 && c1 <> t2 && c2 <> t1)
+        || (t1 = t2 && c1 <> c2 && c1 <> t2 && c2 <> t1)
+    | _ -> false
+
+let commutes (a : Circuit.op) (b : Circuit.op) =
+  match (a.qubits, b.qubits) with
+  | [ q ], _ when List.mem q b.qubits -> one_q_commutes_through a.gate q b
+  | _, [ q ] when List.mem q a.qubits -> one_q_commutes_through b.gate q a
+  | _ -> multi_q_commute a b
+
+(* --- combination ------------------------------------------------------- *)
+
+type combination = Cancel | Merged of Circuit.op | No_match
+
+let symmetric_2q = function
+  | Gate.CZ | Gate.SWAP | Gate.ISWAP | Gate.CPhase _ | Gate.RZZ _ | Gate.RXX _
+  | Gate.RYY _ ->
+      true
+  | _ -> false
+
+let same_qubits (a : Circuit.op) (b : Circuit.op) =
+  a.qubits = b.qubits
+  || (symmetric_2q a.gate && symmetric_2q b.gate
+     && List.sort compare a.qubits = List.sort compare b.qubits)
+
+(* Fuse any two single-qubit gates on the same wire into a U3 (or cancel). *)
+let aggressive_merge_1q (a : Circuit.op) (b : Circuit.op) =
+  let m = Mat.mul (Gate.matrix b.gate) (Gate.matrix a.gate) in
+  if Mat.equal_up_to_phase ~eps:1e-9 m (Mat.identity 2) then Cancel
+  else Merged { a with gate = Decompose.to_u3_gate m }
+
+let try_combine ~aggressive (a : Circuit.op) (b : Circuit.op) =
+  match (a.qubits, b.qubits) with
+  | [ qa ], [ qb ] when qa = qb -> (
+      match (family_of a.gate, family_of b.gate) with
+      | Some (fa, aa), Some (fb, ab) when fa = fb -> (
+          match gate_of_family fa (aa +. ab) with
+          | None -> Cancel
+          | Some g -> Merged { a with gate = g })
+      | _ ->
+          if Gate.equal b.gate (Gate.dagger a.gate) then Cancel
+          else if aggressive then aggressive_merge_1q a b
+          else No_match)
+  | _ when same_qubits a b -> (
+      match (a.gate, b.gate) with
+      | Gate.CPhase x, Gate.CPhase y ->
+          if angle_is (x +. y) 0.0 then Cancel
+          else Merged { a with gate = Gate.CPhase (norm_angle (x +. y)) }
+      | Gate.RZZ x, Gate.RZZ y ->
+          if angle_is (x +. y) 0.0 then Cancel
+          else Merged { a with gate = Gate.RZZ (norm_angle (x +. y)) }
+      | Gate.RXX x, Gate.RXX y ->
+          if angle_is (x +. y) 0.0 then Cancel
+          else Merged { a with gate = Gate.RXX (norm_angle (x +. y)) }
+      | Gate.RYY x, Gate.RYY y ->
+          if angle_is (x +. y) 0.0 then Cancel
+          else Merged { a with gate = Gate.RYY (norm_angle (x +. y)) }
+      | Gate.CRZ x, Gate.CRZ y when a.qubits = b.qubits ->
+          if angle_is (x +. y) 0.0 then Cancel
+          else Merged { a with gate = Gate.CRZ (norm_angle (x +. y)) }
+      | Gate.CRX x, Gate.CRX y when a.qubits = b.qubits ->
+          if angle_is (x +. y) 0.0 then Cancel
+          else Merged { a with gate = Gate.CRX (norm_angle (x +. y)) }
+      | Gate.CRY x, Gate.CRY y when a.qubits = b.qubits ->
+          if angle_is (x +. y) 0.0 then Cancel
+          else Merged { a with gate = Gate.CRY (norm_angle (x +. y)) }
+      | ga, gb
+        when a.qubits = b.qubits
+             && Gate.equal gb (Gate.dagger ga)
+             && Gate.arity ga >= 2 ->
+          Cancel
+      | _ -> No_match)
+  | _ -> No_match
+
+(* --- the optimization sweep -------------------------------------------- *)
+
+let disjoint a b = not (List.exists (fun q -> List.mem q b) a)
+
+(* One sweep: for each live op, walk forward past disjoint or commuting ops
+   looking for a partner to cancel/merge with. *)
+let sweep ~aggressive ops_array alive =
+  let n = Array.length ops_array in
+  let changed = ref false in
+  for i = 0 to n - 1 do
+    if alive.(i) then begin
+      let a = ops_array.(i) in
+      let j = ref (i + 1) in
+      let stop = ref false in
+      while (not !stop) && !j < n do
+        if alive.(!j) then begin
+          let b = ops_array.(!j) in
+          if disjoint a.Circuit.qubits b.Circuit.qubits then incr j
+          else
+            match try_combine ~aggressive a b with
+            | Cancel ->
+                alive.(i) <- false;
+                alive.(!j) <- false;
+                changed := true;
+                stop := true
+            | Merged m ->
+                alive.(i) <- false;
+                ops_array.(!j) <- { m with qubits = b.Circuit.qubits };
+                changed := true;
+                stop := true
+            | No_match -> if commutes a b then incr j else stop := true
+        end
+        else incr j
+      done
+    end
+  done;
+  !changed
+
+(* Drop identity gates and zero rotations outright. *)
+let is_trivial (op : Circuit.op) =
+  match op.gate with
+  | Gate.I -> true
+  | g -> ( match family_of g with Some (_, a) -> angle_is a 0.0 | None -> false)
+
+let optimize ?(aggressive = false) ?(max_sweeps = 50) (c : Circuit.t) =
+  let ops = List.filter (fun op -> not (is_trivial op)) (Circuit.ops c) in
+  let arr = Array.of_list ops in
+  let alive = Array.make (Array.length arr) true in
+  let continue_ = ref true in
+  let sweeps = ref 0 in
+  while !continue_ && !sweeps < max_sweeps do
+    incr sweeps;
+    continue_ := sweep ~aggressive arr alive
+  done;
+  let remaining = ref [] in
+  for i = Array.length arr - 1 downto 0 do
+    if alive.(i) && not (is_trivial arr.(i)) then remaining := arr.(i) :: !remaining
+  done;
+  Circuit.of_ops (Circuit.n_qubits c) !remaining

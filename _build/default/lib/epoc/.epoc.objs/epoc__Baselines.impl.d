@@ -1,0 +1,1 @@
+lib/epoc/baselines.ml: Array Circuit Config Epoc_circuit Epoc_partition Epoc_pulse Epoc_qoc Esp Gate Hardware Hashtbl List Lower Option Partition Pipeline Schedule Unix

@@ -1,0 +1,1 @@
+lib/epoc/config.ml: Epoc_partition Epoc_qoc Epoc_synthesis

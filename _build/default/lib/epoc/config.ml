@@ -1,0 +1,71 @@
+(* Pipeline configuration.
+
+   [qoc_mode] selects how pulse durations/fidelities are obtained:
+   - [Grape]: run the real GRAPE duration search per distinct unitary
+     (cached in the pulse library).  This is the reference mode; wall-clock
+     cost grows quickly with block width.
+   - [Estimate]: use the calibrated analytic latency model.  Used for very
+     wide sweeps; each experiment records which mode produced it. *)
+
+type qoc_mode = Grape | Estimate
+
+type t = {
+  use_zx : bool; (* graph-based depth optimization stage *)
+  use_synthesis : bool; (* VUG-based synthesis of partition blocks *)
+  regroup : bool; (* regroup VUGs before QOC (the paper's key step) *)
+  partition : Epoc_partition.Partition.config;
+  regroup_partition : Epoc_partition.Partition.config;
+  (* additional regroup widths to explore; the schedule with the lowest
+     latency wins (the paper's "continuously optimizing the circuit
+     through equivalent representations") *)
+  regroup_widths : int list;
+  (* commutation-aware gate reordering before partitioning/scheduling
+     (part of EPOC's graph-stage commutation analysis; baselines disable) *)
+  commutation_reorder : bool;
+  synthesis : Epoc_synthesis.Qsearch.options;
+  qoc_mode : qoc_mode;
+  latency : Epoc_qoc.Latency.options;
+  match_global_phase : bool; (* EPOC's phase-aware pulse library matching *)
+  dt : float;
+  t_coherence : float;
+}
+
+let default =
+  {
+    use_zx = true;
+    use_synthesis = true;
+    regroup = true;
+    partition = { Epoc_partition.Partition.qubit_limit = 4; op_limit = 48 };
+    regroup_partition = { Epoc_partition.Partition.qubit_limit = 3; op_limit = 24 };
+    regroup_widths = [ 2; 3; 4 ];
+    commutation_reorder = true;
+    synthesis =
+      {
+        Epoc_synthesis.Qsearch.default_options with
+        Epoc_synthesis.Qsearch.max_cnots = 4;
+        max_expansions = 16;
+        instantiate_options =
+          {
+            Epoc_synthesis.Instantiate.default_options with
+            Epoc_synthesis.Instantiate.max_iterations = 250;
+            restarts = 1;
+          };
+      };
+    qoc_mode = Estimate;
+    latency =
+      {
+        Epoc_qoc.Latency.default_options with
+        Epoc_qoc.Latency.granularity = 4;
+        max_slots = 2048;
+      };
+    match_global_phase = true;
+    dt = 0.5;
+    t_coherence = 100_000.0;
+  }
+
+(* Reference EPOC configuration with real GRAPE pulses. *)
+let grape = { default with qoc_mode = Grape }
+
+(* Setting (1) of the evaluation: QOC directly on the synthesized VUGs,
+   without the regrouping step. *)
+let no_regroup = { default with regroup = false }

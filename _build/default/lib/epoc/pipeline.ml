@@ -1,0 +1,322 @@
+(* The EPOC pipeline (paper Figure 3, right column):
+
+     input circuit
+       -> ZX graph optimization        (Epoc_zx.Zx.optimize)
+       -> greedy partition             (Epoc_partition.Partition)
+       -> per-block VUG synthesis      (Epoc_synthesis.Synthesis)
+       -> regrouping                   (Partition again, on the VUG circuit)
+       -> pulse generation per group   (library lookup, else GRAPE/estimate)
+       -> ASAP schedule on qubit lines (Epoc_pulse.Schedule)
+
+   Soundness: every stage output is unitarily equivalent to its input (ZX
+   verifies or falls back; synthesis verifies or falls back; partitioning
+   preserves per-qubit gate order), so the generated pulse program
+   implements the input circuit by construction. *)
+
+open Epoc_linalg
+open Epoc_circuit
+open Epoc_partition
+open Epoc_synthesis
+open Epoc_qoc
+open Epoc_pulse
+
+let log_src = Logs.Src.create "epoc.pipeline" ~doc:"EPOC pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stage_stats = {
+  input_depth : int;
+  zx_depth : int; (* depth after graph optimization *)
+  zx_used_graph : bool;
+  blocks : int;
+  synthesized_blocks : int; (* blocks where search beat the direct form *)
+  vug_count : int;
+  cx_count : int;
+  pulse_count : int;
+}
+
+type result = {
+  name : string;
+  latency : float; (* ns *)
+  esp : float;
+  compile_time : float; (* s *)
+  schedule : Schedule.t;
+  stats : stage_stats;
+  library_stats : Library.stats;
+  qoc_mode : Config.qoc_mode;
+}
+
+(* Pulse duration + fidelity for one regrouped unitary. *)
+let pulse_for (config : Config.t) (library : Library.t) (hw_block : Hardware.t)
+    ~(vug_circuit : Circuit.t) (u : Mat.t) =
+  match Library.find library u with
+  | Some e -> (e.Library.duration, e.Library.fidelity)
+  | None ->
+      let duration, fidelity =
+        match config.Config.qoc_mode with
+        | Config.Estimate ->
+            let e = Latency.estimate ~unitary:u hw_block vug_circuit in
+            (e.Latency.est_duration, e.Latency.est_fidelity)
+        | Config.Grape -> (
+            let guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
+            match
+              Latency.find_min_duration ~options:config.Config.latency
+                ~initial_guess:guess hw_block u
+            with
+            | Some s -> (s.Latency.duration, s.Latency.fidelity)
+            | None ->
+                (* duration search exhausted: fall back to the estimate so
+                   the pipeline still emits a (pessimistic) pulse *)
+                let e = Latency.estimate ~unitary:u hw_block vug_circuit in
+                Log.warn (fun m ->
+                    m "GRAPE duration search failed on a %d-qubit block"
+                      hw_block.Hardware.n);
+                (2.0 *. e.Latency.est_duration, 0.99))
+      in
+      Library.add library u ~duration ~fidelity ();
+      (duration, fidelity)
+
+let hardware_for (config : Config.t) k =
+  Hardware.make ~dt:config.Config.dt ~t_coherence:config.Config.t_coherence k
+
+(* Two pulse instructions commute when every pair of their constituent
+   gates sharing a qubit commutes syntactically (conservative). *)
+let instructions_commute ops_a ops_b =
+  List.for_all
+    (fun (a : Circuit.op) ->
+      List.for_all
+        (fun (b : Circuit.op) ->
+          (not (List.exists (fun q -> List.mem q b.Circuit.qubits) a.Circuit.qubits))
+          || Peephole.commutes a b)
+        ops_b)
+    ops_a
+
+(* Greedy commutation-aware list scheduling of pulse instructions:
+   repeatedly emit the ready instruction with the earliest achievable
+   start time.  Ready = all earlier non-commuting qubit-sharing
+   instructions already emitted, so the reordering only swaps commuting
+   or disjoint pulses. *)
+let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let deps = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let (ii, iops) = arr.(i) and (ji, jops) = arr.(j) in
+      let shares =
+        List.exists (fun q -> List.mem q ji.Schedule.qubits) ii.Schedule.qubits
+      in
+      if shares && not (instructions_commute iops jops) then deps.(j) <- i :: deps.(j)
+    done
+  done;
+  let emitted = Array.make n false in
+  let finish = Array.make n 0.0 in
+  let line : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let line_time q = Option.value ~default:0.0 (Hashtbl.find_opt line q) in
+  let order = ref [] in
+  for _ = 1 to n do
+    let best = ref (-1) in
+    let best_start = ref infinity in
+    for i = 0 to n - 1 do
+      if (not emitted.(i)) && List.for_all (fun d -> emitted.(d)) deps.(i) then begin
+        let instr, _ = arr.(i) in
+        let dep_ready = List.fold_left (fun acc d -> Float.max acc finish.(d)) 0.0 deps.(i) in
+        let line_ready =
+          List.fold_left (fun acc q -> Float.max acc (line_time q)) 0.0
+            instr.Schedule.qubits
+        in
+        let start = Float.max dep_ready line_ready in
+        if start < !best_start then begin
+          best_start := start;
+          best := i
+        end
+      end
+    done;
+    let i = !best in
+    let instr, _ = arr.(i) in
+    emitted.(i) <- true;
+    let fin = !best_start +. instr.Schedule.duration in
+    finish.(i) <- fin;
+    List.iter (fun q -> Hashtbl.replace line q fin) instr.Schedule.qubits;
+    order := instr :: !order
+  done;
+  List.rev !order
+
+(* Compile one equivalent representation of the input circuit down to a
+   schedule.  [run] calls this for each candidate produced by the graph
+   stage and keeps the best result. *)
+let compile_candidate (config : Config.t) library ~n ~zx_used_graph ~input_depth
+    (optimized : Circuit.t) =
+  (* commutation analysis: slide commuting gates into parallel layers *)
+  let optimized =
+    if config.Config.commutation_reorder then Reorder.commutation_aware optimized
+    else optimized
+  in
+  (* 2. greedy partition *)
+  let blocks = Partition.partition ~config:config.Config.partition optimized in
+  (* 3. VUG synthesis per block *)
+  let synthesized_count = ref 0 in
+  let synth_results =
+    List.map
+      (fun b ->
+        let local = Partition.block_circuit b in
+        let r =
+          if config.Config.use_synthesis then
+            Synthesis.synthesize_block ~options:config.Config.synthesis local
+          else
+            {
+              Synthesis.circuit = Synthesis.vug_form local;
+              source = Synthesis.Fallback;
+              distance = 0.0;
+              expansions = 0;
+            }
+        in
+        if r.Synthesis.source = Synthesis.Synthesized then incr synthesized_count;
+        (b, r))
+      blocks
+  in
+  let vug_circuit =
+    List.fold_left
+      (fun acc (b, r) ->
+        Circuit.append acc
+          (Partition.circuit_on_block_qubits b r.Synthesis.circuit ~n))
+      (Circuit.empty n) synth_results
+  in
+  let vug_circuit =
+    if config.Config.commutation_reorder then Reorder.commutation_aware vug_circuit
+    else vug_circuit
+  in
+  (* 4. regroup (or treat each VUG/CX as its own pulse).  Several regroup
+     widths are explored and the schedule with the lowest latency wins:
+     wider groups pack pulses tighter but occupy more qubit lines. *)
+  let trivial_groups =
+    List.map
+      (fun (op : Circuit.op) ->
+        { Partition.qubits = List.sort compare op.Circuit.qubits; ops = [ op ] })
+      (Circuit.ops vug_circuit)
+  in
+  let group_candidates =
+    if config.Config.regroup then
+      let widths =
+        match config.Config.regroup_widths with
+        | [] -> [ config.Config.regroup_partition.Partition.qubit_limit ]
+        | ws -> ws
+      in
+      (* the trivial per-op grouping is always a candidate, so regrouping
+         can only improve the schedule *)
+      trivial_groups
+      :: List.map
+           (fun w ->
+             Partition.partition
+               ~config:
+                 { config.Config.regroup_partition with Partition.qubit_limit = w }
+               vug_circuit)
+           widths
+    else [ trivial_groups ]
+  in
+  (* 5-6. pulses per group and schedule; diagonal single-qubit groups are
+     virtual-Z frame updates and cost nothing (as on real transmon
+     stacks) *)
+  let schedule_of groups =
+    let items =
+      List.filter_map
+        (fun g ->
+          let local = Partition.block_circuit g in
+          let u = Circuit.unitary local in
+          let k = Circuit.n_qubits local in
+          if k = 1 && Mat.is_diagonal ~eps:1e-9 u then None
+          else
+            let hw = hardware_for config k in
+            let duration, fidelity =
+              pulse_for config library hw ~vug_circuit:local u
+            in
+            Some
+              ( {
+                  Schedule.qubits = g.Partition.qubits;
+                  duration;
+                  fidelity;
+                  label = Fmt.str "g%d" k;
+                },
+                g.Partition.ops ))
+        groups
+    in
+    let ordered =
+      if config.Config.commutation_reorder then list_schedule items
+      else List.map fst items
+    in
+    Schedule.schedule ~n ordered
+  in
+  let schedule, _groups =
+    match
+      List.sort
+        (fun (a, _) (b, _) -> compare (Schedule.latency a) (Schedule.latency b))
+        (List.map (fun g -> (schedule_of g, g)) group_candidates)
+    with
+    | best :: _ -> best
+    | [] -> assert false
+  in
+  ( schedule,
+    {
+      input_depth;
+      zx_depth = Circuit.depth optimized;
+      zx_used_graph;
+      blocks = List.length blocks;
+      synthesized_blocks = !synthesized_count;
+      vug_count = Circuit.single_qubit_count vug_circuit;
+      cx_count = Circuit.count_gate "cx" vug_circuit;
+      pulse_count = Schedule.instruction_count schedule;
+    } )
+
+(* Run the full pipeline on [circuit].  The graph stage yields up to two
+   equivalent representations (ZX-extracted and peephole-optimized); both
+   are compiled and the lower-latency schedule wins — the "continuous
+   optimization through equivalent representations" of the paper. *)
+let run ?(config = Config.default) ?library ~name (circuit : Circuit.t) =
+  let t0 = Unix.gettimeofday () in
+  let n = Circuit.n_qubits circuit in
+  let library =
+    match library with
+    | Some l -> l
+    | None -> Library.create ~match_global_phase:config.Config.match_global_phase ()
+  in
+  (* 1. graph-based depth optimization: collect candidates *)
+  let candidates =
+    if config.Config.use_zx then begin
+      let graph = Epoc_zx.Zx.optimize circuit in
+      let peephole =
+        Epoc_zx.Zx.optimize ~strategy:Epoc_zx.Zx.Peephole_only circuit
+      in
+      if graph.Epoc_zx.Zx.used = Epoc_zx.Zx.Graph then
+        [ (graph.Epoc_zx.Zx.circuit, true); (peephole.Epoc_zx.Zx.circuit, false) ]
+      else [ (peephole.Epoc_zx.Zx.circuit, false) ]
+    end
+    else [ (circuit, false) ]
+  in
+  let input_depth = Circuit.depth circuit in
+  let compiled =
+    List.map
+      (fun (optimized, zx_used_graph) ->
+        compile_candidate config library ~n ~zx_used_graph ~input_depth optimized)
+      candidates
+  in
+  let schedule, stats =
+    match
+      List.sort
+        (fun (a, _) (b, _) -> compare (Schedule.latency a) (Schedule.latency b))
+        compiled
+    with
+    | best :: _ -> best
+    | [] -> assert false
+  in
+  let esp = Esp.of_schedule ~t_coherence:config.Config.t_coherence schedule in
+  let compile_time = Unix.gettimeofday () -. t0 in
+  {
+    name;
+    latency = Schedule.latency schedule;
+    esp;
+    compile_time;
+    schedule;
+    stats;
+    library_stats = Library.stats library;
+    qoc_mode = config.Config.qoc_mode;
+  }

@@ -1,0 +1,1 @@
+lib/linalg/eig.ml: Array Cx Float Mat Stdlib

@@ -1,0 +1,1 @@
+lib/linalg/expm.ml: Cx Float Mat

@@ -1,0 +1,1 @@
+lib/linalg/gf2.ml: Bytes Fmt Fun List

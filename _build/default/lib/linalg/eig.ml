@@ -1,0 +1,116 @@
+(* Hermitian eigendecomposition by the classical complex Jacobi method.
+
+   GRAPE needs exp(-i*dt*H) for Hermitian H every time slot; diagonalizing
+   H gives the exact exponential exp(-i*dt*H) = V diag(e^{-i dt l}) V^dag and
+   is numerically robust for the small (<= 2^4) matrices we optimize over.
+
+   The Jacobi iteration zeroes the largest off-diagonal element with a
+   complex plane rotation until the off-diagonal Frobenius mass is below
+   tolerance.  Convergence is quadratic once the matrix is nearly diagonal. *)
+
+type decomposition = {
+  eigenvalues : float array; (* real, ascending not guaranteed *)
+  eigenvectors : Mat.t; (* columns are eigenvectors: H = V diag(l) V^dag *)
+}
+
+let off_diagonal_norm2 (a : Mat.t) =
+  let n = Mat.rows a in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      if r <> c then acc := !acc +. Cx.norm2 (Mat.get a r c)
+    done
+  done;
+  !acc
+
+(* One complex Jacobi rotation zeroing a.(p,q), updating [a] (the working
+   copy of H) and [v] (accumulated eigenvectors) in place.
+
+   With a_pq = r e^{i alpha}, the phase factor W = diag(1, e^{-i alpha}) on
+   the (p,q) plane makes the 2x2 block real symmetric; a classical Jacobi
+   rotation R then zeroes the off-diagonal.  The combined unitary is
+
+     G = W R = [ c              s           ]
+               [ -s e^{-i a}    c e^{-i a}  ]    (acting on the p,q plane)
+
+   and we apply A <- G^dag A G, V <- V G. *)
+let rotate a v p q =
+  let apq = Mat.get a p q in
+  let napq = Cx.norm apq in
+  if napq > 0.0 then begin
+    let app = Cx.re (Mat.get a p p) and aqq = Cx.re (Mat.get a q q) in
+    let alpha = Cx.arg apq in
+    let tau = (aqq -. app) /. (2.0 *. napq) in
+    let t =
+      let sgn = if tau >= 0.0 then 1.0 else -1.0 in
+      sgn /. (Float.abs tau +. Stdlib.sqrt (1.0 +. (tau *. tau)))
+    in
+    let c = 1.0 /. Stdlib.sqrt (1.0 +. (t *. t)) in
+    let s = t *. c in
+    let eia = Cx.cis alpha in
+    (* e^{i alpha} *)
+    let eia' = Cx.conj eia in
+    (* e^{-i alpha} *)
+    let gpp = Cx.of_float c
+    and gpq = Cx.of_float s
+    and gqp = Cx.scale (-.s) eia'
+    and gqq = Cx.scale c eia' in
+    let n = Mat.rows a in
+    (* columns: A <- A G *)
+    for r = 0 to n - 1 do
+      let arp = Mat.get a r p and arq = Mat.get a r q in
+      Mat.set a r p (Cx.add (Cx.mul arp gpp) (Cx.mul arq gqp));
+      Mat.set a r q (Cx.add (Cx.mul arp gpq) (Cx.mul arq gqq))
+    done;
+    (* rows: A <- G^dag A *)
+    for cidx = 0 to n - 1 do
+      let apc = Mat.get a p cidx and aqc = Mat.get a q cidx in
+      Mat.set a p cidx (Cx.add (Cx.mul (Cx.conj gpp) apc) (Cx.mul (Cx.conj gqp) aqc));
+      Mat.set a q cidx (Cx.add (Cx.mul (Cx.conj gpq) apc) (Cx.mul (Cx.conj gqq) aqc))
+    done;
+    (* eigenvectors: V <- V G *)
+    for r = 0 to n - 1 do
+      let vrp = Mat.get v r p and vrq = Mat.get v r q in
+      Mat.set v r p (Cx.add (Cx.mul vrp gpp) (Cx.mul vrq gqp));
+      Mat.set v r q (Cx.add (Cx.mul vrp gpq) (Cx.mul vrq gqq))
+    done
+  end
+
+let hermitian ?(eps = 1e-24) ?(max_sweeps = 100) (h : Mat.t) =
+  if not (Mat.is_square h) then invalid_arg "Eig.hermitian: non-square";
+  let n = Mat.rows h in
+  let a = Mat.copy h in
+  let v = Mat.identity n in
+  let sweeps = ref 0 in
+  while off_diagonal_norm2 a > eps && !sweeps < max_sweeps do
+    incr sweeps;
+    (* Cyclic sweep over all off-diagonal pairs. *)
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        if Cx.norm2 (Mat.get a p q) > eps /. float_of_int (n * n) then rotate a v p q
+      done
+    done
+  done;
+  let eigenvalues = Array.init n (fun i -> Cx.re (Mat.get a i i)) in
+  { eigenvalues; eigenvectors = v }
+
+(* Reconstruct f(H) = V diag (f l) V^dag for a scalar function f mapping a
+   real eigenvalue to a complex number. *)
+let apply_function decomposition f =
+  let v = decomposition.eigenvectors in
+  let n = Mat.rows v in
+  let fl = Array.map f decomposition.eigenvalues in
+  (* (V diag(fl) V^dag)_{rc} = sum_k V_{rk} fl_k conj(V_{ck}) *)
+  Mat.init n n (fun r c ->
+      let acc = ref Cx.zero in
+      for k = 0 to n - 1 do
+        acc :=
+          Cx.add !acc
+            (Cx.mul (Cx.mul (Mat.get v r k) fl.(k)) (Cx.conj (Mat.get v c k)))
+      done;
+      !acc)
+
+(* exp(-i * t * H) for Hermitian H. *)
+let expi_hermitian h t =
+  let d = hermitian h in
+  apply_function d (fun l -> Cx.cis (-.t *. l))

@@ -1,0 +1,49 @@
+(* Matrix exponential by scaling-and-squaring with a Taylor core.
+
+   For GRAPE we exponentiate skew-Hermitian matrices -i*dt*H whose norm is
+   small (dt ~ ns, |H| ~ rad/ns), so after scaling by 2^s the Taylor series
+   truncated at order 12 is accurate to machine precision.  The Hermitian
+   path in [Eig] is the reference implementation used in tests. *)
+
+let taylor_order = 12
+
+(* One-norm (max column sum) used to pick the scaling power. *)
+let one_norm (m : Mat.t) =
+  let best = ref 0.0 in
+  for c = 0 to Mat.cols m - 1 do
+    let acc = ref 0.0 in
+    for r = 0 to Mat.rows m - 1 do
+      acc := !acc +. Cx.norm (Mat.get m r c)
+    done;
+    if !acc > !best then best := !acc
+  done;
+  !best
+
+let expm (a : Mat.t) =
+  if not (Mat.is_square a) then invalid_arg "Expm.expm: non-square";
+  let n = Mat.rows a in
+  let norm = one_norm a in
+  (* Scale so the scaled norm is below 1/2. *)
+  let s =
+    if norm <= 0.5 then 0
+    else int_of_float (Float.ceil (Float.log2 (norm /. 0.5)))
+  in
+  let scaled = Mat.scale_re (1.0 /. Float.pow 2.0 (float_of_int s)) a in
+  (* Taylor: sum_{k} scaled^k / k! with Horner-style accumulation. *)
+  let acc = ref (Mat.identity n) in
+  let term = ref (Mat.identity n) in
+  for k = 1 to taylor_order do
+    term := Mat.scale_re (1.0 /. float_of_int k) (Mat.mul !term scaled);
+    acc := Mat.add !acc !term
+  done;
+  let result = ref !acc in
+  for _ = 1 to s do
+    result := Mat.mul !result !result
+  done;
+  !result
+
+(* exp(-i * t * h) for Hermitian h; fast path used by GRAPE.  Uses the
+   Taylor scaling-and-squaring core on the skew-Hermitian -i*t*h. *)
+let expi_hermitian (h : Mat.t) (t : float) =
+  let a = Mat.map (fun z -> Cx.mul (Cx.make 0.0 (-.t)) z) h in
+  expm a

@@ -1,0 +1,106 @@
+(* Boolean (GF(2)) matrices with Gaussian elimination.
+
+   ZX circuit extraction reduces the frontier biadjacency matrix with row
+   operations over GF(2); each row operation corresponds to a CNOT in the
+   extracted circuit, so elimination must report the operations it applied. *)
+
+type t = { rows : int; cols : int; data : Bytes.t }
+
+let create rows cols = { rows; cols; data = Bytes.make (rows * cols) '\000' }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let get m r c = Bytes.get m.data ((r * m.cols) + c) <> '\000'
+let set m r c v = Bytes.set m.data ((r * m.cols) + c) (if v then '\001' else '\000')
+
+let init rows cols f =
+  let m = create rows cols in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      set m r c (f r c)
+    done
+  done;
+  m
+
+let copy m = { m with data = Bytes.copy m.data }
+
+(* row r0 <- row r0 xor row r1 *)
+let add_row m ~target ~source =
+  for c = 0 to m.cols - 1 do
+    set m target c (get m target c <> get m source c)
+  done
+
+let swap_rows m r0 r1 =
+  if r0 <> r1 then
+    for c = 0 to m.cols - 1 do
+      let t = get m r0 c in
+      set m r0 c (get m r1 c);
+      set m r1 c t
+    done
+
+(* Row operations performed during elimination, in application order. *)
+type row_op = Add of { target : int; source : int } | Swap of int * int
+
+(* Full Gauss-Jordan elimination to reduced row echelon form.  Returns the
+   rank and the list of operations applied (in order).  When
+   [pivot_cols_only] is given, pivots are restricted to those columns. *)
+let gauss ?pivot_cols (m : t) =
+  let ops = ref [] in
+  let record op = ops := op :: !ops in
+  let candidate_cols =
+    match pivot_cols with None -> List.init m.cols Fun.id | Some cs -> cs
+  in
+  let pivot_row = ref 0 in
+  List.iter
+    (fun c ->
+      if !pivot_row < m.rows then begin
+        (* find a row at or below pivot_row with a 1 in column c *)
+        let found = ref (-1) in
+        (try
+           for r = !pivot_row to m.rows - 1 do
+             if get m r c then begin
+               found := r;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then begin
+          if !found <> !pivot_row then begin
+            swap_rows m !found !pivot_row;
+            record (Swap (!found, !pivot_row))
+          end;
+          for r = 0 to m.rows - 1 do
+            if r <> !pivot_row && get m r c then begin
+              add_row m ~target:r ~source:!pivot_row;
+              record (Add { target = r; source = !pivot_row })
+            end
+          done;
+          incr pivot_row
+        end
+      end)
+    candidate_cols;
+  (!pivot_row, List.rev !ops)
+
+let rank m =
+  let work = copy m in
+  let r, _ = gauss work in
+  r
+
+(* Number of 1s in a row; used to pick extractable vertices. *)
+let row_weight m r =
+  let acc = ref 0 in
+  for c = 0 to m.cols - 1 do
+    if get m r c then incr acc
+  done;
+  !acc
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>";
+  for r = 0 to m.rows - 1 do
+    for c = 0 to m.cols - 1 do
+      Fmt.pf ppf "%c" (if get m r c then '1' else '.')
+    done;
+    if r < m.rows - 1 then Fmt.cut ppf ()
+  done;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,199 @@
+(* Dense complex matrices, row-major.
+
+   This is the workhorse of the whole repository: circuit unitaries, ZX
+   verification, synthesis targets and GRAPE propagators are all values of
+   this type.  Dimensions stay small (at most 2^8 x 2^8 in extreme sweeps,
+   usually 2^2..2^4), so a straightforward dense representation with
+   cache-friendly row-major loops is both simple and fast enough. *)
+
+type t = { rows : int; cols : int; data : Complex.t array }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let create rows cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: non-positive dims";
+  { rows; cols; data = Array.make (rows * cols) Cx.zero }
+
+let init rows cols f =
+  if rows <= 0 || cols <= 0 then invalid_arg "Mat.init: non-positive dims";
+  let data = Array.make (rows * cols) Cx.zero in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      data.(r * cols + c) <- f r c
+    done
+  done;
+  { rows; cols; data }
+
+let get m r c = m.data.((r * m.cols) + c)
+let set m r c v = m.data.((r * m.cols) + c) <- v
+
+let copy m = { m with data = Array.copy m.data }
+
+let zeros rows cols = create rows cols
+
+let identity n = init n n (fun r c -> if r = c then Cx.one else Cx.zero)
+
+let of_arrays a =
+  let rows = Array.length a in
+  if rows = 0 then invalid_arg "Mat.of_arrays: empty";
+  let cols = Array.length a.(0) in
+  init rows cols (fun r c -> a.(r).(c))
+
+(* Convenience constructor from (re, im) pairs for literal matrices in
+   tests and gate tables. *)
+let of_complex_lists ll =
+  let a = Array.of_list (List.map Array.of_list ll) in
+  of_arrays a
+
+let dims_equal a b = a.rows = b.rows && a.cols = b.cols
+
+let map f m = { m with data = Array.map f m.data }
+
+let map2 f a b =
+  if not (dims_equal a b) then invalid_arg "Mat.map2: dimension mismatch";
+  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+
+let add a b = map2 Cx.add a b
+let sub a b = map2 Cx.sub a b
+
+let scale s m = map (fun z -> Cx.mul s z) m
+let scale_re s m = map (fun z -> Cx.scale s z) m
+
+let transpose m = init m.cols m.rows (fun r c -> get m c r)
+
+let conj m = map Cx.conj m
+
+(* Conjugate transpose. *)
+let adjoint m = init m.cols m.rows (fun r c -> Cx.conj (get m c r))
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  let out = create a.rows b.cols in
+  let n = a.cols and bc = b.cols in
+  for r = 0 to a.rows - 1 do
+    for k = 0 to n - 1 do
+      let aik = a.data.((r * n) + k) in
+      if aik.Complex.re <> 0.0 || aik.Complex.im <> 0.0 then begin
+        let arow = r * bc and brow = k * bc in
+        for c = 0 to bc - 1 do
+          out.data.(arow + c) <- Cx.add out.data.(arow + c) (Cx.mul aik b.data.(brow + c))
+        done
+      end
+    done
+  done;
+  out
+
+(* Matrix-vector product, vectors as plain arrays. *)
+let mul_vec m v =
+  if m.cols <> Array.length v then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init m.rows (fun r ->
+      let acc = ref Cx.zero in
+      for c = 0 to m.cols - 1 do
+        acc := Cx.add !acc (Cx.mul (get m r c) v.(c))
+      done;
+      !acc)
+
+(* Kronecker (tensor) product; index convention [kron a b] has [a] on the
+   most significant bits, matching the usual |q0 q1 ... > ordering where q0
+   is the leftmost / most significant qubit. *)
+let kron a b =
+  let out = create (a.rows * b.rows) (a.cols * b.cols) in
+  for ar = 0 to a.rows - 1 do
+    for ac = 0 to a.cols - 1 do
+      let s = get a ar ac in
+      for br = 0 to b.rows - 1 do
+        for bc = 0 to b.cols - 1 do
+          set out ((ar * b.rows) + br) ((ac * b.cols) + bc) (Cx.mul s (get b br bc))
+        done
+      done
+    done
+  done;
+  out
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Mat.trace: non-square";
+  let acc = ref Cx.zero in
+  for r = 0 to m.rows - 1 do
+    acc := Cx.add !acc (get m r r)
+  done;
+  !acc
+
+let frobenius_norm m =
+  let acc = ref 0.0 in
+  Array.iter (fun z -> acc := !acc +. Cx.norm2 z) m.data;
+  Stdlib.sqrt !acc
+
+(* Largest absolute entry; a cheap, scale-free closeness measure. *)
+let max_abs m = Array.fold_left (fun acc z -> Float.max acc (Cx.norm z)) 0.0 m.data
+
+let max_abs_diff a b = max_abs (sub a b)
+
+let approx_equal ?(eps = 1e-9) a b = dims_equal a b && max_abs_diff a b < eps
+
+let is_square m = m.rows = m.cols
+
+let is_unitary ?(eps = 1e-9) m =
+  is_square m && approx_equal ~eps (mul (adjoint m) m) (identity m.rows)
+
+let is_hermitian ?(eps = 1e-9) m = is_square m && approx_equal ~eps m (adjoint m)
+
+let is_diagonal ?(eps = 1e-9) m =
+  let ok = ref (is_square m) in
+  for r = 0 to m.rows - 1 do
+    for c = 0 to m.cols - 1 do
+      if r <> c && Cx.norm (get m r c) > eps then ok := false
+    done
+  done;
+  !ok
+
+(* --- global-phase-invariant comparisons ------------------------------- *)
+
+(* Hilbert-Schmidt overlap |tr(A^dag B)| / n, equal to 1 iff A = e^{i phi} B
+   for unitary A, B. *)
+let hs_fidelity a b =
+  if not (dims_equal a b) || not (is_square a) then
+    invalid_arg "Mat.hs_fidelity: need equal square dims";
+  let acc = ref Cx.zero in
+  let n = a.rows in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      acc := Cx.add !acc (Cx.mul (Cx.conj (get a r c)) (get b r c))
+    done
+  done;
+  Cx.norm !acc /. float_of_int n
+
+(* Distance in [0,1]; 0 iff equal up to global phase (for unitaries). *)
+let hs_distance a b = Float.max 0.0 (1.0 -. hs_fidelity a b)
+
+let equal_up_to_phase ?(eps = 1e-7) a b =
+  dims_equal a b && is_square a && hs_distance a b < eps
+
+(* Normalize global phase: rotate so the entry of largest magnitude is real
+   positive.  Used for pulse-library fingerprints. *)
+let canonical_phase m =
+  let best = ref Cx.zero and bestn = ref 0.0 in
+  Array.iter
+    (fun z ->
+      let n = Cx.norm z in
+      if n > !bestn then begin bestn := n; best := z end)
+    m.data;
+  if !bestn < 1e-12 then copy m
+  else
+    let phase = Cx.div (Cx.conj !best) (Cx.of_float !bestn) in
+    map (fun z -> Cx.mul phase z) m
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>";
+  for r = 0 to m.rows - 1 do
+    Fmt.pf ppf "[";
+    for c = 0 to m.cols - 1 do
+      if c > 0 then Fmt.pf ppf ", ";
+      Cx.pp ppf (get m r c)
+    done;
+    Fmt.pf ppf "]";
+    if r < m.rows - 1 then Fmt.cut ppf ()
+  done;
+  Fmt.pf ppf "@]"
+
+let to_string m = Fmt.str "%a" pp m

@@ -1,0 +1,66 @@
+(* Small polynomial utilities: characteristic polynomials via
+   Faddeev-LeVerrier and root finding by the Durand-Kerner iteration.
+   Used to read the Weyl-chamber interaction content out of two-qubit
+   unitaries (all roots lie on the unit circle there, where the iteration
+   is well behaved). *)
+
+(* Characteristic polynomial coefficients of a square matrix, monic order:
+   returns [| c0; c1; ...; c_{n-1} |] with
+   p(z) = z^n + c_{n-1} z^{n-1} + ... + c0. *)
+let characteristic (a : Mat.t) =
+  if not (Mat.is_square a) then invalid_arg "Poly.characteristic: non-square";
+  let n = Mat.rows a in
+  (* Faddeev-LeVerrier: M_1 = A, c_{n-1} = -tr M_1;
+     M_k = A (M_{k-1} + c_{n-k+1} I), c_{n-k} = -tr(M_k)/k *)
+  let coeffs = Array.make n Cx.zero in
+  let m = ref (Mat.copy a) in
+  let c = ref (Cx.scale (-1.0) (Mat.trace !m)) in
+  coeffs.(n - 1) <- !c;
+  for k = 2 to n do
+    let shifted = Mat.add !m (Mat.scale !c (Mat.identity n)) in
+    m := Mat.mul a shifted;
+    c := Cx.scale (-1.0 /. float_of_int k) (Mat.trace !m);
+    coeffs.(n - k) <- !c
+  done;
+  coeffs
+
+(* Evaluate monic polynomial with coefficient array as above. *)
+let eval coeffs z =
+  let n = Array.length coeffs in
+  let acc = ref Cx.one in
+  for k = n - 1 downto 0 do
+    acc := Cx.add (Cx.mul !acc z) coeffs.(k)
+  done;
+  !acc
+
+(* All complex roots of the monic polynomial by Durand-Kerner. *)
+let roots ?(iterations = 200) ?(eps = 1e-12) coeffs =
+  let n = Array.length coeffs in
+  if n = 0 then [||]
+  else begin
+    (* distinct non-real, non-unit-modulus starting points *)
+    let z0 = Cx.make 0.4 0.9 in
+    let zs = Array.init n (fun k ->
+        let rec pow acc i = if i = 0 then acc else pow (Cx.mul acc z0) (i - 1) in
+        pow Cx.one (k + 1))
+    in
+    let converged = ref false in
+    let it = ref 0 in
+    while (not !converged) && !it < iterations do
+      incr it;
+      converged := true;
+      for i = 0 to n - 1 do
+        let num = eval coeffs zs.(i) in
+        let den = ref Cx.one in
+        for j = 0 to n - 1 do
+          if j <> i then den := Cx.mul !den (Cx.sub zs.(i) zs.(j))
+        done;
+        if Cx.norm !den > 1e-300 then begin
+          let delta = Cx.div num !den in
+          if Cx.norm delta > eps then converged := false;
+          zs.(i) <- Cx.sub zs.(i) delta
+        end
+      done
+    done;
+    zs
+  end

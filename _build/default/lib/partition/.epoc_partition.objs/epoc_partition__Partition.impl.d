@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Circuit Epoc_circuit Fmt Fun Gate Hashtbl List

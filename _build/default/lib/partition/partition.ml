@@ -1,0 +1,201 @@
+(* Greedy circuit partitioning (paper Algorithm 1) and the post-synthesis
+   regrouping step.
+
+   A block is a contiguous-in-dependency-order run of gates confined to a
+   bounded qubit set.  The greedy scan assigns each gate to the open block
+   of its qubits when the union stays within the qubit budget, otherwise it
+   closes the involved blocks and opens a fresh one.  Soundness invariant:
+   a gate appended to an earlier block commutes with every later block
+   because later blocks never touch the gate's qubits (their current-block
+   pointers still point at the earlier block).
+
+   The same routine implements both partitioning passes of the paper:
+   the pre-synthesis partition (qubit_limit = the synthesis size, e.g. 3)
+   and the post-synthesis regrouping of VUGs and CNOTs into QOC-sized
+   unitaries. *)
+
+open Epoc_circuit
+
+type block = {
+  qubits : int list; (* sorted global qubit indices *)
+  ops : Circuit.op list; (* program order, global indices *)
+}
+
+let block_qubit_count b = List.length b.qubits
+let block_op_count b = List.length b.ops
+
+(* Local circuit of a block: qubits remapped to [0, k). *)
+let block_circuit b =
+  let table = List.mapi (fun i q -> (q, i)) b.qubits in
+  let f q = List.assoc q table in
+  Circuit.of_ops (List.length b.qubits)
+    (List.map
+       (fun (op : Circuit.op) -> { op with Circuit.qubits = List.map f op.Circuit.qubits })
+       b.ops)
+
+let block_unitary b = Circuit.unitary (block_circuit b)
+
+(* Map a local circuit back onto the block's global qubits. *)
+let circuit_on_block_qubits b (local : Circuit.t) ~n =
+  let table = List.mapi (fun i q -> (i, q)) b.qubits in
+  let f q = List.assoc q table in
+  Circuit.of_ops n
+    (List.map
+       (fun (op : Circuit.op) -> { op with Circuit.qubits = List.map f op.Circuit.qubits })
+       (Circuit.ops local))
+
+type config = {
+  qubit_limit : int; (* max qubits per block (paper: up to 8, default 3) *)
+  op_limit : int; (* max gates per block, bounds unitary computation *)
+}
+
+let default_config = { qubit_limit = 3; op_limit = 64 }
+
+(* mutable open block during the scan; ops carry their global sequence
+   number so merged blocks can restore program order *)
+type open_block = {
+  mutable bq : int list; (* sorted *)
+  mutable seq_ops : (int * Circuit.op) list; (* any order; sorted at the end *)
+  mutable closed : bool;
+  mutable index : int; (* output order *)
+}
+
+let union_sorted a b = List.sort_uniq compare (a @ b)
+
+(* Soundness of the scan:
+   - appending a gate to the open block holding all its qubits is safe:
+     later blocks never touch those qubits (their pointers still name this
+     block), so the gate commutes past them;
+   - merging several holder blocks into the latest of them is safe exactly
+     when every holder is "fully current" (each of its qubits still points
+     at it): then no block created in between touches any of their qubits,
+     so the earlier holders' ops commute forward to the merge position. *)
+let partition ?(config = default_config) (c : Circuit.t) =
+  if config.qubit_limit < 1 then invalid_arg "Partition: qubit_limit < 1";
+  if config.op_limit < 1 then invalid_arg "Partition: op_limit < 1";
+  let all_blocks = ref [] in
+  let counter = ref 0 in
+  let fresh qs seq op =
+    let b = { bq = qs; seq_ops = [ (seq, op) ]; closed = false; index = !counter } in
+    incr counter;
+    all_blocks := b :: !all_blocks;
+    b
+  in
+  let current : (int, open_block) Hashtbl.t = Hashtbl.create 16 in
+  let fully_current b =
+    List.for_all
+      (fun q ->
+        match Hashtbl.find_opt current q with Some b' -> b' == b | None -> false)
+      b.bq
+  in
+  List.iteri
+    (fun seq (op : Circuit.op) ->
+      let qs = List.sort compare op.Circuit.qubits in
+      let holders =
+        List.sort_uniq
+          (fun a b -> compare a.index b.index)
+          (List.filter_map (fun q -> Hashtbl.find_opt current q) qs)
+      in
+      let total_qubits =
+        List.fold_left (fun acc b -> union_sorted acc b.bq) qs holders
+      in
+      let total_ops =
+        1 + List.fold_left (fun acc b -> acc + List.length b.seq_ops) 0 holders
+      in
+      let mergeable =
+        List.for_all (fun b -> (not b.closed) && fully_current b) holders
+        && List.length total_qubits <= config.qubit_limit
+        && total_ops <= config.op_limit
+      in
+      match (holders, mergeable) with
+      | [], _ ->
+          let b = fresh qs seq op in
+          List.iter (fun q -> Hashtbl.replace current q b) qs
+      | hs, true ->
+          (* merge every holder into the latest one *)
+          let target = List.nth hs (List.length hs - 1) in
+          List.iter
+            (fun b ->
+              if b != target then begin
+                target.seq_ops <- b.seq_ops @ target.seq_ops;
+                target.bq <- union_sorted target.bq b.bq;
+                b.seq_ops <- [];
+                b.closed <- true
+              end)
+            hs;
+          target.bq <- union_sorted target.bq qs;
+          target.seq_ops <- (seq, op) :: target.seq_ops;
+          List.iter (fun q -> Hashtbl.replace current q target) target.bq
+      | hs, false ->
+          (* close every involved block and start a new one; a gate wider
+             than the qubit budget simply becomes its own block *)
+          List.iter (fun b -> b.closed <- true) hs;
+          let b = fresh qs seq op in
+          List.iter (fun q -> Hashtbl.replace current q b) qs)
+    (Circuit.ops c);
+  let blocks = List.filter (fun b -> b.seq_ops <> []) (List.rev !all_blocks) in
+  List.map
+    (fun b ->
+      let ops =
+        List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) b.seq_ops)
+      in
+      { qubits = b.bq; ops })
+    blocks
+
+(* The paper's GroupQubits procedure: seed a group with a qubit and its
+   interaction neighbours, capped at the limit.  Exposed for completeness
+   and used in tests; the gate-scan partitioner above subsumes it. *)
+let group_qubits ?(limit = default_config.qubit_limit) (c : Circuit.t) =
+  let remaining = ref (List.init (Circuit.n_qubits c) Fun.id) in
+  let groups = ref [] in
+  while !remaining <> [] do
+    match !remaining with
+    | [] -> ()
+    | q :: rest ->
+        let nbs = List.filter (fun x -> List.mem x rest) (Circuit.neighbors c q) in
+        let take =
+          let rec cut n = function
+            | [] -> []
+            | _ when n = 0 -> []
+            | x :: tl -> x :: cut (n - 1) tl
+          in
+          cut (limit - 1) nbs
+        in
+        let group = List.sort compare (q :: take) in
+        remaining := List.filter (fun x -> not (List.mem x group)) !remaining;
+        groups := group :: !groups
+  done;
+  List.rev !groups
+
+(* Reassemble blocks into a flat circuit; used for validation. *)
+let reassemble ~n blocks =
+  Circuit.of_ops n (List.concat_map (fun b -> b.ops) blocks)
+
+(* Validation: the concatenation of blocks must reproduce the circuit
+   exactly as a gate list (no reordering across shared qubits). *)
+let preserves_order (c : Circuit.t) blocks =
+  (* for each qubit, the subsequence of ops touching it must be identical *)
+  let per_qubit ops q =
+    List.filter (fun (op : Circuit.op) -> List.mem q op.Circuit.qubits) ops
+  in
+  let flat = List.concat_map (fun b -> b.ops) blocks in
+  List.for_all
+    (fun q -> per_qubit (Circuit.ops c) q = per_qubit flat q)
+    (List.init (Circuit.n_qubits c) Fun.id)
+
+(* Turn a partition back into a circuit of opaque grouped unitaries; this
+   is the form handed to QOC. *)
+let to_grouped_circuit ~n blocks =
+  Circuit.of_ops n
+    (List.map
+       (fun b ->
+         {
+           Circuit.gate =
+             Gate.Unitary
+               {
+                 name = Fmt.str "blk%d" (List.length b.qubits);
+                 matrix = block_unitary b;
+               };
+           qubits = b.qubits;
+         })
+       blocks)

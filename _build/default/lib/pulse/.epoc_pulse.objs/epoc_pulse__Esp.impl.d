@@ -1,0 +1,1 @@
+lib/pulse/esp.ml: List Schedule

@@ -1,0 +1,1 @@
+lib/pulse/library.ml: Buffer Cx Digest Epoc_linalg Epoc_qoc Float Hashtbl List Mat Option Printf

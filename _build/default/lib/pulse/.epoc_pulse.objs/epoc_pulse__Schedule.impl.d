@@ -1,0 +1,1 @@
+lib/pulse/schedule.ml: Array Float Fmt List

@@ -1,0 +1,16 @@
+(* Estimated success probability (paper eq. 3, extended with decoherence).
+
+   ESP = prod_i f_i where f_i is the fidelity of pulse i.  Each pulse's
+   fidelity combines the QOC convergence fidelity with a decoherence factor
+   exp(-k_i * T_i / T_coh) for a pulse of duration T_i on k_i qubits: the
+   mechanism behind the paper's Figure 10 (fewer, larger pulses accumulate
+   less error than many fine-grained ones). *)
+
+let pulse_fidelity ~(t_coherence : float) (i : Schedule.instruction) =
+  let k = float_of_int (List.length i.Schedule.qubits) in
+  i.Schedule.fidelity *. exp (-.k *. i.Schedule.duration /. t_coherence)
+
+let of_schedule ~t_coherence (s : Schedule.t) =
+  List.fold_left
+    (fun acc p -> acc *. pulse_fidelity ~t_coherence p.Schedule.instruction)
+    1.0 s.Schedule.placed

@@ -1,0 +1,78 @@
+(* Pulse library: the unitary -> pulse lookup table of AccQOC/PAQOC/EPOC.
+
+   Keys are canonical fingerprints of unitary matrices.  EPOC's refinement
+   over the earlier frameworks is *global-phase-aware* matching: matrices
+   are rotated to a canonical global phase before fingerprinting, so
+   e^{i phi} U hits the same entry as U (the paper's "higher cache hit
+   rate").  Phase-sensitive matching is kept as an option to reproduce the
+   AccQOC/PAQOC behaviour in the ablation benchmark. *)
+
+open Epoc_linalg
+
+type entry = {
+  unitary : Mat.t; (* canonical-phase representative *)
+  duration : float;
+  fidelity : float;
+  pulse : Epoc_qoc.Grape.pulse option;
+}
+
+type t = {
+  match_global_phase : bool;
+  table : (string, entry list) Hashtbl.t; (* bucket per fingerprint *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(match_global_phase = true) () =
+  { match_global_phase; table = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let canonicalize lib u = if lib.match_global_phase then Mat.canonical_phase u else u
+
+(* Fingerprint: dimensions plus entries rounded to 6 decimals.  Buckets
+   resolve rounding collisions by exact comparison. *)
+let fingerprint (u : Mat.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "%dx%d" (Mat.rows u) (Mat.cols u));
+  for r = 0 to Mat.rows u - 1 do
+    for c = 0 to Mat.cols u - 1 do
+      let z = Mat.get u r c in
+      Buffer.add_string b
+        (Printf.sprintf "|%.5f,%.5f" (Float.round (Cx.re z *. 1e5) /. 1e5 +. 0.0)
+           (Float.round (Cx.im z *. 1e5) /. 1e5 +. 0.0))
+    done
+  done;
+  Digest.string (Buffer.contents b)
+
+let matches lib stored probe =
+  if lib.match_global_phase then Mat.equal_up_to_phase ~eps:1e-6 stored probe
+  else Mat.approx_equal ~eps:1e-6 stored probe
+
+let find lib (u : Mat.t) =
+  let cu = canonicalize lib u in
+  let key = fingerprint cu in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt lib.table key) in
+  match List.find_opt (fun e -> matches lib e.unitary cu) bucket with
+  | Some e ->
+      lib.hits <- lib.hits + 1;
+      Some e
+  | None ->
+      lib.misses <- lib.misses + 1;
+      None
+
+let add lib (u : Mat.t) ~duration ~fidelity ?pulse () =
+  let cu = canonicalize lib u in
+  let key = fingerprint cu in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt lib.table key) in
+  Hashtbl.replace lib.table key
+    ({ unitary = cu; duration; fidelity; pulse } :: bucket)
+
+type stats = { hits : int; misses : int; entries : int }
+
+let stats lib =
+  let entries = Hashtbl.fold (fun _ b acc -> acc + List.length b) lib.table 0 in
+  { hits = lib.hits; misses = lib.misses; entries }
+
+let hit_rate lib =
+  let s = stats lib in
+  if s.hits + s.misses = 0 then 0.0
+  else float_of_int s.hits /. float_of_int (s.hits + s.misses)

@@ -1,0 +1,1 @@
+lib/qasm/qasm.ml: Buffer Circuit Epoc_circuit Float Fmt Gate List Printf String

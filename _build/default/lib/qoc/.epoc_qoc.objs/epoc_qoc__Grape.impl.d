@@ -1,0 +1,1 @@
+lib/qoc/grape.ml: Array Buffer Cx Epoc_linalg Expm Float Hardware Mat Printf Random

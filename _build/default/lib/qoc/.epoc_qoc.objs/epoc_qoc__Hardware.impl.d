@@ -1,0 +1,1 @@
+lib/qoc/hardware.ml: Epoc_circuit Epoc_linalg Float Fmt Fun Gate List Mat

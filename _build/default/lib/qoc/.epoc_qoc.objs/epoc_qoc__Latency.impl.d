@@ -1,0 +1,1 @@
+lib/qoc/latency.ml: Array Circuit Cx Epoc_circuit Epoc_linalg Float Gate Grape Hardware List Mat Option Random Weyl

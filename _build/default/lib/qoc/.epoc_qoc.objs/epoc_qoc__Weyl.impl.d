@@ -1,0 +1,1 @@
+lib/qoc/weyl.ml: Array Cx Epoc_linalg Float List Mat Poly

@@ -1,0 +1,1 @@
+lib/synthesis/instantiate.ml: Array Epoc_linalg Float List Mat Random Template

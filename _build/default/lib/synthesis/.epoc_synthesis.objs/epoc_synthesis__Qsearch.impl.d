@@ -1,0 +1,1 @@
+lib/synthesis/qsearch.ml: Epoc_circuit Epoc_linalg Instantiate List Logs Mat Random Template

@@ -1,0 +1,1 @@
+lib/synthesis/synthesis.ml: Circuit Epoc_circuit Epoc_linalg Gate List Lower Mat Peephole Qsearch Random

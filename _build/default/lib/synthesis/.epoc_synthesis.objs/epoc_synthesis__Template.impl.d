@@ -1,0 +1,1 @@
+lib/synthesis/template.ml: Array Circuit Epoc_circuit Gate List

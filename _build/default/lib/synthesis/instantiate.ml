@@ -1,0 +1,104 @@
+(* Numerical instantiation of template parameters.
+
+   Minimizes the global-phase-invariant Hilbert-Schmidt distance
+   1 - |tr(U_target^dag V(p))| / d with Adam on central-difference
+   gradients.  Small parameter counts (< 60) and tiny matrices make finite
+   differences both simple and fast; the BQSKit equivalent uses CERES
+   least squares, which this replaces. *)
+
+open Epoc_linalg
+
+type result = { params : float array; distance : float; iterations : int }
+
+let distance target t params = Mat.hs_distance target (Template.unitary t params)
+
+type options = {
+  max_iterations : int;
+  learning_rate : float;
+  tolerance : float; (* stop when distance below this *)
+  patience : int; (* stop after this many non-improving iterations *)
+  restarts : int; (* random restarts (in addition to the given seed) *)
+}
+
+let default_options =
+  {
+    max_iterations = 400;
+    learning_rate = 0.15;
+    tolerance = 1e-10;
+    patience = 60;
+    restarts = 2;
+  }
+
+let gradient target t params =
+  let h = 1e-6 in
+  let p = Array.copy params in
+  Array.mapi
+    (fun i _ ->
+      let v = params.(i) in
+      p.(i) <- v +. h;
+      let up = distance target t p in
+      p.(i) <- v -. h;
+      let down = distance target t p in
+      p.(i) <- v;
+      (up -. down) /. (2.0 *. h))
+    params
+
+(* One Adam run from a given start point. *)
+let adam ?(options = default_options) target t start =
+  let p = Array.copy start in
+  let np = Array.length p in
+  let m = Array.make np 0.0 and v = Array.make np 0.0 in
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+  let best = ref (Array.copy p) in
+  let best_d = ref (distance target t p) in
+  let since_improvement = ref 0 in
+  let iters = ref 0 in
+  (try
+     for it = 1 to options.max_iterations do
+       iters := it;
+       if !best_d < options.tolerance then raise Exit;
+       if !since_improvement > options.patience then raise Exit;
+       let g = gradient target t p in
+       let lr =
+         (* mild decay keeps late iterations stable near the optimum *)
+         options.learning_rate /. (1.0 +. (0.01 *. float_of_int it))
+       in
+       for i = 0 to np - 1 do
+         m.(i) <- (beta1 *. m.(i)) +. ((1.0 -. beta1) *. g.(i));
+         v.(i) <- (beta2 *. v.(i)) +. ((1.0 -. beta2) *. g.(i) *. g.(i));
+         let mh = m.(i) /. (1.0 -. Float.pow beta1 (float_of_int it)) in
+         let vh = v.(i) /. (1.0 -. Float.pow beta2 (float_of_int it)) in
+         p.(i) <- p.(i) -. (lr *. mh /. (sqrt vh +. eps))
+       done;
+       let d = distance target t p in
+       if d < !best_d then begin
+         best_d := d;
+         best := Array.copy p;
+         since_improvement := 0
+       end
+       else incr since_improvement
+     done
+   with Exit -> ());
+  { params = !best; distance = !best_d; iterations = !iters }
+
+(* Instantiate a template against a target, trying the seed then random
+   restarts; returns the best result found. *)
+let instantiate ?(options = default_options) ?seed ?(rng = Random.State.make [| 7 |])
+    target t =
+  let np = Template.param_count t in
+  let starts =
+    let random () = Array.init np (fun _ -> Random.State.float rng 6.29 -. 3.14) in
+    let seeds = match seed with Some s -> [ s ] | None -> [ random () ] in
+    seeds @ List.init options.restarts (fun _ -> random ())
+  in
+  let rec best_of acc = function
+    | [] -> acc
+    | s :: rest ->
+        if acc.distance < options.tolerance then acc
+        else
+          let r = adam ~options target t s in
+          best_of (if r.distance < acc.distance then r else acc) rest
+  in
+  match starts with
+  | [] -> invalid_arg "Instantiate: no start point"
+  | s :: rest -> best_of (adam ~options target t s) rest

@@ -1,0 +1,75 @@
+(* Synthesis facade used by the EPOC pipeline.
+
+   [vug_form] rewrites any circuit into VUG+CNOT form directly (single
+   qubit runs fused into U3 gates, entangling gates lowered to CX); it is
+   both the fallback when the search does not converge and the baseline the
+   synthesized candidate must beat. *)
+
+open Epoc_linalg
+open Epoc_circuit
+
+type source = Synthesized | Fallback
+
+type block_result = {
+  circuit : Circuit.t; (* VUG + CNOT form, equivalent to the input *)
+  source : source;
+  distance : float; (* instantiation distance (0 for fallback) *)
+  expansions : int;
+}
+
+(* Lower every entangling gate to CX and fuse single-qubit runs. *)
+let vug_form (c : Circuit.t) =
+  let lowered = Lower.to_zx_basis c in
+  let cx_only =
+    Circuit.of_ops (Circuit.n_qubits lowered)
+      (List.concat_map
+         (fun (op : Circuit.op) ->
+           match (op.Circuit.gate, op.Circuit.qubits) with
+           | Gate.CZ, [ a; b ] ->
+               [
+                 { Circuit.gate = Gate.H; qubits = [ b ] };
+                 { Circuit.gate = Gate.CX; qubits = [ a; b ] };
+                 { Circuit.gate = Gate.H; qubits = [ b ] };
+               ]
+           | _ -> [ op ])
+         (Circuit.ops lowered))
+  in
+  Peephole.optimize ~aggressive:true cx_only
+
+let cx_count c = Circuit.count_gate "cx" c
+
+(* Synthesize one partition block (local indices).  The result is always
+   equivalent to the input: the synthesized candidate is only accepted when
+   its instantiation converged below threshold *and* it improves on the
+   direct VUG form (fewer CNOTs, or equal CNOTs and lower depth). *)
+let synthesize_block ?(options = Qsearch.default_options)
+    ?(max_search_qubits = 2) ?(rng = Random.State.make [| 17 |])
+    (block : Circuit.t) =
+  let fallback = vug_form block in
+  let n = Circuit.n_qubits block in
+  if n > max_search_qubits then
+    (* wider targets are priced out of the numerical search by default
+       (generic 3-qubit unitaries need ~14 CNOT layers); the direct VUG
+       form is used instead *)
+    { circuit = fallback; source = Fallback; distance = 0.0; expansions = 0 }
+  else
+    let target = Circuit.unitary block in
+    let outcome = Qsearch.synthesize ~options ~rng target in
+    let better =
+      outcome.Qsearch.converged
+      && (cx_count outcome.Qsearch.circuit < cx_count fallback
+         || (cx_count outcome.Qsearch.circuit = cx_count fallback
+            && Circuit.depth outcome.Qsearch.circuit < Circuit.depth fallback))
+    in
+    if better then
+      {
+        circuit = outcome.Qsearch.circuit;
+        source = Synthesized;
+        distance = outcome.Qsearch.distance;
+        expansions = outcome.Qsearch.expansions;
+      }
+    else { circuit = fallback; source = Fallback; distance = 0.0; expansions = outcome.Qsearch.expansions }
+
+(* Hilbert-Schmidt verification helper for callers and tests. *)
+let verify ~eps (block : Circuit.t) (result : block_result) =
+  Mat.hs_distance (Circuit.unitary block) (Circuit.unitary result.circuit) < eps

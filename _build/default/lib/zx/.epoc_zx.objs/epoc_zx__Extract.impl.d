@@ -1,0 +1,1 @@
+lib/zx/extract.ml: Array Circuit Epoc_circuit Epoc_linalg Fmt Fun Gate Hashtbl List Option Phase Simplify Zgraph

@@ -1,0 +1,1 @@
+lib/zx/simplify.ml: Array List Option Phase Zgraph

@@ -1,0 +1,1 @@
+lib/zx/to_zx.ml: Array Circuit Epoc_circuit Fmt Gate List Lower Phase Zgraph

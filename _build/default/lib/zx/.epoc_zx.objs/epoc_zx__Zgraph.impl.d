@@ -1,0 +1,1 @@
+lib/zx/zgraph.ml: Array Fmt Hashtbl List Phase Printf

@@ -1,0 +1,1 @@
+lib/zx/zx.ml: Array Circuit Epoc_circuit Extract Gate List Logs Peephole Simplify To_zx

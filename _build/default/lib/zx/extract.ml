@@ -1,0 +1,351 @@
+(* Circuit extraction from a graph-like ZX-diagram.
+
+   Implements the frontier-based extraction of Backens et al. ("There and
+   back again") as used by PyZX: walk from the outputs towards the inputs,
+   peeling off RZ phases, CZs (frontier-frontier Hadamard edges) and CNOTs
+   (GF(2) row operations on the frontier biadjacency matrix), advancing the
+   frontier through weight-1 rows.
+
+   The diagram must be graph-like (see [Simplify.is_graph_like]).  The
+   algorithm can fail on diagrams without gflow (which our rewrite strategy
+   never produces, but a defensive [Extraction_failed] is raised rather
+   than returning a wrong circuit; the pipeline falls back to the peephole
+   optimizer in that case). *)
+
+open Epoc_circuit
+open Zgraph
+
+exception Extraction_failed of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Extraction_failed s)) fmt
+
+(* --- normalization ------------------------------------------------------ *)
+
+(* Pad the diagram so that:
+   - every input connects to a dedicated phase-0 spider via a simple edge,
+   - every output connects to a dedicated phase-0 spider via a simple edge,
+   - all spider-spider edges are Hadamard.
+   Bare input-output wires are recorded separately and removed.  Returns
+   the list of bare wires as (out_qubit, in_qubit, hadamard?) triples. *)
+let normalize g =
+  let bare = ref [] in
+  (* bare wires first *)
+  Array.iteri
+    (fun q o ->
+      match neighbors g o with
+      | [ nb ] when is_boundary (vertex g nb) ->
+          let et = Option.get (edge_type g o nb) in
+          bare := (q, (vertex g nb).qubit, et = Had) :: !bare;
+          disconnect g o nb
+      | _ -> ())
+    (outputs g);
+  (* outputs: out --et-- nb  becomes  out --S-- pad --H-- nb when et = S
+     (pad with two implicit hadamards: S = H.H) or
+     out --S?-- ...: when et = Had: out --H-- pad' ... we uniformly insert a
+     pad spider so each output has a private degree-2 neighbour:
+       et = Had:    nb --H-- pad --S-- out
+       et = Simple: nb --H-- pad --H-- out  (then the H towards the output
+                    is resolved by the caller emitting an H gate) *)
+  let out_had = Array.make (n_qubits g) false in
+  Array.iteri
+    (fun q o ->
+      match neighbors g o with
+      | [] -> () (* bare wire already removed *)
+      | [ nb ] ->
+          let et = Option.get (edge_type g o nb) in
+          disconnect g o nb;
+          let pad = add_vertex g Z Phase.zero q in
+          connect g pad nb Had;
+          connect g pad o Simple;
+          (* nb--H--pad--S--out == nb--et--out requires an extra H when the
+             original edge was simple: account for it as a trailing H gate. *)
+          if et = Simple then out_had.(q) <- true
+      | _ -> fail "output %d has several neighbours" q)
+    (outputs g);
+  (* inputs:
+       et = Had:    in --S-- pad --H-- nb
+       et = Simple: in --S-- pad --H-- pad2 --H-- nb *)
+  Array.iteri
+    (fun _q i ->
+      match neighbors g i with
+      | [] -> ()
+      | [ nb ] ->
+          let et = Option.get (edge_type g i nb) in
+          disconnect g i nb;
+          let q = (vertex g i).qubit in
+          let pad = add_vertex g Z Phase.zero q in
+          connect g i pad Simple;
+          if et = Had then connect g pad nb Had
+          else begin
+            let pad2 = add_vertex g Z Phase.zero q in
+            connect g pad pad2 Had;
+            connect g pad2 nb Had
+          end
+      | _ -> fail "input has several neighbours")
+    (inputs g);
+  (List.rev !bare, out_had)
+
+(* --- main loop ----------------------------------------------------------- *)
+
+(* The extraction state: gates are collected in reverse circuit order. *)
+type state = {
+  graph : Zgraph.t;
+  frontier : int array; (* frontier vertex per qubit; -1 when bare wire *)
+  mutable gates : Circuit.op list; (* reverse order *)
+}
+
+let emit st gate qubits = st.gates <- { Circuit.gate; qubits } :: st.gates
+
+(* Extract pending RZ phases on frontier vertices. *)
+let extract_phases st =
+  Array.iteri
+    (fun q v ->
+      if v >= 0 then begin
+        let vx = vertex st.graph v in
+        if not (Phase.is_zero vx.phase) then begin
+          emit st (Gate.RZ (Phase.to_float vx.phase)) [ q ];
+          vx.phase <- Phase.zero
+        end
+      end)
+    st.frontier
+
+(* Extract frontier-frontier Hadamard edges as CZ gates. *)
+let extract_czs st =
+  let fs = Array.to_list (Array.mapi (fun q v -> (q, v)) st.frontier) in
+  List.iter
+    (fun (q1, v1) ->
+      if v1 >= 0 then
+        List.iter
+          (fun (q2, v2) ->
+            if v2 >= 0 && q1 < q2 then
+              match edge_type st.graph v1 v2 with
+              | Some Had ->
+                  disconnect st.graph v1 v2;
+                  emit st Gate.CZ [ q1; q2 ]
+              | Some Simple -> fail "simple edge between frontier vertices"
+              | None -> ())
+          fs)
+    fs
+
+(* Spider (non-boundary) neighbours of the frontier. *)
+let spider_neighbors st =
+  let acc = Hashtbl.create 16 in
+  Array.iter
+    (fun v ->
+      if v >= 0 then
+        List.iter
+          (fun n ->
+            if (not (is_boundary (vertex st.graph n))) && not (Array.exists (( = ) n) st.frontier)
+            then Hashtbl.replace acc n ())
+          (neighbors st.graph v))
+    st.frontier;
+  Hashtbl.fold (fun n () l -> n :: l) acc []
+
+(* A frontier vertex is a clean row-source iff it has no input neighbour:
+   row additions sourced from it only toggle spider-spider H-edges. *)
+let has_input_neighbor st v =
+  List.exists
+    (fun n ->
+      let vn = vertex st.graph n in
+      vn.kind = B_in)
+    (neighbors st.graph v)
+
+(* Perform Gaussian elimination over the frontier/neighbour biadjacency,
+   emitting a CNOT per row addition and mirroring each row addition in the
+   graph (toggling H-edges).  Only rows without input neighbours may be
+   used as sources.  Returns the columns list used. *)
+let eliminate st =
+  let cols = Array.of_list (spider_neighbors st) in
+  let rows =
+    Array.of_list
+      (List.filter (fun q -> st.frontier.(q) >= 0)
+         (List.init (Array.length st.frontier) Fun.id))
+  in
+  let nrows = Array.length rows and ncols = Array.length cols in
+  let m = Epoc_linalg.Gf2.create nrows ncols in
+  Array.iteri
+    (fun ri q ->
+      let v = st.frontier.(q) in
+      Array.iteri
+        (fun ci w -> if connected st.graph v w then Epoc_linalg.Gf2.set m ri ci true)
+        cols)
+    rows;
+  let clean =
+    Array.map (fun q -> not (has_input_neighbor st st.frontier.(q))) rows
+  in
+  (* row_add src dst: M_dst ^= M_src; graph edges of frontier(dst) toggle
+     over src's neighbour columns; emit CNOT. *)
+  let row_add src dst =
+    Epoc_linalg.Gf2.add_row m ~target:dst ~source:src;
+    let v_dst = st.frontier.(rows.(dst)) in
+    Array.iteri
+      (fun ci w ->
+        if Epoc_linalg.Gf2.get m src ci then
+          (* after the xor, dst's connection to w equals the new matrix entry *)
+          let want = Epoc_linalg.Gf2.get m dst ci in
+          let have = connected st.graph v_dst w in
+          if want && not have then connect st.graph v_dst w Had
+          else if (not want) && have then disconnect st.graph v_dst w)
+      cols;
+    (* CNOT with control on the destination row's qubit, target on the
+       source row's qubit (direction calibrated by the extraction tests). *)
+    emit st Gate.CX [ rows.(dst); rows.(src) ]
+  in
+  (* Gauss-Jordan restricted to clean pivot rows. *)
+  let used = Array.make nrows false in
+  for c = 0 to ncols - 1 do
+    (* find a clean unused pivot row with a 1 in column c *)
+    let pivot = ref (-1) in
+    for r = 0 to nrows - 1 do
+      if !pivot < 0 && clean.(r) && (not used.(r)) && Epoc_linalg.Gf2.get m r c then
+        pivot := r
+    done;
+    if !pivot >= 0 then begin
+      used.(!pivot) <- true;
+      for r = 0 to nrows - 1 do
+        if r <> !pivot && Epoc_linalg.Gf2.get m r c then row_add !pivot r
+      done
+    end
+  done;
+  (m, rows, cols)
+
+(* Advance the frontier through every weight-1 row whose single neighbour
+   is a spider.  Returns the number of advances. *)
+let advance st (m, rows, cols) =
+  let advanced = ref 0 in
+  Array.iteri
+    (fun ri q ->
+      let v = st.frontier.(q) in
+      if v >= 0 then begin
+        (* count spider neighbours from the matrix, input neighbours from
+           the graph *)
+        let spider_deg = Epoc_linalg.Gf2.row_weight m ri in
+        let input_nb =
+          List.filter
+            (fun n -> (vertex st.graph n).kind = B_in)
+            (neighbors st.graph v)
+        in
+        if spider_deg = 1 && input_nb = [] then begin
+          (* unique spider neighbour w *)
+          let w = ref (-1) in
+          Array.iteri
+            (fun ci col -> if Epoc_linalg.Gf2.get m ri ci then w := col)
+            cols;
+          let w = !w in
+          (* w must not already be a frontier vertex of another qubit and
+             must still be connected (matrix and graph agree by
+             construction) *)
+          if (not (Array.exists (( = ) w) st.frontier)) && connected st.graph v w
+          then begin
+            (match edge_type st.graph v w with
+            | Some Had -> emit st Gate.H [ q ]
+            | Some Simple -> fail "simple spider-spider edge during advance"
+            | None -> fail "lost edge during advance");
+            remove_vertex st.graph v;
+            st.frontier.(q) <- w;
+            incr advanced;
+            (* keep the matrix usable for the remaining rows of this round:
+               clear the column of w so no other row advances onto it *)
+            Array.iteri
+              (fun ci col ->
+                if col = w then
+                  for r = 0 to Epoc_linalg.Gf2.rows m - 1 do
+                    Epoc_linalg.Gf2.set m r ci false
+                  done)
+              cols
+          end
+        end
+      end)
+    rows;
+  !advanced
+
+(* Final stage: every frontier vertex connects only to an input.  Recover
+   the wire permutation. *)
+let finalize st bare =
+  let n = Array.length st.frontier in
+  let perm = Array.make n (-1) in
+  Array.iteri
+    (fun q v ->
+      if v >= 0 then begin
+        let vx = vertex st.graph v in
+        if not (Phase.is_zero vx.phase) then
+          fail "frontier vertex with residual phase at finalization";
+        match neighbors st.graph v with
+        | [ i ] when (vertex st.graph i).kind = B_in ->
+            (match edge_type st.graph v i with
+            | Some Had -> emit st Gate.H [ q ]
+            | _ -> ());
+            perm.(q) <- (vertex st.graph i).qubit
+        | ns ->
+            fail "frontier vertex %d has %d non-input neighbours at end" v
+              (List.length ns)
+      end)
+    st.frontier;
+  List.iter
+    (fun (out_q, in_q, had) ->
+      if had then emit st Gate.H [ out_q ];
+      perm.(out_q) <- in_q)
+    bare;
+  perm
+
+(* Build the permutation prefix: wire q must carry input perm.(q). *)
+let permutation_ops perm =
+  let n = Array.length perm in
+  let content = Array.init n Fun.id in
+  let ops = ref [] in
+  for q = 0 to n - 1 do
+    if content.(q) <> perm.(q) then begin
+      (* find r > q holding perm.(q) *)
+      let r = ref (-1) in
+      for k = q + 1 to n - 1 do
+        if !r < 0 && content.(k) = perm.(q) then r := k
+      done;
+      if !r < 0 then raise (Extraction_failed "invalid permutation");
+      ops := { Circuit.gate = Gate.SWAP; qubits = [ q; !r ] } :: !ops;
+      let t = content.(q) in
+      content.(q) <- content.(!r);
+      content.(!r) <- t
+    end
+  done;
+  List.rev !ops
+
+let max_rounds = 10_000
+
+let extract g =
+  if not (Simplify.is_graph_like g) then
+    fail "extract: diagram is not graph-like";
+  let bare, out_had = normalize g in
+  let n = n_qubits g in
+  let frontier = Array.make n (-1) in
+  Array.iteri
+    (fun q o ->
+      match neighbors g o with
+      | [ pad ] -> frontier.(q) <- pad
+      | [] -> () (* bare wire *)
+      | _ -> fail "output with several neighbours after normalization")
+    (outputs g);
+  let st = { graph = g; frontier; gates = [] } in
+  (* trailing H gates from simple output edges sit right before the
+     outputs, i.e. last in the circuit: emit them first (reverse order) *)
+  Array.iteri (fun q h -> if h then emit st Gate.H [ q ]) out_had;
+  let rec loop round =
+    if round > max_rounds then fail "extraction did not terminate";
+    extract_phases st;
+    extract_czs st;
+    if spider_neighbors st = [] then ()
+    else begin
+      let mrc = eliminate st in
+      (* CZs may appear between frontier vertices after row additions *)
+      extract_czs st;
+      let advanced = advance st mrc in
+      if advanced = 0 then
+        fail "no extractable vertex (diagram without gflow?)"
+      else loop (round + 1)
+    end
+  in
+  loop 0;
+  let perm = finalize st bare in
+  (* [emit] prepends, so [st.gates] is already in forward circuit order:
+     the first gate emitted (nearest the outputs) sits at the tail. *)
+  let body = st.gates in
+  Circuit.of_ops n (permutation_ops perm @ body)

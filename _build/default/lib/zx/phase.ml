@@ -1,0 +1,112 @@
+(* Spider phases as multiples of pi.
+
+   Clifford structure (0, pi, +-pi/2) must be detected *exactly* for local
+   complementation and pivoting to be sound, so phases arising from
+   Clifford+T circuits are kept as reduced rationals num/den (meaning
+   num*pi/den).  Arbitrary rotation angles that do not snap to a small
+   rational survive as floats; they are never eligible for Clifford
+   rewrites, which is conservative and safe. *)
+
+type t =
+  | Rat of int * int (* num * pi / den; den > 0, gcd(|num|,den)=1, 0 <= num < 2*den *)
+  | Irr of float (* radians, in [0, 2*pi) *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let two_pi = 2.0 *. Float.pi
+
+let norm_float x =
+  let r = Float.rem x two_pi in
+  if r < 0.0 then r +. two_pi else r
+
+let rat num den =
+  if den <= 0 then invalid_arg "Phase.rat: non-positive denominator";
+  let g = gcd num den in
+  let num = num / g and den = den / g in
+  let m = num mod (2 * den) in
+  let m = if m < 0 then m + (2 * den) else m in
+  Rat (m, den)
+
+let zero = rat 0 1
+let pi = rat 1 1
+let half_pi = rat 1 2
+let neg_half_pi = rat 3 2
+let quarter_pi = rat 1 4
+
+(* Snap floats that are close to small multiples of pi; QASM sources write
+   pi/4 etc. as decimal literals, and ZX needs them recognized as Clifford. *)
+let max_snap_denominator = 64
+
+let of_float x =
+  let x = norm_float x in
+  let ratio = x /. Float.pi in
+  let rec try_den den =
+    if den > max_snap_denominator then Irr x
+    else
+      let num = Float.round (ratio *. float_of_int den) in
+      if Float.abs ((ratio *. float_of_int den) -. num) < 1e-9 *. float_of_int den
+      then rat (int_of_float num) den
+      else try_den (den * 2)
+  in
+  (* denominators 1,2,4,...,64 cover the gate sets in use; other rationals
+     (e.g. pi/3 in QFT-style circuits) are caught by a linear scan *)
+  let pow2 = try_den 1 in
+  match pow2 with
+  | Rat _ -> pow2
+  | Irr _ ->
+      let rec scan den =
+        if den > max_snap_denominator then Irr x
+        else
+          let num = Float.round (ratio *. float_of_int den) in
+          if
+            Float.abs ((ratio *. float_of_int den) -. num)
+            < 1e-9 *. float_of_int den
+          then rat (int_of_float num) den
+          else scan (den + 1)
+      in
+      scan 3
+
+let to_float = function
+  | Rat (n, d) -> float_of_int n *. Float.pi /. float_of_int d
+  | Irr x -> x
+
+let add a b =
+  match (a, b) with
+  | Rat (n1, d1), Rat (n2, d2) -> rat ((n1 * d2) + (n2 * d1)) (d1 * d2)
+  | _ -> Irr (norm_float (to_float a +. to_float b))
+
+let neg = function Rat (n, d) -> rat (-n) d | Irr x -> Irr (norm_float (-.x))
+
+let sub a b = add a (neg b)
+
+let is_zero = function Rat (0, _) -> true | Rat _ -> false | Irr x -> Float.abs x < 1e-12
+
+(* Phase in {0, pi}: the spider is a Pauli spider. *)
+let is_pauli = function
+  | Rat (0, _) -> true
+  | Rat (1, 1) -> true
+  | Rat _ -> false
+  | Irr _ -> false
+
+(* Phase in {pi/2, 3pi/2}: proper Clifford, eligible for local
+   complementation. *)
+let is_proper_clifford = function
+  | Rat (1, 2) | Rat (3, 2) -> true
+  | _ -> false
+
+let is_clifford p = is_pauli p || is_proper_clifford p
+
+let equal a b =
+  match (a, b) with
+  | Rat (n1, d1), Rat (n2, d2) -> n1 = n2 && d1 = d2
+  | _ -> Float.abs (to_float a -. to_float b) < 1e-12
+
+let pp ppf = function
+  | Rat (0, _) -> Fmt.pf ppf "0"
+  | Rat (1, 1) -> Fmt.pf ppf "pi"
+  | Rat (n, 1) -> Fmt.pf ppf "%d*pi" n
+  | Rat (1, d) -> Fmt.pf ppf "pi/%d" d
+  | Rat (n, d) -> Fmt.pf ppf "%d*pi/%d" n d
+  | Irr x -> Fmt.pf ppf "%.6g" x
+
+let to_string p = Fmt.str "%a" pp p

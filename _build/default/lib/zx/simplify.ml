@@ -1,0 +1,281 @@
+(* ZX rewrite rules and the simplification strategies built from them.
+
+   All rules operate on (and preserve) the *graph-like* form: every spider
+   is a Z spider, spider-spider edges are Hadamard edges, boundary edges are
+   simple or Hadamard.  [to_graph_like] establishes the form; [fuse_all],
+   [remove_identities], [local_complement_all] and [pivot_all] preserve it.
+   The strategy [interior_clifford_simp] is PyZX's interior Clifford
+   simplification: it removes every interior proper-Clifford spider by local
+   complementation and every interior Pauli pair by pivoting. *)
+
+open Zgraph
+
+(* Combine a new edge (a, b, et) with whatever already connects a and b,
+   resolving parallel edges by the same-color rules:
+   - simple || simple  = simple (the spiders can fuse along either),
+   - had || had        = no edge (Hopf),
+   - simple || had     = the spiders fuse with an extra pi phase.
+   The third case recursively absorbs b into a and is only legal between
+   two Z spiders; it cannot involve boundaries because boundary vertices
+   always have degree one. *)
+let rec smart_connect g a b et =
+  if a = b then (* self-loop: simple vanishes, hadamard adds pi *)
+    (match et with
+    | Simple -> ()
+    | Had ->
+        let v = vertex g a in
+        v.phase <- Phase.add v.phase Phase.pi)
+  else
+    match edge_type g a b with
+    | None -> connect g a b et
+    | Some existing -> (
+        match (existing, et) with
+        | Simple, Simple -> ()
+        | Had, Had -> disconnect g a b
+        | Simple, Had | Had, Simple ->
+            let va = vertex g a and vb = vertex g b in
+            if is_boundary va || is_boundary vb then
+              invalid_arg "Zx.smart_connect: parallel edge at boundary";
+            disconnect g a b;
+            va.phase <- Phase.add va.phase Phase.pi;
+            absorb g a b)
+
+(* Merge spider b into spider a (both Z): phases add, b's edges transfer to
+   a through [smart_connect].  No edge between a and b may remain. *)
+and absorb g a b =
+  let va = vertex g a and vb = vertex g b in
+  va.phase <- Phase.add va.phase vb.phase;
+  let nbs =
+    List.filter_map
+      (fun n -> match edge_type g b n with Some et -> Some (n, et) | None -> None)
+      (neighbors g b)
+  in
+  remove_vertex g b;
+  List.iter (fun (n, et) -> if mem g n then smart_connect g a n et) nbs
+
+(* --- to graph-like ------------------------------------------------------ *)
+
+(* Color change: X spider -> Z spider, toggling all incident edges. *)
+let color_change_all g =
+  List.iter
+    (fun id ->
+      let v = vertex g id in
+      if v.kind = X then begin
+        v.kind <- Z;
+        List.iter
+          (fun n ->
+            match edge_type g id n with
+            | Some Simple -> set_edge_type g id n Had
+            | Some Had -> set_edge_type g id n Simple
+            | None -> ())
+          (neighbors g id)
+      end)
+    (spider_ids g)
+
+(* Fuse all spider-spider simple edges.  Returns true if anything fused. *)
+let fuse_all g =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let candidate =
+      List.find_opt
+        (fun (a, b, et) ->
+          et = Simple
+          && (not (is_boundary (vertex g a)))
+          && not (is_boundary (vertex g b)))
+        (edges g)
+    in
+    match candidate with
+    | Some (a, b, _) ->
+        disconnect g a b;
+        absorb g a b;
+        changed := true;
+        continue_ := true
+    | None -> ()
+  done;
+  !changed
+
+(* Remove phase-0 degree-2 spiders, joining their two neighbours with the
+   XOR of the two edge types. *)
+let remove_identities g =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let candidate =
+      List.find_opt
+        (fun id ->
+          let v = vertex g id in
+          (not (is_boundary v))
+          && Phase.is_zero v.phase
+          && degree g id = 2)
+        (spider_ids g)
+    in
+    match candidate with
+    | Some id -> (
+        match neighbors g id with
+        | [ n1; n2 ] ->
+            let e1 = Option.get (edge_type g id n1) in
+            let e2 = Option.get (edge_type g id n2) in
+            let et = if e1 = e2 then Simple else Had in
+            remove_vertex g id;
+            if is_boundary (vertex g n1) || is_boundary (vertex g n2) then
+              (* boundaries have degree one, so no parallel edge can exist;
+                 this also covers the bare-wire (boundary-boundary) case *)
+              connect g n1 n2 et
+            else smart_connect g n1 n2 et;
+            changed := true;
+            continue_ := true
+        | _ -> ())
+    | None -> ()
+  done;
+  !changed
+
+let to_graph_like g =
+  color_change_all g;
+  ignore (fuse_all g);
+  ignore (remove_identities g);
+  ignore (fuse_all g)
+
+(* A graph is graph-like when only Z spiders remain and spider-spider edges
+   are all Hadamard. *)
+let is_graph_like g =
+  List.for_all (fun id -> (vertex g id).kind = Z) (spider_ids g)
+  && List.for_all
+       (fun (a, b, et) ->
+         is_boundary (vertex g a) || is_boundary (vertex g b) || et = Had)
+       (edges g)
+
+(* --- local complementation ---------------------------------------------- *)
+
+(* Interior spider with phase +-pi/2 and only spider neighbours: remove it,
+   complement the edges among its neighbourhood, subtract its phase from
+   every neighbour. *)
+let local_complement g id =
+  let v = vertex g id in
+  assert (Phase.is_proper_clifford v.phase);
+  let nbs = neighbors g id in
+  let phase = v.phase in
+  remove_vertex g id;
+  let arr = Array.of_list nbs in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      toggle_hadamard g arr.(i) arr.(j)
+    done
+  done;
+  List.iter
+    (fun n ->
+      let vn = vertex g n in
+      vn.phase <- Phase.add vn.phase (Phase.neg phase))
+    nbs
+
+(* All incident edges Hadamard: required before lc/pivot may fire.  At the
+   fuse+identity fixpoint this holds for every interior spider, but the
+   guard keeps the rules locally sound regardless of strategy order. *)
+let all_edges_hadamard g id =
+  List.for_all (fun n -> edge_type g id n = Some Had) (neighbors g id)
+
+let lc_candidate g =
+  List.find_opt
+    (fun id ->
+      let v = vertex g id in
+      Phase.is_proper_clifford v.phase && is_interior g id
+      && all_edges_hadamard g id)
+    (spider_ids g)
+
+(* --- pivoting ------------------------------------------------------------ *)
+
+(* Pivot along an interior Hadamard edge (u, v) where both phases are Pauli
+   (0 or pi).  Neighbour sets: A = N(u)\(N(v) u {v}), B = N(v)\(N(u) u {u}),
+   C = N(u) n N(v).  Complement all A-B, A-C, B-C edges; A gains phase(v),
+   B gains phase(u), C gains phase(u)+phase(v)+pi; u and v are removed. *)
+let pivot g u v =
+  let pu = (vertex g u).phase and pv = (vertex g v).phase in
+  assert (Phase.is_pauli pu && Phase.is_pauli pv);
+  let nu = List.filter (fun x -> x <> v) (neighbors g u) in
+  let nv = List.filter (fun x -> x <> u) (neighbors g v) in
+  let mem_list x l = List.mem x l in
+  let c_set = List.filter (fun x -> mem_list x nv) nu in
+  let a_set = List.filter (fun x -> not (mem_list x c_set)) nu in
+  let b_set = List.filter (fun x -> not (mem_list x c_set)) nv in
+  remove_vertex g u;
+  remove_vertex g v;
+  let toggle_between xs ys =
+    List.iter
+      (fun x -> List.iter (fun y -> if x <> y then toggle_hadamard g x y) ys)
+      xs
+  in
+  toggle_between a_set b_set;
+  toggle_between a_set c_set;
+  toggle_between b_set c_set;
+  let bump l p =
+    List.iter
+      (fun x ->
+        let vx = vertex g x in
+        vx.phase <- Phase.add vx.phase p)
+      l
+  in
+  bump a_set pv;
+  bump b_set pu;
+  bump c_set (Phase.add (Phase.add pu pv) Phase.pi)
+
+let pivot_candidate g =
+  List.find_opt
+    (fun (a, b, et) ->
+      et = Had
+      && (not (is_boundary (vertex g a)))
+      && (not (is_boundary (vertex g b)))
+      && Phase.is_pauli (vertex g a).phase
+      && Phase.is_pauli (vertex g b).phase
+      && is_interior g a && is_interior g b
+      && all_edges_hadamard g a && all_edges_hadamard g b)
+    (edges g)
+
+(* --- strategies ---------------------------------------------------------- *)
+
+(* Run fusion and identity removal to their joint fixpoint.  Identity
+   removal can create simple spider-spider edges (two Hadamard edges
+   cancelling), which the next fusion pass absorbs; only at this fixpoint
+   is the diagram graph-like again. *)
+let fuse_and_identity_fixpoint g =
+  let any = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    let a = fuse_all g in
+    let b = remove_identities g in
+    continue_ := a || b;
+    any := !any || a || b
+  done;
+  !any
+
+(* PyZX-style interior Clifford simplification to fixpoint: restore the
+   graph-like form, then apply one local complementation or pivot at a
+   time, re-normalizing in between.  lc/pivot on a non-graph-like diagram
+   would be unsound, hence the strict interleaving. *)
+let interior_clifford_simp g =
+  to_graph_like g;
+  let continue_ = ref true in
+  while !continue_ do
+    ignore (fuse_and_identity_fixpoint g);
+    match lc_candidate g with
+    | Some id ->
+        local_complement g id
+    | None -> (
+        match pivot_candidate g with
+        | Some (a, b, _) -> pivot g a b
+        | None -> continue_ := false)
+  done
+
+type stats = { spiders : int; edges : int; t_like : int }
+
+let stats g =
+  {
+    spiders = count_spiders g;
+    edges = count_edges g;
+    t_like =
+      List.length
+        (List.filter
+           (fun id -> not (Phase.is_clifford (vertex g id).phase))
+           (spider_ids g));
+  }

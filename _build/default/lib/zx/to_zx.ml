@@ -1,0 +1,82 @@
+(* Circuit -> ZX-diagram translation.
+
+   The circuit is first lowered to the ZX basis {H, Z-rotation family,
+   X-rotation family, CX, CZ} (see [Epoc_circuit.Lower]); then each gate
+   becomes a spider on its wire:
+   - Z-family rotations: Z spider with the rotation phase,
+   - X-family rotations: X spider with the rotation phase,
+   - Y: Z(pi) then X(pi) (Y = iXZ, global phase dropped),
+   - H: toggles the pending edge type on the wire (Hadamard edge),
+   - CX: Z spider on control, X spider on target, simple edge,
+   - CZ: Z spiders on both wires, Hadamard edge. *)
+
+open Epoc_circuit
+
+type wire_state = {
+  mutable last : int; (* dangling vertex at the open end of the wire *)
+  mutable pending : Zgraph.etype; (* edge type for the next connection *)
+}
+
+let add_spider g ws q kind phase =
+  let v = Zgraph.add_vertex g kind phase q in
+  Zgraph.connect g ws.(q).last v ws.(q).pending;
+  ws.(q).pending <- Zgraph.Simple;
+  ws.(q).last <- v;
+  v
+
+let phase_of_gate = function
+  | Gate.Z -> Phase.pi
+  | Gate.S -> Phase.half_pi
+  | Gate.Sdg -> Phase.neg_half_pi
+  | Gate.T -> Phase.quarter_pi
+  | Gate.Tdg -> Phase.rat 7 4
+  | Gate.RZ a | Gate.Phase a -> Phase.of_float a
+  | Gate.X -> Phase.pi
+  | Gate.SX -> Phase.half_pi
+  | Gate.SXdg -> Phase.neg_half_pi
+  | Gate.RX a -> Phase.of_float a
+  | g -> invalid_arg ("To_zx.phase_of_gate: " ^ Gate.name g)
+
+let of_circuit (c : Circuit.t) =
+  let c = Lower.to_zx_basis c in
+  let n = Circuit.n_qubits c in
+  let g = Zgraph.create n in
+  let ws =
+    Array.init n (fun q ->
+        { last = (Zgraph.inputs g).(q); pending = Zgraph.Simple })
+  in
+  List.iter
+    (fun (op : Circuit.op) ->
+      match (op.Circuit.gate, op.Circuit.qubits) with
+      | Gate.I, _ -> ()
+      | Gate.H, [ q ] ->
+          ws.(q).pending <-
+            (match ws.(q).pending with
+            | Zgraph.Simple -> Zgraph.Had
+            | Zgraph.Had -> Zgraph.Simple)
+      | (Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg | Gate.RZ _ | Gate.Phase _),
+        [ q ] ->
+          ignore (add_spider g ws q Zgraph.Z (phase_of_gate op.Circuit.gate))
+      | (Gate.X | Gate.SX | Gate.SXdg | Gate.RX _), [ q ] ->
+          ignore (add_spider g ws q Zgraph.X (phase_of_gate op.Circuit.gate))
+      | Gate.Y, [ q ] ->
+          ignore (add_spider g ws q Zgraph.Z Phase.pi);
+          ignore (add_spider g ws q Zgraph.X Phase.pi)
+      | Gate.CX, [ ctrl; tgt ] ->
+          let zc = add_spider g ws ctrl Zgraph.Z Phase.zero in
+          let xt = add_spider g ws tgt Zgraph.X Phase.zero in
+          Zgraph.connect g zc xt Zgraph.Simple
+      | Gate.CZ, [ a; b ] ->
+          let za = add_spider g ws a Zgraph.Z Phase.zero in
+          let zb = add_spider g ws b Zgraph.Z Phase.zero in
+          Zgraph.connect g za zb Zgraph.Had
+      | g', qs ->
+          invalid_arg
+            (Fmt.str "To_zx: unexpected post-lowering gate %s/%d" (Gate.name g')
+               (List.length qs)))
+    (Circuit.ops c);
+  (* close the wires onto the output boundaries *)
+  Array.iteri
+    (fun q w -> Zgraph.connect g w.last (Zgraph.outputs g).(q) w.pending)
+    ws;
+  g

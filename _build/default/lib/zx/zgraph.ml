@@ -1,0 +1,168 @@
+(* Mutable ZX-diagram graph.
+
+   Vertices are Z/X spiders with a phase, or boundary vertices (one input
+   and one output per qubit).  Edges are Simple wires or Hadamard edges; at
+   most one edge per vertex pair (the rewrite rules resolve parallel edges
+   as they appear). *)
+
+type kind = Z | X | B_in | B_out
+
+type etype = Simple | Had
+
+type vertex = {
+  id : int;
+  mutable kind : kind;
+  mutable phase : Phase.t;
+  mutable qubit : int; (* best-effort row placement; exact for boundaries *)
+}
+
+type t = {
+  n_qubits : int;
+  mutable next_id : int;
+  vertices : (int, vertex) Hashtbl.t;
+  adj : (int, (int, etype) Hashtbl.t) Hashtbl.t;
+  mutable inputs : int array; (* input boundary vertex per qubit *)
+  mutable outputs : int array;
+}
+
+let n_qubits g = g.n_qubits
+
+let fresh g =
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  id
+
+let vertex g id =
+  match Hashtbl.find_opt g.vertices id with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Zgraph: unknown vertex %d" id)
+
+let mem g id = Hashtbl.mem g.vertices id
+
+let add_vertex g kind phase qubit =
+  let id = fresh g in
+  Hashtbl.replace g.vertices id { id; kind; phase; qubit };
+  Hashtbl.replace g.adj id (Hashtbl.create 4);
+  id
+
+let adjacency g id =
+  match Hashtbl.find_opt g.adj id with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "Zgraph: unknown vertex %d" id)
+
+let neighbors g id = Hashtbl.fold (fun n _ acc -> n :: acc) (adjacency g id) []
+
+let degree g id = Hashtbl.length (adjacency g id)
+
+let edge_type g a b = Hashtbl.find_opt (adjacency g a) b
+
+let connected g a b = Hashtbl.mem (adjacency g a) b
+
+(* Raw edge insert; the pair must not already be connected. *)
+let connect g a b et =
+  if a = b then invalid_arg "Zgraph.connect: self-loop";
+  if connected g a b then invalid_arg "Zgraph.connect: already connected";
+  Hashtbl.replace (adjacency g a) b et;
+  Hashtbl.replace (adjacency g b) a et
+
+let disconnect g a b =
+  Hashtbl.remove (adjacency g a) b;
+  Hashtbl.remove (adjacency g b) a
+
+let set_edge_type g a b et =
+  if not (connected g a b) then invalid_arg "Zgraph.set_edge_type: no edge";
+  Hashtbl.replace (adjacency g a) b et;
+  Hashtbl.replace (adjacency g b) a et
+
+let remove_vertex g id =
+  List.iter (fun n -> Hashtbl.remove (adjacency g n) id) (neighbors g id);
+  Hashtbl.remove g.adj id;
+  Hashtbl.remove g.vertices id
+
+(* Toggle the presence of a Hadamard edge between two (Z) spiders; used by
+   local complementation and pivoting, where parallel H-edges cancel.
+   Precondition in those rewrites: any existing edge is a Hadamard edge. *)
+let toggle_hadamard g a b =
+  match edge_type g a b with
+  | None -> connect g a b Had
+  | Some Had -> disconnect g a b
+  | Some Simple ->
+      invalid_arg "Zgraph.toggle_hadamard: simple edge where H-edge expected"
+
+let create n_qubits =
+  if n_qubits <= 0 then invalid_arg "Zgraph.create: need at least one qubit";
+  let g =
+    {
+      n_qubits;
+      next_id = 0;
+      vertices = Hashtbl.create 64;
+      adj = Hashtbl.create 64;
+      inputs = [||];
+      outputs = [||];
+    }
+  in
+  g.inputs <- Array.init n_qubits (fun q -> add_vertex g B_in Phase.zero q);
+  g.outputs <- Array.init n_qubits (fun q -> add_vertex g B_out Phase.zero q);
+  g
+
+let inputs g = g.inputs
+let outputs g = g.outputs
+
+let copy g =
+  let vertices = Hashtbl.create (Hashtbl.length g.vertices) in
+  Hashtbl.iter (fun id v -> Hashtbl.replace vertices id { v with id }) g.vertices;
+  let adj = Hashtbl.create (Hashtbl.length g.adj) in
+  Hashtbl.iter (fun id tbl -> Hashtbl.replace adj id (Hashtbl.copy tbl)) g.adj;
+  {
+    n_qubits = g.n_qubits;
+    next_id = g.next_id;
+    vertices;
+    adj;
+    inputs = Array.copy g.inputs;
+    outputs = Array.copy g.outputs;
+  }
+
+let is_boundary v = match v.kind with B_in | B_out -> true | Z | X -> false
+
+let vertex_ids g = Hashtbl.fold (fun id _ acc -> id :: acc) g.vertices []
+
+let spider_ids g =
+  Hashtbl.fold
+    (fun id v acc -> if is_boundary v then acc else id :: acc)
+    g.vertices []
+
+let count_spiders g = List.length (spider_ids g)
+
+let count_edges g =
+  Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) g.adj 0 / 2
+
+let edges g =
+  Hashtbl.fold
+    (fun a tbl acc ->
+      Hashtbl.fold (fun b et acc -> if a < b then (a, b, et) :: acc else acc) tbl acc)
+    g.adj []
+
+(* Interior spider: no boundary neighbor. *)
+let is_interior g id =
+  List.for_all (fun n -> not (is_boundary (vertex g n))) (neighbors g id)
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>zx graph: %d qubits, %d spiders, %d edges@," g.n_qubits
+    (count_spiders g) (count_edges g);
+  List.iter
+    (fun id ->
+      let v = vertex g id in
+      let k =
+        match v.kind with Z -> "Z" | X -> "X" | B_in -> "in" | B_out -> "out"
+      in
+      Fmt.pf ppf "  %d: %s(%a) q%d ->" id k Phase.pp v.phase v.qubit;
+      List.iter
+        (fun n ->
+          let et = match edge_type g id n with Some Had -> "h" | _ -> "-" in
+          Fmt.pf ppf " %s%d" et n)
+        (List.sort compare (neighbors g id));
+      Fmt.cut ppf ())
+    (List.sort compare (vertex_ids g));
+  Fmt.pf ppf "@]"
+
+let to_string g = Fmt.str "%a" pp g

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Benchmarks Circuit Cx Epoc_benchmarks Epoc_circuit Epoc_linalg Float List Mat Printf

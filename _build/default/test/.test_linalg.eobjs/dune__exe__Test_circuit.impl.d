@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Cx Decompose Epoc_circuit Epoc_linalg Float Gate List Lower Mat Peephole Printf QCheck QCheck_alcotest Random Reorder

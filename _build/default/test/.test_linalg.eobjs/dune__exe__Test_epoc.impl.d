@@ -1,0 +1,1 @@
+test/test_epoc.ml: Alcotest Baselines Circuit Config Epoc Epoc_benchmarks Epoc_circuit Epoc_partition Epoc_pulse Epoc_qoc Epoc_synthesis Epoc_zx Gate List Pipeline Printf Random Reorder String

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cx Eig Epoc_linalg Expm Float Gf2 List Mat Printf QCheck QCheck_alcotest Random

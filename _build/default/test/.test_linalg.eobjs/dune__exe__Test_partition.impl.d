@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Circuit Epoc_circuit Epoc_partition Fun Gate List Partition Printf QCheck QCheck_alcotest Random

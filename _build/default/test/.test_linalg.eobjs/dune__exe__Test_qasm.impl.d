@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Circuit Epoc_benchmarks Epoc_circuit Epoc_qasm Float Gate List Qasm

@@ -1,0 +1,1 @@
+test/test_qoc.ml: Alcotest Array Circuit Cx Epoc_circuit Epoc_linalg Epoc_pulse Epoc_qoc Esp Float Gate Grape Hardware Latency Library List Mat Printf Schedule

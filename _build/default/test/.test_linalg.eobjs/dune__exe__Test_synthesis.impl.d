@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Array Circuit Epoc_circuit Epoc_linalg Epoc_synthesis Gate Instantiate List Mat Printf QCheck QCheck_alcotest Qsearch Random Synthesis Template

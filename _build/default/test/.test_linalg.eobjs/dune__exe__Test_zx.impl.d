@@ -1,0 +1,1 @@
+test/test_zx.ml: Alcotest Circuit Epoc_circuit Epoc_zx Extract Float Gate List Phase Printf QCheck QCheck_alcotest Random Simplify To_zx Zgraph Zx

@@ -1,0 +1,179 @@
+open Epoc_circuit
+open Epoc_linalg
+open Epoc_benchmarks
+
+let test_suite_structure () =
+  let suite = Benchmarks.suite () in
+  Alcotest.(check int) "17 benchmarks" 17 (List.length suite);
+  List.iter
+    (fun (name, c) ->
+      Alcotest.(check bool) (name ^ " nonempty") true (Circuit.gate_count c > 0);
+      Alcotest.(check bool) (name ^ " qubits") true (Circuit.n_qubits c >= 2))
+    suite
+
+let test_table1_subset () =
+  let t1 = Benchmarks.table1 () in
+  Alcotest.(check (list string)) "table1 names"
+    [ "simon"; "bb84"; "bv"; "qaoa"; "decod24"; "dnn"; "ham7" ]
+    (List.map fst t1)
+
+let test_ghz_state () =
+  let c = Benchmarks.ghz 3 in
+  let dim = 8 in
+  let zero = Array.init dim (fun i -> if i = 0 then Cx.one else Cx.zero) in
+  let state = Circuit.apply_to_state c zero in
+  let s = 1.0 /. sqrt 2.0 in
+  Alcotest.(check (float 1e-9)) "amp |000>" s (Cx.norm state.(0));
+  Alcotest.(check (float 1e-9)) "amp |111>" s (Cx.norm state.(7));
+  for i = 1 to 6 do
+    Alcotest.(check (float 1e-9)) "other amps" 0.0 (Cx.norm state.(i))
+  done
+
+let test_wstate () =
+  let c = Benchmarks.wstate 3 in
+  let zero = Array.init 8 (fun i -> if i = 0 then Cx.one else Cx.zero) in
+  let state = Circuit.apply_to_state c zero in
+  (* W state: equal weight on |100>, |010>, |001> *)
+  let w = 1.0 /. sqrt 3.0 in
+  List.iter
+    (fun i ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "amp %d" i)
+        w
+        (Cx.norm state.(i)))
+    [ 1; 2; 4 ];
+  Alcotest.(check (float 1e-6)) "no |000>" 0.0 (Cx.norm state.(0))
+
+let test_bv_recovers_hidden_string () =
+  (* BV: measuring the data qubits yields the hidden string *)
+  let hidden = 0b01101 in
+  let n = 6 in
+  let c = Benchmarks.bv ~hidden n in
+  let dim = 1 lsl n in
+  let zero = Array.init dim (fun i -> if i = 0 then Cx.one else Cx.zero) in
+  let state = Circuit.apply_to_state c zero in
+  (* data qubits q0..q4 (MSB first); q5 is the |-> ancilla *)
+  let expected_data = ref 0 in
+  for q = 0 to n - 2 do
+    if hidden land (1 lsl q) <> 0 then
+      expected_data := !expected_data lor (1 lsl (n - 1 - q))
+  done;
+  (* probability mass must all be on basis states matching the data bits *)
+  let mass = ref 0.0 in
+  for i = 0 to dim - 1 do
+    if i land lnot 1 = !expected_data land lnot 1 || i lxor 1 = !expected_data lor 1
+    then ();
+    if i lsr 1 = !expected_data lsr 1 then mass := !mass +. Cx.norm2 state.(i)
+  done;
+  Alcotest.(check (float 1e-9)) "hidden string recovered" 1.0 !mass
+
+let test_qft_matrix () =
+  (* QFT on 3 qubits equals the DFT matrix (with bit reversal handled by
+     the final swaps) *)
+  let c = Benchmarks.qft 3 in
+  let u = Circuit.unitary c in
+  let n = 8 in
+  let omega = 2.0 *. Float.pi /. float_of_int n in
+  let dft =
+    Mat.init n n (fun r cidx ->
+        Cx.scale (1.0 /. sqrt (float_of_int n)) (Cx.cis (omega *. float_of_int (r * cidx))))
+  in
+  Alcotest.(check bool) "qft = dft" true (Mat.equal_up_to_phase ~eps:1e-7 u dft)
+
+let test_toffoli_fredkin_unitaries () =
+  let t = Benchmarks.toffoli_bench () in
+  Alcotest.(check bool) "toffoli unitary" true
+    (Mat.is_unitary (Circuit.unitary t));
+  let f = Benchmarks.fredkin_bench () in
+  Alcotest.(check bool) "fredkin unitary" true (Mat.is_unitary (Circuit.unitary f))
+
+let test_random_circuit_deterministic () =
+  let a = Benchmarks.random_circuit ~seed:5 ~n:4 ~length:20 in
+  let b = Benchmarks.random_circuit ~seed:5 ~n:4 ~length:20 in
+  Alcotest.(check bool) "same seed same circuit" true
+    (Circuit.ops a = Circuit.ops b);
+  let c = Benchmarks.random_circuit ~seed:6 ~n:4 ~length:20 in
+  Alcotest.(check bool) "different seed differs" true (Circuit.ops a <> Circuit.ops c)
+
+let test_grover_amplifies_marked () =
+  (* one Grover iteration on 3 qubits boosts the marked item's probability
+     well above uniform (1/8) *)
+  let marked = 0b101 in
+  let c = Benchmarks.grover ~marked 3 in
+  let zero = Array.init 8 (fun i -> if i = 0 then Cx.one else Cx.zero) in
+  let state = Circuit.apply_to_state c zero in
+  let p_marked = Cx.norm2 state.(marked) in
+  Alcotest.(check bool)
+    (Printf.sprintf "p(marked)=%.3f > 0.5" p_marked)
+    true (p_marked > 0.5)
+
+let test_qec_corrects_bit_flip () =
+  (* with or without an injected X error, decode recovers the logical
+     qubit: the final state of qubit 0 matches the uncorrupted run *)
+  let final_distribution error_on =
+    let c = Benchmarks.qec_bit_flip ~error_on () in
+    let zero = Array.init 8 (fun i -> if i = 0 then Cx.one else Cx.zero) in
+    let state = Circuit.apply_to_state c zero in
+    (* probability that logical qubit 0 reads 1 *)
+    let p = ref 0.0 in
+    for i = 0 to 7 do
+      if i land 4 <> 0 then p := !p +. Cx.norm2 state.(i)
+    done;
+    !p
+  in
+  let clean = final_distribution (-1) in
+  List.iter
+    (fun e ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "error on %d corrected" e)
+        clean (final_distribution e))
+    [ 0; 1; 2 ]
+
+let test_multiplier_computes_product () =
+  (* a = 01 (value 1), b = 10 (value 2): product bits p = 10 *)
+  let c = Benchmarks.multiplier () in
+  let zero = Array.init 64 (fun i -> if i = 0 then Cx.one else Cx.zero) in
+  let state = Circuit.apply_to_state c zero in
+  (* basis: |a1 a0' ... > layout is q0..q5 MSB-first: a=q0q1, b=q2q3, p=q4q5;
+     after X q0, X q3: a=10 (a value: q0 is a's bit0 -> a = 1), b = 01.
+     Find the single basis state with nonzero amplitude and check p bits. *)
+  let idx = ref (-1) in
+  Array.iteri (fun i z -> if Cx.norm z > 0.5 then idx := i) state;
+  Alcotest.(check bool) "classical state" true (!idx >= 0);
+  let p_bits = !idx land 3 in
+  (* a encoded by X on q0 -> a0=1 (value 1); b encoded by X on q3 -> b1=1
+     (value 2 with LSB-on-q2 convention): partial products give p = a0*b0
+     on q4 ... here only ccx(0,3,5) fires: p5 = 1 *)
+  Alcotest.(check int) "product bits" 1 p_bits
+
+let test_find () =
+  Alcotest.(check bool) "find qaoa" true
+    (Circuit.gate_count (Benchmarks.find "qaoa") > 0);
+  Alcotest.check_raises "unknown raises"
+    (Invalid_argument "Benchmarks.find: unknown benchmark nope") (fun () ->
+      ignore (Benchmarks.find "nope"))
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "suite" `Quick test_suite_structure;
+          Alcotest.test_case "table1" `Quick test_table1_subset;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "random deterministic" `Quick
+            test_random_circuit_deterministic;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "ghz state" `Quick test_ghz_state;
+          Alcotest.test_case "w state" `Quick test_wstate;
+          Alcotest.test_case "bv hidden string" `Quick test_bv_recovers_hidden_string;
+          Alcotest.test_case "qft matrix" `Quick test_qft_matrix;
+          Alcotest.test_case "toffoli/fredkin" `Quick
+            test_toffoli_fredkin_unitaries;
+          Alcotest.test_case "grover amplifies" `Quick test_grover_amplifies_marked;
+          Alcotest.test_case "qec corrects" `Quick test_qec_corrects_bit_flip;
+          Alcotest.test_case "multiplier" `Quick test_multiplier_computes_product;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+open Epoc_linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let cx = Alcotest.testable Cx.pp (Cx.approx_equal ~eps:1e-9)
+let mat = Alcotest.testable Mat.pp (Mat.approx_equal ~eps:1e-9)
+
+(* deterministic pseudo-random complex matrix *)
+let seeded_matrix seed n =
+  let st = Random.State.make [| seed |] in
+  Mat.init n n (fun _ _ ->
+      Cx.make (Random.State.float st 2.0 -. 1.0) (Random.State.float st 2.0 -. 1.0))
+
+let seeded_hermitian seed n =
+  let a = seeded_matrix seed n in
+  Mat.scale_re 0.5 (Mat.add a (Mat.adjoint a))
+
+(* Random unitary via exponentiating a random Hermitian. *)
+let seeded_unitary seed n = Eig.expi_hermitian (seeded_hermitian seed n) 1.0
+
+(* --- Cx ---------------------------------------------------------------- *)
+
+let test_cx_basics () =
+  check_float "norm i" 1.0 (Cx.norm Cx.i);
+  Alcotest.check cx "cis pi = -1" (Cx.of_float (-1.0)) (Cx.cis Float.pi);
+  Alcotest.check cx "i*i = -1" (Cx.of_float (-1.0)) (Cx.mul Cx.i Cx.i);
+  Alcotest.check cx "conj i = -i" (Cx.neg Cx.i) (Cx.conj Cx.i);
+  check_float "norm2" 25.0 (Cx.norm2 (Cx.make 3.0 4.0))
+
+(* --- Mat --------------------------------------------------------------- *)
+
+let test_mat_identity_mul () =
+  let a = seeded_matrix 1 5 in
+  Alcotest.check mat "I*A = A" a (Mat.mul (Mat.identity 5) a);
+  Alcotest.check mat "A*I = A" a (Mat.mul a (Mat.identity 5))
+
+let test_mat_adjoint_involution () =
+  let a = seeded_matrix 2 4 in
+  Alcotest.check mat "(A^dag)^dag = A" a (Mat.adjoint (Mat.adjoint a))
+
+let test_mat_mul_assoc () =
+  let a = seeded_matrix 3 4 and b = seeded_matrix 4 4 and c = seeded_matrix 5 4 in
+  Alcotest.check mat "(AB)C = A(BC)"
+    (Mat.mul (Mat.mul a b) c)
+    (Mat.mul a (Mat.mul b c))
+
+let test_mat_adjoint_antihomomorphism () =
+  let a = seeded_matrix 6 4 and b = seeded_matrix 7 4 in
+  Alcotest.check mat "(AB)^dag = B^dag A^dag"
+    (Mat.adjoint (Mat.mul a b))
+    (Mat.mul (Mat.adjoint b) (Mat.adjoint a))
+
+let test_kron_dims_and_values () =
+  let x = Mat.of_arrays [| [| Cx.zero; Cx.one |]; [| Cx.one; Cx.zero |] |] in
+  let i2 = Mat.identity 2 in
+  let xi = Mat.kron x i2 in
+  Alcotest.(check int) "rows" 4 (Mat.rows xi);
+  (* X on the MSB: |00> -> |10>, so entry (2,0) = 1. *)
+  Alcotest.check cx "X(x)I maps |00> to |10>" Cx.one (Mat.get xi 2 0);
+  Alcotest.check cx "zero entry" Cx.zero (Mat.get xi 1 0)
+
+let test_kron_mixed_product () =
+  let a = seeded_matrix 8 2 and b = seeded_matrix 9 3 in
+  let c = seeded_matrix 10 2 and d = seeded_matrix 11 3 in
+  (* (A (x) B)(C (x) D) = AC (x) BD *)
+  Alcotest.check mat "mixed product"
+    (Mat.kron (Mat.mul a c) (Mat.mul b d))
+    (Mat.mul (Mat.kron a b) (Mat.kron c d))
+
+let test_trace_invariance () =
+  let a = seeded_matrix 12 5 in
+  let u = seeded_unitary 13 5 in
+  let conjugated = Mat.mul (Mat.mul u a) (Mat.adjoint u) in
+  Alcotest.check cx "tr(UAU^dag) = tr A" (Mat.trace a) (Mat.trace conjugated)
+
+let test_hs_fidelity_phase_invariance () =
+  let u = seeded_unitary 14 4 in
+  let v = Mat.scale (Cx.cis 0.7321) u in
+  check_float "same up to phase" 1.0 (Mat.hs_fidelity u v);
+  Alcotest.(check bool) "equal_up_to_phase" true (Mat.equal_up_to_phase u v)
+
+let test_hs_distance_detects_difference () =
+  let u = seeded_unitary 15 4 and v = seeded_unitary 16 4 in
+  Alcotest.(check bool) "distinct unitaries" true (Mat.hs_distance u v > 1e-3)
+
+let test_canonical_phase () =
+  let u = seeded_unitary 17 4 in
+  let v = Mat.scale (Cx.cis 1.234) u in
+  Alcotest.check mat "canonical phases agree" (Mat.canonical_phase u)
+    (Mat.canonical_phase v)
+
+(* --- Eig --------------------------------------------------------------- *)
+
+let test_eig_reconstruction () =
+  let h = seeded_hermitian 20 6 in
+  let d = Eig.hermitian h in
+  let rebuilt = Eig.apply_function d (fun l -> Cx.of_float l) in
+  Alcotest.check mat "V diag(l) V^dag = H" h rebuilt
+
+let test_eig_eigenvector_property () =
+  let h = seeded_hermitian 21 5 in
+  let d = Eig.hermitian h in
+  let v = d.Eig.eigenvectors in
+  (* H v_k = l_k v_k for each column k *)
+  for k = 0 to 4 do
+    let col = Array.init 5 (fun r -> Mat.get v r k) in
+    let hv = Mat.mul_vec h col in
+    Array.iteri
+      (fun r x ->
+        Alcotest.check cx
+          (Printf.sprintf "eigencolumn %d row %d" k r)
+          (Cx.scale d.Eig.eigenvalues.(k) col.(r))
+          x)
+      hv
+  done
+
+let test_expi_unitary () =
+  let h = seeded_hermitian 22 5 in
+  let u = Eig.expi_hermitian h 0.37 in
+  Alcotest.(check bool) "exp(-itH) unitary" true (Mat.is_unitary u)
+
+(* --- Expm -------------------------------------------------------------- *)
+
+let test_expm_zero () =
+  Alcotest.check mat "exp(0) = I" (Mat.identity 4) (Expm.expm (Mat.zeros 4 4))
+
+let test_expm_matches_eig () =
+  let h = seeded_hermitian 23 6 in
+  for i = 0 to 4 do
+    let t = 0.1 +. (0.8 *. float_of_int i) in
+    Alcotest.check mat
+      (Printf.sprintf "expm vs eig at t=%g" t)
+      (Eig.expi_hermitian h t) (Expm.expi_hermitian h t)
+  done
+
+let test_expm_additive_commuting () =
+  let h = seeded_hermitian 24 4 in
+  let u1 = Expm.expi_hermitian h 0.3 and u2 = Expm.expi_hermitian h 0.5 in
+  Alcotest.check mat "exp(-i.3H)exp(-i.5H) = exp(-i.8H)" (Expm.expi_hermitian h 0.8)
+    (Mat.mul u1 u2)
+
+(* --- Gf2 --------------------------------------------------------------- *)
+
+let test_gf2_rank_identity () =
+  let m = Gf2.init 4 4 (fun r c -> r = c) in
+  Alcotest.(check int) "rank I4" 4 (Gf2.rank m)
+
+let test_gf2_rank_dependent_rows () =
+  (* row2 = row0 xor row1 *)
+  let m =
+    Gf2.init 3 4 (fun r c -> match r with 0 -> c < 2 | 1 -> c >= 2 | _ -> true)
+  in
+  Alcotest.(check int) "rank with dependent row" 2 (Gf2.rank m)
+
+let test_gf2_gauss_ops_replay () =
+  (* Replaying the recorded row ops on a fresh copy must reproduce the
+     reduced matrix: this is exactly what circuit extraction relies on. *)
+  let st = Random.State.make [| 99 |] in
+  let m = Gf2.init 5 5 (fun _ _ -> Random.State.bool st) in
+  let reduced = Gf2.copy m in
+  let _, ops = Gf2.gauss reduced in
+  let replay = Gf2.copy m in
+  List.iter
+    (fun op ->
+      match op with
+      | Gf2.Add { target; source } -> Gf2.add_row replay ~target ~source
+      | Gf2.Swap (a, b) -> Gf2.swap_rows replay a b)
+    ops;
+  for r = 0 to 4 do
+    for c = 0 to 4 do
+      Alcotest.(check bool)
+        (Printf.sprintf "entry %d,%d" r c)
+        (Gf2.get reduced r c) (Gf2.get replay r c)
+    done
+  done
+
+(* --- qcheck properties ------------------------------------------------- *)
+
+let gen_hermitian =
+  QCheck.Gen.(
+    int_range 2 6 >>= fun n ->
+    int_bound 1_000_000 >>= fun seed -> return (seeded_hermitian seed n))
+
+let arb_hermitian = QCheck.make ~print:Mat.to_string gen_hermitian
+
+let prop_expm_unitary =
+  QCheck.Test.make ~name:"expm of skew-hermitian is unitary" ~count:40
+    arb_hermitian (fun h -> Mat.is_unitary ~eps:1e-7 (Expm.expi_hermitian h 0.9))
+
+let prop_eig_real_eigenvalues_sum =
+  QCheck.Test.make ~name:"eig: sum of eigenvalues = trace" ~count:40 arb_hermitian
+    (fun h ->
+      let d = Eig.hermitian h in
+      let s = Array.fold_left ( +. ) 0.0 d.Eig.eigenvalues in
+      Float.abs (s -. Cx.re (Mat.trace h)) < 1e-7)
+
+let prop_kron_unitary =
+  QCheck.Test.make ~name:"kron of unitaries is unitary" ~count:20
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let u = seeded_unitary (abs a + 1) 2 and v = seeded_unitary (abs b + 2) 3 in
+      Mat.is_unitary ~eps:1e-7 (Mat.kron u v))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_expm_unitary; prop_eig_real_eigenvalues_sum; prop_kron_unitary ]
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ("cx", [ Alcotest.test_case "basics" `Quick test_cx_basics ]);
+      ( "mat",
+        [
+          Alcotest.test_case "identity mul" `Quick test_mat_identity_mul;
+          Alcotest.test_case "adjoint involution" `Quick test_mat_adjoint_involution;
+          Alcotest.test_case "mul associativity" `Quick test_mat_mul_assoc;
+          Alcotest.test_case "adjoint antihomomorphism" `Quick
+            test_mat_adjoint_antihomomorphism;
+          Alcotest.test_case "kron dims/values" `Quick test_kron_dims_and_values;
+          Alcotest.test_case "kron mixed product" `Quick test_kron_mixed_product;
+          Alcotest.test_case "trace invariance" `Quick test_trace_invariance;
+          Alcotest.test_case "hs fidelity phase invariance" `Quick
+            test_hs_fidelity_phase_invariance;
+          Alcotest.test_case "hs distance detects difference" `Quick
+            test_hs_distance_detects_difference;
+          Alcotest.test_case "canonical phase" `Quick test_canonical_phase;
+        ] );
+      ( "eig",
+        [
+          Alcotest.test_case "reconstruction" `Quick test_eig_reconstruction;
+          Alcotest.test_case "eigenvector property" `Quick
+            test_eig_eigenvector_property;
+          Alcotest.test_case "expi unitary" `Quick test_expi_unitary;
+        ] );
+      ( "expm",
+        [
+          Alcotest.test_case "exp(0)=I" `Quick test_expm_zero;
+          Alcotest.test_case "matches eig" `Quick test_expm_matches_eig;
+          Alcotest.test_case "additivity" `Quick test_expm_additive_commuting;
+        ] );
+      ( "gf2",
+        [
+          Alcotest.test_case "rank identity" `Quick test_gf2_rank_identity;
+          Alcotest.test_case "rank dependent rows" `Quick test_gf2_rank_dependent_rows;
+          Alcotest.test_case "gauss ops replay" `Quick test_gf2_gauss_ops_replay;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,167 @@
+open Epoc_circuit
+open Epoc_partition
+
+let op gate qubits = { Circuit.gate; qubits }
+
+let random_circuit seed n len =
+  let st = Random.State.make [| seed |] in
+  let b = Circuit.Builder.create n in
+  for _ = 1 to len do
+    let q = Random.State.int st n in
+    match Random.State.int st 8 with
+    | 0 -> Circuit.Builder.add b Gate.H [ q ]
+    | 1 -> Circuit.Builder.add b Gate.T [ q ]
+    | 2 -> Circuit.Builder.add b (Gate.RZ (Random.State.float st 6.28)) [ q ]
+    | 3 -> Circuit.Builder.add b (Gate.RY (Random.State.float st 6.28)) [ q ]
+    | 4 | 5 | 6 ->
+        let q2 = (q + 1 + Random.State.int st (n - 1)) mod n in
+        Circuit.Builder.add b Gate.CX [ q; q2 ]
+    | _ ->
+        let q2 = (q + 1 + Random.State.int st (n - 1)) mod n in
+        Circuit.Builder.add b Gate.CZ [ q; q2 ]
+  done;
+  Circuit.Builder.to_circuit b
+
+let cfg q o = { Partition.qubit_limit = q; op_limit = o }
+
+let test_respects_limits () =
+  let c = random_circuit 1 6 80 in
+  let blocks = Partition.partition ~config:(cfg 3 10) c in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "qubit limit" true (Partition.block_qubit_count b <= 3);
+      Alcotest.(check bool) "op limit" true (Partition.block_op_count b <= 10))
+    blocks
+
+let test_covers_all_ops () =
+  let c = random_circuit 2 5 60 in
+  let blocks = Partition.partition c in
+  let total = List.fold_left (fun acc b -> acc + Partition.block_op_count b) 0 blocks in
+  Alcotest.(check int) "all ops in blocks" (Circuit.gate_count c) total
+
+let test_preserves_order () =
+  for seed = 3 to 12 do
+    let c = random_circuit seed 5 50 in
+    let blocks = Partition.partition ~config:(cfg 2 8) c in
+    Alcotest.(check bool)
+      (Printf.sprintf "order preserved seed %d" seed)
+      true
+      (Partition.preserves_order c blocks)
+  done
+
+let test_reassemble_unitary () =
+  for seed = 13 to 20 do
+    let c = random_circuit seed 4 40 in
+    let blocks = Partition.partition ~config:(cfg 2 6) c in
+    let r = Partition.reassemble ~n:4 blocks in
+    Alcotest.(check bool)
+      (Printf.sprintf "reassembled equal seed %d" seed)
+      true
+      (Circuit.equal_unitary ~eps:1e-7 c r)
+  done
+
+let test_grouped_circuit_unitary () =
+  for seed = 21 to 26 do
+    let c = random_circuit seed 4 30 in
+    let blocks = Partition.partition ~config:(cfg 3 10) c in
+    let grouped = Partition.to_grouped_circuit ~n:4 blocks in
+    Alcotest.(check bool)
+      (Printf.sprintf "grouped equal seed %d" seed)
+      true
+      (Circuit.equal_unitary ~eps:1e-6 c grouped)
+  done
+
+let test_block_circuit_local_indices () =
+  let c =
+    Circuit.of_ops 5 [ op Gate.CX [ 3; 4 ]; op Gate.H [ 3 ]; op Gate.T [ 4 ] ]
+  in
+  let blocks = Partition.partition ~config:(cfg 2 10) c in
+  Alcotest.(check int) "one block" 1 (List.length blocks);
+  let b = List.hd blocks in
+  Alcotest.(check (list int)) "block qubits" [ 3; 4 ] b.Partition.qubits;
+  let local = Partition.block_circuit b in
+  Alcotest.(check int) "local qubits" 2 (Circuit.n_qubits local)
+
+let test_wide_gate_own_block () =
+  let c =
+    Circuit.of_ops 4
+      [ op Gate.H [ 0 ]; op Gate.CCX [ 0; 1; 2 ]; op Gate.H [ 2 ] ]
+  in
+  let blocks = Partition.partition ~config:(cfg 2 10) c in
+  (* CCX (3 qubits) exceeds limit 2 -> own block *)
+  Alcotest.(check bool) "has a 3-qubit block" true
+    (List.exists (fun b -> Partition.block_qubit_count b = 3) blocks);
+  Alcotest.(check bool) "order preserved" true (Partition.preserves_order c blocks)
+
+let test_sequential_blocks_on_same_qubits () =
+  (* op_limit forces a split; both blocks stay on the same pair *)
+  let ops = List.init 10 (fun _ -> op Gate.CX [ 0; 1 ]) in
+  let c = Circuit.of_ops 2 ops in
+  let blocks = Partition.partition ~config:(cfg 2 4) c in
+  Alcotest.(check int) "three blocks of <= 4" 3 (List.length blocks);
+  Alcotest.(check bool) "order preserved" true (Partition.preserves_order c blocks)
+
+let test_group_qubits_partition_of_qubits () =
+  let c = random_circuit 30 7 40 in
+  let groups = Partition.group_qubits ~limit:3 c in
+  let flat = List.concat groups in
+  Alcotest.(check (list int)) "each qubit exactly once"
+    (List.init 7 Fun.id)
+    (List.sort compare flat);
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "group size" true (List.length g <= 3))
+    groups
+
+(* --- qcheck ------------------------------------------------------------- *)
+
+let arb =
+  QCheck.make
+    ~print:(fun (s, n, l, ql, ol) ->
+      Printf.sprintf "seed=%d n=%d len=%d ql=%d ol=%d" s n l ql ol)
+    QCheck.Gen.(
+      tup5 (int_bound 100_000) (int_range 2 5) (int_range 0 60) (int_range 1 4)
+        (int_range 1 16))
+
+let prop_partition_sound =
+  QCheck.Test.make ~name:"partition preserves unitary" ~count:50 arb
+    (fun (seed, n, len, ql, ol) ->
+      let c = random_circuit seed n len in
+      let blocks = Partition.partition ~config:(cfg ql ol) c in
+      Partition.preserves_order c blocks
+      && Circuit.equal_unitary ~eps:1e-6 c (Partition.reassemble ~n blocks))
+
+let prop_limits_respected =
+  QCheck.Test.make ~name:"partition respects limits" ~count:50 arb
+    (fun (seed, n, len, ql, ol) ->
+      let c = random_circuit seed n len in
+      let blocks = Partition.partition ~config:(cfg ql ol) c in
+      List.for_all
+        (fun b ->
+          Partition.block_op_count b <= ol
+          && (Partition.block_qubit_count b <= ql
+             || Partition.block_op_count b = 1))
+        blocks)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_partition_sound; prop_limits_respected ]
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "respects limits" `Quick test_respects_limits;
+          Alcotest.test_case "covers all ops" `Quick test_covers_all_ops;
+          Alcotest.test_case "preserves order" `Quick test_preserves_order;
+          Alcotest.test_case "reassemble unitary" `Quick test_reassemble_unitary;
+          Alcotest.test_case "grouped circuit unitary" `Quick
+            test_grouped_circuit_unitary;
+          Alcotest.test_case "local indices" `Quick test_block_circuit_local_indices;
+          Alcotest.test_case "wide gate own block" `Quick test_wide_gate_own_block;
+          Alcotest.test_case "op limit splits" `Quick
+            test_sequential_blocks_on_same_qubits;
+          Alcotest.test_case "group qubits" `Quick test_group_qubits_partition_of_qubits;
+        ] );
+      ("properties", qcheck_cases);
+    ]
