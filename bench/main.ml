@@ -21,8 +21,13 @@
 
 open Epoc
 open Epoc_circuit
+module Pool = Epoc_parallel.Pool
 
 let suite = Epoc_benchmarks.Benchmarks.suite ()
+
+(* one pool for the whole harness: sweep-level fan-out and the pipeline's
+   internal stages share the same domain budget *)
+let pool = Pool.create ()
 
 let line = String.make 78 '-'
 
@@ -42,8 +47,9 @@ let fig5 () =
     "average depth reduction 1.48x (extreme case: VQE 7656 -> 1110)";
   Printf.printf "%-8s %6s %6s %6s %8s  %s\n" "circuit" "qubits" "before" "after"
     "ratio" "method";
-  let ratios =
-    List.map
+  (* the 34 optimizations are independent: fan out, print in order after *)
+  let rows =
+    Pool.map pool
       (fun seed ->
         let n = 4 + (seed mod 7) in
         let len = 20 + (7 * (seed mod 15)) in
@@ -51,13 +57,19 @@ let fig5 () =
         let r = Epoc_zx.Zx.optimize ~objective:Epoc_zx.Zx.Depth c in
         let before = r.Epoc_zx.Zx.input_depth in
         let after = max 1 r.Epoc_zx.Zx.output_depth in
+        (seed, n, before, after, r.Epoc_zx.Zx.used))
+      (List.init 34 (fun i -> i + 1))
+  in
+  let ratios =
+    List.map
+      (fun (seed, n, before, after, used) ->
         let ratio = float_of_int before /. float_of_int after in
         Printf.printf "rand%-4d %6d %6d %6d %8.2f  %s\n" seed n before after ratio
-          (match r.Epoc_zx.Zx.used with
+          (match used with
           | Epoc_zx.Zx.Graph -> "zx-graph"
           | Epoc_zx.Zx.Peephole_only -> "peephole");
         ratio)
-      (List.init 34 (fun i -> i + 1))
+      rows
   in
   (* the paper's extreme case: a deep VQE ansatz *)
   let vqe = Epoc_benchmarks.Benchmarks.vqe ~layers:8 6 in
@@ -72,10 +84,10 @@ let fig5 () =
 (* --- fig8/9/10: regrouping ablation ---------------------------------------- *)
 
 let regroup_rows () =
-  List.map
+  Pool.map pool
     (fun (name, c) ->
-      let with_g = Pipeline.run ~config:Config.default ~name c in
-      let without = Pipeline.run ~config:Config.no_regroup ~name c in
+      let with_g = Pipeline.run ~config:Config.default ~pool ~name c in
+      let without = Pipeline.run ~config:Config.no_regroup ~pool ~name c in
       (name, with_g, without))
     suite
 
@@ -181,11 +193,18 @@ let table1 ?(grape = false) () =
     "paqoc" "epoc" "gate" "paqoc" "epoc" "paqoc" "epoc";
   let cfg = { Config.default with Config.qoc_mode = mode } in
   let vs_paqoc = ref [] and vs_gate = ref [] in
+  (* each benchmark compiles three independent ways; fan the rows out *)
+  let rows =
+    Pool.map pool
+      (fun (name, c) ->
+        let g = Baselines.gate_based ~config:cfg ~name c in
+        let p = Baselines.paqoc_like ~config:cfg ~name c in
+        let e = Pipeline.run ~config:cfg ~pool ~name c in
+        (name, g, p, e))
+      (Epoc_benchmarks.Benchmarks.table1 ())
+  in
   List.iter
-    (fun (name, c) ->
-      let g = Baselines.gate_based ~config:cfg ~name c in
-      let p = Baselines.paqoc_like ~config:cfg ~name c in
-      let e = Pipeline.run ~config:cfg ~name c in
+    (fun (name, g, p, e) ->
       let pg, pp, pe =
         match List.assoc_opt name paper_table1 with
         | Some t -> t
@@ -197,7 +216,7 @@ let table1 ?(grape = false) () =
         "%-9s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f | %7.4f %7.4f\n%!" name
         g.Pipeline.latency p.Pipeline.latency e.Pipeline.latency pg pp pe
         p.Pipeline.esp e.Pipeline.esp)
-    (Epoc_benchmarks.Benchmarks.table1 ());
+    rows;
   Printf.printf
     "\nmeasured EPOC latency reduction: %.2f%% vs PAQOC (paper: 31.74%%), %.2f%% vs gate-based (paper: 76.80%%)\n"
     (mean !vs_paqoc) (mean !vs_gate)
@@ -332,6 +351,79 @@ let micro () =
       | _ -> Printf.printf "%-28s (no estimate)\n" name)
     results
 
+(* --- machine-readable timings --------------------------------------------------------- *)
+
+let json_file = "BENCH_pipeline.json"
+
+(* Compile the table-1 suite and emit per-benchmark compile time, schedule
+   quality and library traffic as JSON, plus a GRAPE throughput
+   microbenchmark — the numbers regressions are judged against. *)
+let bench_json () =
+  header "JSON - machine-readable pipeline timings"
+    (Printf.sprintf "written to %s" json_file);
+  let t0 = Unix.gettimeofday () in
+  let rows =
+    Pool.map pool
+      (fun (name, c) ->
+        let lib = Epoc_pulse.Library.create () in
+        let r = Pipeline.run ~pool ~library:lib ~name c in
+        (name, c, r, Epoc_pulse.Library.stats lib))
+      (Epoc_benchmarks.Benchmarks.table1 ())
+  in
+  (* GRAPE throughput: iterations per second on a 1-qubit 24-slot search *)
+  let hw1 = Epoc_qoc.Hardware.make 1 in
+  let grape_reps = 20 in
+  let g0 = Unix.gettimeofday () in
+  let grape_iters = ref 0 in
+  for _ = 1 to grape_reps do
+    let r =
+      Epoc_qoc.Grape.optimize hw1 ~target:(Gate.matrix Gate.X) ~slots:24
+    in
+    grape_iters := !grape_iters + r.Epoc_qoc.Grape.iterations
+  done;
+  let grape_s = Unix.gettimeofday () -. g0 in
+  let total_s = Unix.gettimeofday () -. t0 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"domains\": %d,\n  \"qoc_mode\": \"estimate\",\n"
+       (Pool.domains pool));
+  Buffer.add_string b "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, c, (r : Pipeline.result), (s : Epoc_pulse.Library.stats)) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"qubits\": %d, \"gates\": %d, \
+            \"compile_s\": %.6f, \"latency_ns\": %.3f, \"esp\": %.6f, \
+            \"pulses\": %d, \"blocks\": %d, \"library\": {\"hits\": %d, \
+            \"misses\": %d, \"entries\": %d}}%s\n"
+           name (Circuit.n_qubits c) (Circuit.gate_count c)
+           r.Pipeline.compile_time r.Pipeline.latency r.Pipeline.esp
+           r.Pipeline.stats.Pipeline.pulse_count r.Pipeline.stats.Pipeline.blocks
+           s.Epoc_pulse.Library.hits s.Epoc_pulse.Library.misses
+           s.Epoc_pulse.Library.entries
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"grape_micro\": {\"slots\": 24, \"runs\": %d, \"iterations\": %d, \
+        \"wall_s\": %.6f, \"iters_per_s\": %.1f},\n"
+       grape_reps !grape_iters grape_s
+       (float_of_int !grape_iters /. grape_s));
+  Buffer.add_string b (Printf.sprintf "  \"total_wall_s\": %.6f\n}\n" total_s);
+  let oc = open_out json_file in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  List.iter
+    (fun (name, _, (r : Pipeline.result), _) ->
+      Printf.printf "%-12s compile %8.4f s   latency %10.1f ns\n" name
+        r.Pipeline.compile_time r.Pipeline.latency)
+    rows;
+  Printf.printf "\nwrote %s (total wall %.3f s, %d domain%s)\n" json_file total_s
+    (Pool.domains pool)
+    (if Pool.domains pool = 1 then "" else "s")
+
 (* --- driver --------------------------------------------------------------------------- *)
 
 let () =
@@ -353,4 +445,5 @@ let () =
   end;
   if want "graperef" then graperef ();
   if want "micro" then micro ();
+  if want "json" then bench_json ();
   Printf.printf "\n%s\nall requested experiments done.\n" line

@@ -131,22 +131,15 @@ let apply_gate_inplace ~n (g : Mat.t) (qubits : int list) (u : Mat.t) =
         done;
         !acc)
   in
-  let m = Mat.cols u in
-  let amps = Array.make gd Cx.zero in
+  let rows = Array.make gd 0 in
+  let scratch = Mat.create gd (Mat.cols u) in
   for base = 0 to dim - 1 do
-    if base land target_mask = 0 then
-      for col = 0 to m - 1 do
-        for i = 0 to gd - 1 do
-          amps.(i) <- Mat.get u (base lor scatter.(i)) col
-        done;
-        for i = 0 to gd - 1 do
-          let acc = ref Cx.zero in
-          for j = 0 to gd - 1 do
-            acc := Cx.add !acc (Cx.mul (Mat.get g i j) amps.(j))
-          done;
-          Mat.set u (base lor scatter.(i)) col !acc
-        done
-      done
+    if base land target_mask = 0 then begin
+      for i = 0 to gd - 1 do
+        rows.(i) <- base lor scatter.(i)
+      done;
+      Mat.mix_rows_inplace u ~rows ~coeff:g ~scratch
+    end
   done
 
 (* Full unitary of the circuit (2^n x 2^n).  Builds by applying each gate to

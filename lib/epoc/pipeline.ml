@@ -11,7 +11,15 @@
    Soundness: every stage output is unitarily equivalent to its input (ZX
    verifies or falls back; synthesis verifies or falls back; partitioning
    preserves per-qubit gate order), so the generated pulse program
-   implements the input circuit by construction. *)
+   implements the input circuit by construction.
+
+   Parallelism: the expensive stages fan out over an [Epoc_parallel.Pool]
+   — per-block synthesis, per-regrouping schedule construction, the
+   numeric half of pulse generation, and (in [run]) the candidate
+   representations.  Every parallel region is either pure (fixed RNG
+   seeds, no shared mutable state) or works on a forked library that is
+   absorbed in a fixed order, and all fan-outs preserve item order, so
+   results are bit-identical for any domain count. *)
 
 open Epoc_linalg
 open Epoc_circuit
@@ -19,6 +27,7 @@ open Epoc_partition
 open Epoc_synthesis
 open Epoc_qoc
 open Epoc_pulse
+open Epoc_parallel
 
 let log_src = Logs.Src.create "epoc.pipeline" ~doc:"EPOC pipeline"
 
@@ -46,33 +55,38 @@ type result = {
   qoc_mode : Config.qoc_mode;
 }
 
-(* Pulse duration + fidelity for one regrouped unitary. *)
+(* Pulse duration + fidelity for one regrouped unitary, without touching
+   the library: the pure, parallelizable half of pulse generation. *)
+let compute_pulse (config : Config.t) (hw_block : Hardware.t)
+    ~(vug_circuit : Circuit.t) (u : Mat.t) =
+  match config.Config.qoc_mode with
+  | Config.Estimate ->
+      let e = Latency.estimate ~unitary:u hw_block vug_circuit in
+      (e.Latency.est_duration, e.Latency.est_fidelity)
+  | Config.Grape -> (
+      let guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
+      match
+        Latency.find_min_duration ~options:config.Config.latency
+          ~initial_guess:guess hw_block u
+      with
+      | Some s -> (s.Latency.duration, s.Latency.fidelity)
+      | None ->
+          (* duration search exhausted: fall back to the estimate so the
+             pipeline still emits a (pessimistic) pulse *)
+          let e = Latency.estimate ~unitary:u hw_block vug_circuit in
+          Log.warn (fun m ->
+              m "GRAPE duration search failed on a %d-qubit block"
+                hw_block.Hardware.n);
+          (2.0 *. e.Latency.est_duration, 0.99))
+
+(* Library-backed resolution of a single unitary, for callers outside the
+   batched pipeline path. *)
 let pulse_for (config : Config.t) (library : Library.t) (hw_block : Hardware.t)
     ~(vug_circuit : Circuit.t) (u : Mat.t) =
   match Library.find library u with
   | Some e -> (e.Library.duration, e.Library.fidelity)
   | None ->
-      let duration, fidelity =
-        match config.Config.qoc_mode with
-        | Config.Estimate ->
-            let e = Latency.estimate ~unitary:u hw_block vug_circuit in
-            (e.Latency.est_duration, e.Latency.est_fidelity)
-        | Config.Grape -> (
-            let guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
-            match
-              Latency.find_min_duration ~options:config.Config.latency
-                ~initial_guess:guess hw_block u
-            with
-            | Some s -> (s.Latency.duration, s.Latency.fidelity)
-            | None ->
-                (* duration search exhausted: fall back to the estimate so
-                   the pipeline still emits a (pessimistic) pulse *)
-                let e = Latency.estimate ~unitary:u hw_block vug_circuit in
-                Log.warn (fun m ->
-                    m "GRAPE duration search failed on a %d-qubit block"
-                      hw_block.Hardware.n);
-                (2.0 *. e.Latency.est_duration, 0.99))
-      in
+      let duration, fidelity = compute_pulse config hw_block ~vug_circuit u in
       Library.add library u ~duration ~fidelity ();
       (duration, fidelity)
 
@@ -142,11 +156,91 @@ let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
   done;
   List.rev !order
 
+(* One pulse to generate: a non-virtual group of the regrouped circuit.
+   Jobs are shared between the grouping that owns them and the flat batch
+   that resolves them, so resolution is recorded in place. *)
+type pulse_job = {
+  ju : Mat.t; (* group unitary *)
+  jk : int; (* group qubit count *)
+  jlocal : Circuit.t; (* group circuit on local qubits *)
+  mutable resolved : (float * float) option; (* (duration, fidelity) *)
+  mutable batch_rep : pulse_job option; (* earlier in-batch equivalent *)
+  mutable computed : (float * float) option; (* phase-2 result, reps only *)
+}
+
+(* Resolve every job against the library in three phases whose library
+   interaction order is independent of the domain count:
+
+   1. sequentially, in job order: probe the library; misses become
+      compute representatives unless an earlier representative already
+      covers an equivalent unitary (then the job aliases it — the
+      sequential pipeline would have hit the entry that representative
+      was about to add);
+   2. in parallel: run the pure pulse computation for each representative;
+   3. sequentially, in job order: representatives add their entry (and
+      count nothing — their miss was counted in phase 1), aliases re-probe
+      and register the hit their sequential counterpart would have had.
+
+   The counter totals and the stored entries are exactly those of a fully
+   sequential run. *)
+let resolve_pulses (config : Config.t) pool library ~hardware jobs =
+  let reps = ref [] in
+  List.iter
+    (fun j ->
+      let cu = Library.canonicalize library j.ju in
+      let key = Library.fingerprint cu in
+      match
+        List.find_opt
+          (fun (key', cu', _) -> key' = key && Library.matches library cu' cu)
+          !reps
+      with
+      | Some (_, _, r) -> j.batch_rep <- Some r
+      | None -> (
+          match Library.find library j.ju with
+          | Some e -> j.resolved <- Some (e.Library.duration, e.Library.fidelity)
+          | None -> reps := (key, cu, j) :: !reps))
+    jobs;
+  let reps = List.rev !reps in
+  (* warm the hardware cache before fanning out: phase 2 only reads it *)
+  List.iter (fun (_, _, j) -> ignore (hardware j.jk)) reps;
+  let computed =
+    Pool.map pool
+      (fun (_, _, j) ->
+        compute_pulse config (hardware j.jk) ~vug_circuit:j.jlocal j.ju)
+      reps
+  in
+  List.iter2 (fun (_, _, j) v -> j.computed <- Some v) reps computed;
+  List.iter
+    (fun j ->
+      if j.resolved = None then
+        match j.batch_rep with
+        | Some r -> (
+            match Library.find library j.ju with
+            | Some e ->
+                j.resolved <- Some (e.Library.duration, e.Library.fidelity)
+            | None -> j.resolved <- r.resolved)
+        | None ->
+            let duration, fidelity = Option.get j.computed in
+            Library.add library j.ju ~duration ~fidelity ();
+            j.resolved <- Some (duration, fidelity))
+    jobs
+
+(* First minimum by schedule latency; ties keep the earliest candidate so
+   selection matches a stable sort regardless of evaluation order. *)
+let best_schedule pairs =
+  match pairs with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left
+        (fun (bs, bx) (s, x) ->
+          if Schedule.latency s < Schedule.latency bs then (s, x) else (bs, bx))
+        first rest
+
 (* Compile one equivalent representation of the input circuit down to a
    schedule.  [run] calls this for each candidate produced by the graph
    stage and keeps the best result. *)
-let compile_candidate (config : Config.t) library ~n ~zx_used_graph ~input_depth
-    (optimized : Circuit.t) =
+let compile_candidate (config : Config.t) ?(pool = Pool.sequential) library ~n
+    ~zx_used_graph ~input_depth (optimized : Circuit.t) =
   (* commutation analysis: slide commuting gates into parallel layers *)
   let optimized =
     if config.Config.commutation_reorder then Reorder.commutation_aware optimized
@@ -154,10 +248,10 @@ let compile_candidate (config : Config.t) library ~n ~zx_used_graph ~input_depth
   in
   (* 2. greedy partition *)
   let blocks = Partition.partition ~config:config.Config.partition optimized in
-  (* 3. VUG synthesis per block *)
-  let synthesized_count = ref 0 in
+  (* 3. VUG synthesis per block — independent searches with fixed seeds,
+     fanned out over the pool *)
   let synth_results =
-    List.map
+    Pool.map pool
       (fun b ->
         let local = Partition.block_circuit b in
         let r =
@@ -171,9 +265,14 @@ let compile_candidate (config : Config.t) library ~n ~zx_used_graph ~input_depth
               expansions = 0;
             }
         in
-        if r.Synthesis.source = Synthesis.Synthesized then incr synthesized_count;
         (b, r))
       blocks
+  in
+  let synthesized_count =
+    List.length
+      (List.filter
+         (fun (_, r) -> r.Synthesis.source = Synthesis.Synthesized)
+         synth_results)
   in
   let vug_circuit =
     List.fold_left
@@ -214,46 +313,74 @@ let compile_candidate (config : Config.t) library ~n ~zx_used_graph ~input_depth
            widths
     else [ trivial_groups ]
   in
-  (* 5-6. pulses per group and schedule; diagonal single-qubit groups are
-     virtual-Z frame updates and cost nothing (as on real transmon
+  (* 5. pulse generation: annotate every group across all regroupings,
+     then resolve the whole batch at once; diagonal single-qubit groups
+     are virtual-Z frame updates and cost nothing (as on real transmon
      stacks) *)
-  let schedule_of groups =
-    let items =
-      List.filter_map
-        (fun g ->
-          let local = Partition.block_circuit g in
-          let u = Circuit.unitary local in
-          let k = Circuit.n_qubits local in
-          if k = 1 && Mat.is_diagonal ~eps:1e-9 u then None
-          else
-            let hw = hardware_for config k in
-            let duration, fidelity =
-              pulse_for config library hw ~vug_circuit:local u
-            in
-            Some
-              ( {
-                  Schedule.qubits = g.Partition.qubits;
-                  duration;
-                  fidelity;
-                  label = Fmt.str "g%d" k;
-                },
-                g.Partition.ops ))
-        groups
-    in
-    let ordered =
-      if config.Config.commutation_reorder then list_schedule items
-      else List.map fst items
-    in
-    Schedule.schedule ~n ordered
+  let hw_cache : (int, Hardware.t) Hashtbl.t = Hashtbl.create 4 in
+  let hardware k =
+    match Hashtbl.find_opt hw_cache k with
+    | Some hw -> hw
+    | None ->
+        let hw = hardware_for config k in
+        Hashtbl.add hw_cache k hw;
+        hw
+  in
+  let annotated =
+    List.map
+      (fun groups ->
+        List.map
+          (fun (g : Partition.block) ->
+            let local = Partition.block_circuit g in
+            let u = Circuit.unitary local in
+            let k = Circuit.n_qubits local in
+            if k = 1 && Mat.is_diagonal ~eps:1e-9 u then (g, None)
+            else
+              ( g,
+                Some
+                  {
+                    ju = u;
+                    jk = k;
+                    jlocal = local;
+                    resolved = None;
+                    batch_rep = None;
+                    computed = None;
+                  } ))
+          groups)
+      group_candidates
+  in
+  let jobs = List.concat_map (List.filter_map snd) annotated in
+  resolve_pulses config pool library ~hardware jobs;
+  (* 6. build one schedule per regrouping (pure, fanned out) and keep the
+     lowest-latency one *)
+  let schedules =
+    Pool.map pool
+      (fun groups ->
+        let items =
+          List.filter_map
+            (fun ((g : Partition.block), job) ->
+              Option.map
+                (fun j ->
+                  let duration, fidelity = Option.get j.resolved in
+                  ( {
+                      Schedule.qubits = g.Partition.qubits;
+                      duration;
+                      fidelity;
+                      label = Fmt.str "g%d" j.jk;
+                    },
+                    g.Partition.ops ))
+                job)
+            groups
+        in
+        let ordered =
+          if config.Config.commutation_reorder then list_schedule items
+          else List.map fst items
+        in
+        Schedule.schedule ~n ordered)
+      annotated
   in
   let schedule, _groups =
-    match
-      List.sort
-        (fun (a, _) (b, _) -> compare (Schedule.latency a) (Schedule.latency b))
-        (List.map (fun g -> (schedule_of g, g)) group_candidates)
-    with
-    | best :: _ -> best
-    | [] -> assert false
+    best_schedule (List.combine schedules group_candidates)
   in
   ( schedule,
     {
@@ -261,7 +388,7 @@ let compile_candidate (config : Config.t) library ~n ~zx_used_graph ~input_depth
       zx_depth = Circuit.depth optimized;
       zx_used_graph;
       blocks = List.length blocks;
-      synthesized_blocks = !synthesized_count;
+      synthesized_blocks = synthesized_count;
       vug_count = Circuit.single_qubit_count vug_circuit;
       cx_count = Circuit.count_gate "cx" vug_circuit;
       pulse_count = Schedule.instruction_count schedule;
@@ -269,10 +396,13 @@ let compile_candidate (config : Config.t) library ~n ~zx_used_graph ~input_depth
 
 (* Run the full pipeline on [circuit].  The graph stage yields up to two
    equivalent representations (ZX-extracted and peephole-optimized); both
-   are compiled and the lower-latency schedule wins — the "continuous
-   optimization through equivalent representations" of the paper. *)
-let run ?(config = Config.default) ?library ~name (circuit : Circuit.t) =
+   are compiled in parallel — each against a fork of the library, merged
+   back in candidate order — and the lower-latency schedule wins: the
+   "continuous optimization through equivalent representations" of the
+   paper. *)
+let run ?(config = Config.default) ?library ?pool ~name (circuit : Circuit.t) =
   let t0 = Unix.gettimeofday () in
+  let pool = match pool with Some p -> p | None -> Pool.create () in
   let n = Circuit.n_qubits circuit in
   let library =
     match library with
@@ -294,20 +424,27 @@ let run ?(config = Config.default) ?library ~name (circuit : Circuit.t) =
   in
   let input_depth = Circuit.depth circuit in
   let compiled =
-    List.map
-      (fun (optimized, zx_used_graph) ->
-        compile_candidate config library ~n ~zx_used_graph ~input_depth optimized)
-      candidates
+    match candidates with
+    | [ (optimized, zx_used_graph) ] ->
+        [ compile_candidate config ~pool library ~n ~zx_used_graph ~input_depth
+            optimized ]
+    | _ ->
+        (* fork the library per candidate so candidate compilation is free
+           of cross-candidate ordering; absorb in candidate order after *)
+        let forked =
+          List.map (fun cand -> (cand, Library.fork library)) candidates
+        in
+        let results =
+          Pool.map pool
+            (fun (((optimized : Circuit.t), zx_used_graph), flib) ->
+              compile_candidate config ~pool flib ~n ~zx_used_graph ~input_depth
+                optimized)
+            forked
+        in
+        List.iter (fun (_, flib) -> Library.absorb library flib) forked;
+        results
   in
-  let schedule, stats =
-    match
-      List.sort
-        (fun (a, _) (b, _) -> compare (Schedule.latency a) (Schedule.latency b))
-        compiled
-    with
-    | best :: _ -> best
-    | [] -> assert false
-  in
+  let schedule, stats = best_schedule compiled in
   let esp = Esp.of_schedule ~t_coherence:config.Config.t_coherence schedule in
   let compile_time = Unix.gettimeofday () -. t0 in
   {

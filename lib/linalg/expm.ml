@@ -3,47 +3,77 @@
    For GRAPE we exponentiate skew-Hermitian matrices -i*dt*H whose norm is
    small (dt ~ ns, |H| ~ rad/ns), so after scaling by 2^s the Taylor series
    truncated at order 12 is accurate to machine precision.  The Hermitian
-   path in [Eig] is the reference implementation used in tests. *)
+   path in [Eig] is the reference implementation used in tests.
+
+   The destination-passing entry points ([expm_into],
+   [expi_hermitian_into]) run entirely on a caller-provided [scratch] of
+   four dim x dim buffers, so the GRAPE inner loop — which exponentiates
+   one Hamiltonian per slot per iteration — performs no matrix allocation
+   at all. *)
 
 let taylor_order = 12
 
 (* One-norm (max column sum) used to pick the scaling power. *)
-let one_norm (m : Mat.t) =
-  let best = ref 0.0 in
-  for c = 0 to Mat.cols m - 1 do
-    let acc = ref 0.0 in
-    for r = 0 to Mat.rows m - 1 do
-      acc := !acc +. Cx.norm (Mat.get m r c)
-    done;
-    if !acc > !best then best := !acc
+let one_norm = Mat.one_norm
+
+(* Scratch buffers for one exponential of a [dim] x [dim] matrix. *)
+type scratch = { scaled : Mat.t; term : Mat.t; tmp : Mat.t; acc : Mat.t }
+
+let scratch dim =
+  {
+    scaled = Mat.create dim dim;
+    term = Mat.create dim dim;
+    tmp = Mat.create dim dim;
+    acc = Mat.create dim dim;
+  }
+
+(* dst <- exp(c * a) for a complex scalar [c], using [s] as workspace.
+   [dst] must not alias [a] or any scratch buffer. *)
+let exp_scaled_into (s : scratch) (c : Complex.t) (a : Mat.t) ~(dst : Mat.t) =
+  if not (Mat.is_square a) then invalid_arg "Expm.exp_scaled_into: non-square";
+  let norm = Cx.norm c *. one_norm a in
+  (* Scale so the scaled norm is below 1/2. *)
+  let sq =
+    if norm <= 0.5 then 0
+    else int_of_float (Float.ceil (Float.log2 (norm /. 0.5)))
+  in
+  let factor = 1.0 /. Float.pow 2.0 (float_of_int sq) in
+  Mat.scale_into (Cx.scale factor c) a ~dst:s.scaled;
+  (* Taylor: sum_k scaled^k / k! accumulated into [s.acc]. *)
+  Mat.set_identity s.acc;
+  Mat.set_identity s.term;
+  for k = 1 to taylor_order do
+    Mat.mul_into s.term s.scaled ~dst:s.tmp;
+    Mat.scale_re_into (1.0 /. float_of_int k) s.tmp ~dst:s.term;
+    Mat.add_into s.acc s.term ~dst:s.acc
   done;
-  !best
+  (* Repeated squaring back up. *)
+  for _ = 1 to sq do
+    Mat.mul_into s.acc s.acc ~dst:s.tmp;
+    Mat.copy_into ~src:s.tmp ~dst:s.acc
+  done;
+  Mat.copy_into ~src:s.acc ~dst
+
+let expm_into (s : scratch) (a : Mat.t) ~(dst : Mat.t) =
+  exp_scaled_into s Cx.one a ~dst
+
+(* dst <- exp(-i * t * h) for Hermitian h; the GRAPE fast path. *)
+let expi_hermitian_into (s : scratch) (h : Mat.t) (t : float) ~(dst : Mat.t) =
+  exp_scaled_into s (Cx.make 0.0 (-.t)) h ~dst
+
+(* --- allocating wrappers ------------------------------------------------ *)
 
 let expm (a : Mat.t) =
   if not (Mat.is_square a) then invalid_arg "Expm.expm: non-square";
   let n = Mat.rows a in
-  let norm = one_norm a in
-  (* Scale so the scaled norm is below 1/2. *)
-  let s =
-    if norm <= 0.5 then 0
-    else int_of_float (Float.ceil (Float.log2 (norm /. 0.5)))
-  in
-  let scaled = Mat.scale_re (1.0 /. Float.pow 2.0 (float_of_int s)) a in
-  (* Taylor: sum_{k} scaled^k / k! with Horner-style accumulation. *)
-  let acc = ref (Mat.identity n) in
-  let term = ref (Mat.identity n) in
-  for k = 1 to taylor_order do
-    term := Mat.scale_re (1.0 /. float_of_int k) (Mat.mul !term scaled);
-    acc := Mat.add !acc !term
-  done;
-  let result = ref !acc in
-  for _ = 1 to s do
-    result := Mat.mul !result !result
-  done;
-  !result
+  let dst = Mat.create n n in
+  expm_into (scratch n) a ~dst;
+  dst
 
-(* exp(-i * t * h) for Hermitian h; fast path used by GRAPE.  Uses the
-   Taylor scaling-and-squaring core on the skew-Hermitian -i*t*h. *)
+(* exp(-i * t * h) for Hermitian h. *)
 let expi_hermitian (h : Mat.t) (t : float) =
-  let a = Mat.map (fun z -> Cx.mul (Cx.make 0.0 (-.t)) z) h in
-  expm a
+  if not (Mat.is_square h) then invalid_arg "Expm.expi_hermitian: non-square";
+  let n = Mat.rows h in
+  let dst = Mat.create n n in
+  expi_hermitian_into (scratch n) h t ~dst;
+  dst

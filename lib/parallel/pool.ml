@@ -1,0 +1,99 @@
+(* Domain pool for fan-out over independent work items.
+
+   OCaml 5 domains are heavyweight (each owns a minor heap and a systhread),
+   so the pool does not keep domains alive between calls; it bounds how many
+   extra domains may exist at once and spawns them per [map] call.  That
+   keeps the design composable: one [t] can be threaded through nested
+   pipeline stages and the total number of live domains stays bounded by
+   [domains], no matter how the stages nest, because each call reserves
+   workers from a shared in-flight budget and falls back to sequential
+   execution when the budget is exhausted.
+
+   Determinism: [map] always preserves item order in its result, and with
+   [domains <= 1] (the default on single-core machines, or EPOC_JOBS=1) it
+   degenerates to plain [List.map] on the calling domain.  Callers are
+   responsible for keeping the mapped function free of order-dependent
+   side effects; the EPOC pipeline arranges this by giving each parallel
+   region either pure work or a forked library that is absorbed in a fixed
+   order afterwards. *)
+
+type t = {
+  max_extra : int; (* extra domains beyond the caller, >= 0 *)
+  in_flight : int Atomic.t; (* currently reserved extra domains *)
+}
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some n
+  | _ -> None
+
+(* EPOC_JOBS if set and valid, else one domain per core (the caller's
+   domain counts as one). *)
+let default_domains () =
+  match Option.bind (Sys.getenv_opt "EPOC_JOBS") parse_jobs with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let create ?domains () =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  { max_extra = d - 1; in_flight = Atomic.make 0 }
+
+let domains t = t.max_extra + 1
+
+let sequential = { max_extra = 0; in_flight = Atomic.make 0 }
+
+(* Reserve up to [want] extra domains from the pool budget; returns how
+   many were granted. *)
+let rec reserve t want =
+  if want <= 0 then 0
+  else
+    let cur = Atomic.get t.in_flight in
+    let grant = min want (t.max_extra - cur) in
+    if grant <= 0 then 0
+    else if Atomic.compare_and_set t.in_flight cur (cur + grant) then grant
+    else reserve t want
+
+let release t n = if n > 0 then ignore (Atomic.fetch_and_add t.in_flight (-n))
+
+let map t f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n <= 1 || t.max_extra = 0 then List.map f xs
+  else
+    let extra = reserve t (min t.max_extra (n - 1)) in
+    if extra = 0 then List.map f xs
+    else
+      Fun.protect
+        ~finally:(fun () -> release t extra)
+        (fun () ->
+          let results = Array.make n None in
+          let next = Atomic.make 0 in
+          let worker () =
+            let continue = ref true in
+            while !continue do
+              let i = Atomic.fetch_and_add next 1 in
+              if i >= n then continue := false
+              else
+                results.(i) <-
+                  Some
+                    (match f items.(i) with
+                    | v -> Ok v
+                    | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+            done
+          in
+          let workers = Array.init extra (fun _ -> Domain.spawn worker) in
+          worker ();
+          Array.iter Domain.join workers;
+          (* surface the first failure in item order, so error behaviour
+             does not depend on the domain count *)
+          Array.iter
+            (function
+              | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+              | _ -> ())
+            results;
+          List.init n (fun i ->
+              match results.(i) with
+              | Some (Ok v) -> v
+              | _ -> assert false (* all items visited, no Error left *)))
+
+let map_array t f xs = Array.of_list (map t f (Array.to_list xs))

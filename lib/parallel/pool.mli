@@ -1,0 +1,33 @@
+(** Bounded domain pool for order-preserving parallel map.
+
+    A pool value is a budget of extra domains, not a set of live threads:
+    each [map] call reserves workers from the shared budget, spawns them
+    for the duration of the call, and releases them.  Nested [map] calls
+    through the same pool therefore never exceed the configured domain
+    count — inner calls that find the budget exhausted run sequentially
+    on the calling domain. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] makes a pool using [domains] total domains
+    (including the caller's; clamped to at least 1).  Without [?domains]
+    the count comes from the [EPOC_JOBS] environment variable when set to
+    a positive integer, else [Domain.recommended_domain_count () - 1]
+    extra domains. *)
+
+val domains : t -> int
+(** Total domain budget of the pool, including the calling domain. *)
+
+val sequential : t
+(** A pool that never spawns; [map sequential] is [List.map]. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element and returns results in
+    input order.  Runs sequentially when the list has fewer than two
+    elements, the pool is single-domain, or the budget is exhausted by
+    enclosing calls.  If any application raises, the exception of the
+    earliest failing item (by input position) is re-raised after all
+    workers finish, regardless of domain count. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array

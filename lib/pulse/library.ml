@@ -5,7 +5,14 @@
    are rotated to a canonical global phase before fingerprinting, so
    e^{i phi} U hits the same entry as U (the paper's "higher cache hit
    rate").  Phase-sensitive matching is kept as an option to reproduce the
-   AccQOC/PAQOC behaviour in the ablation benchmark. *)
+   AccQOC/PAQOC behaviour in the ablation benchmark.
+
+   The table is shared across partition blocks, candidate schedules and —
+   since the multicore pipeline — across domains, so every access to the
+   table and the hit/miss counters goes through a mutex.  For coarse-grain
+   parallelism (whole-candidate compilation) the pipeline instead uses
+   [fork]/[absorb]: each candidate works on a private copy and the results
+   are merged back in a deterministic order. *)
 
 open Epoc_linalg
 
@@ -19,17 +26,33 @@ type entry = {
 type t = {
   match_global_phase : bool;
   table : (string, entry list) Hashtbl.t; (* bucket per fingerprint *)
+  lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
 }
 
 let create ?(match_global_phase = true) () =
-  { match_global_phase; table = Hashtbl.create 64; hits = 0; misses = 0 }
+  {
+    match_global_phase;
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let locked lib f =
+  Mutex.lock lib.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lib.lock) f
 
 let canonicalize lib u = if lib.match_global_phase then Mat.canonical_phase u else u
 
-(* Fingerprint: dimensions plus entries rounded to 6 decimals.  Buckets
-   resolve rounding collisions by exact comparison. *)
+(* One quantization step shared by both components: round to 5 decimals and
+   normalize -0.0 to 0.0, so values within half an ulp of a rounding
+   boundary on either side of zero land in the same bucket.  The bucket
+   then resolves rounding collisions by the epsilon comparison in
+   [matches], so the fingerprint only has to be stable, not exact. *)
+let quantize x = (Float.round (x *. 1e5) +. 0.0) *. 1e-5
+
 let fingerprint (u : Mat.t) =
   let b = Buffer.create 256 in
   Buffer.add_string b (Printf.sprintf "%dx%d" (Mat.rows u) (Mat.cols u));
@@ -37,8 +60,7 @@ let fingerprint (u : Mat.t) =
     for c = 0 to Mat.cols u - 1 do
       let z = Mat.get u r c in
       Buffer.add_string b
-        (Printf.sprintf "|%.5f,%.5f" (Float.round (Cx.re z *. 1e5) /. 1e5 +. 0.0)
-           (Float.round (Cx.im z *. 1e5) /. 1e5 +. 0.0))
+        (Printf.sprintf "|%.5f,%.5f" (quantize (Cx.re z)) (quantize (Cx.im z)))
     done
   done;
   Digest.string (Buffer.contents b)
@@ -50,27 +72,74 @@ let matches lib stored probe =
 let find lib (u : Mat.t) =
   let cu = canonicalize lib u in
   let key = fingerprint cu in
-  let bucket = Option.value ~default:[] (Hashtbl.find_opt lib.table key) in
-  match List.find_opt (fun e -> matches lib e.unitary cu) bucket with
-  | Some e ->
-      lib.hits <- lib.hits + 1;
-      Some e
-  | None ->
-      lib.misses <- lib.misses + 1;
-      None
+  locked lib (fun () ->
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt lib.table key) in
+      match List.find_opt (fun e -> matches lib e.unitary cu) bucket with
+      | Some e ->
+          lib.hits <- lib.hits + 1;
+          Some e
+      | None ->
+          lib.misses <- lib.misses + 1;
+          None)
 
 let add lib (u : Mat.t) ~duration ~fidelity ?pulse () =
   let cu = canonicalize lib u in
   let key = fingerprint cu in
-  let bucket = Option.value ~default:[] (Hashtbl.find_opt lib.table key) in
-  Hashtbl.replace lib.table key
-    ({ unitary = cu; duration; fidelity; pulse } :: bucket)
+  locked lib (fun () ->
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt lib.table key) in
+      Hashtbl.replace lib.table key
+        ({ unitary = cu; duration; fidelity; pulse } :: bucket))
+
+(* Private copy sharing no mutable state with [lib]; counters start at
+   zero so [absorb] can add the fork's traffic back without double
+   counting.  Entry lists are immutable, sharing them is fine. *)
+let fork lib =
+  locked lib (fun () ->
+      {
+        match_global_phase = lib.match_global_phase;
+        table = Hashtbl.copy lib.table;
+        lock = Mutex.create ();
+        hits = 0;
+        misses = 0;
+      })
+
+(* Merge a fork's traffic and new entries back into [lib].  Entries whose
+   unitary is already matched in [lib] (added there by an earlier absorb)
+   are dropped, mirroring what a sequential run against the shared table
+   would have stored. *)
+let absorb lib forked =
+  let new_entries =
+    locked forked (fun () ->
+        Hashtbl.fold (fun key bucket acc -> (key, bucket) :: acc) forked.table [])
+  in
+  locked lib (fun () ->
+      lib.hits <- lib.hits + forked.hits;
+      lib.misses <- lib.misses + forked.misses;
+      List.iter
+        (fun (key, bucket) ->
+          let existing =
+            Option.value ~default:[] (Hashtbl.find_opt lib.table key)
+          in
+          let fresh =
+            List.filter
+              (fun (e : entry) ->
+                not
+                  (List.exists
+                     (fun (e' : entry) -> matches lib e'.unitary e.unitary)
+                     existing))
+              bucket
+          in
+          if fresh <> [] then Hashtbl.replace lib.table key (fresh @ existing))
+        new_entries)
 
 type stats = { hits : int; misses : int; entries : int }
 
 let stats lib =
-  let entries = Hashtbl.fold (fun _ b acc -> acc + List.length b) lib.table 0 in
-  { hits = lib.hits; misses = lib.misses; entries }
+  locked lib (fun () ->
+      let entries =
+        Hashtbl.fold (fun _ b acc -> acc + List.length b) lib.table 0
+      in
+      { hits = lib.hits; misses = lib.misses; entries })
 
 let hit_rate lib =
   let s = stats lib in

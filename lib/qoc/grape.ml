@@ -6,7 +6,13 @@
      F = |tr(U_target^dag U_N ... U_1)| / d.
    Gradients use the standard first-order GRAPE approximation
    dU_k/du_jk ~ -i dt H_j U_k, evaluated with forward/backward propagator
-   caching, and are ascended with Adam under amplitude clipping. *)
+   caching, and are ascended with Adam under amplitude clipping.
+
+   The inner loop is fully allocation-free on the matrix side: slot
+   propagators, forward products, the backward accumulator and the
+   Hamiltonian assembly buffer are preallocated once per [optimize] call
+   and every per-iteration update runs through the destination-passing
+   kernels of [Mat] / [Expm]. *)
 
 open Epoc_linalg
 
@@ -56,33 +62,37 @@ type result = {
   iterations : int;
 }
 
+(* Assemble H = H0 + sum_j u_j H_j into [h] (preallocated). *)
+let assemble_hamiltonian ~h0 ~(ctrls : Hardware.control array) amps k ~h =
+  Mat.copy_into ~src:h0 ~dst:h;
+  Array.iteri
+    (fun j (c : Hardware.control) ->
+      Mat.add_scaled_re_into amps.(j).(k) c.Hardware.matrix ~dst:h)
+    ctrls
+
 (* Total propagator for a pulse under the hardware model. *)
 let propagate hw (p : pulse) =
   let h0 = Hardware.drift hw in
   let ctrls = Array.of_list (Hardware.controls hw) in
   let dim = Mat.rows h0 in
-  let u = ref (Mat.identity dim) in
+  let es = Expm.scratch dim in
+  let h = Mat.create dim dim in
+  let step = Mat.create dim dim in
+  let u = Mat.identity dim in
+  let tmp = Mat.create dim dim in
   for k = 0 to slot_count p - 1 do
-    let h = ref (Mat.copy h0) in
-    Array.iteri
-      (fun j c -> h := Mat.add !h (Mat.scale_re p.amplitudes.(j).(k) c.Hardware.matrix))
-      ctrls;
-    u := Mat.mul (Expm.expi_hermitian !h p.dt) !u
+    assemble_hamiltonian ~h0 ~ctrls p.amplitudes k ~h;
+    Expm.expi_hermitian_into es h p.dt ~dst:step;
+    Mat.mul_into step u ~dst:tmp;
+    Mat.copy_into ~src:tmp ~dst:u
   done;
-  !u
+  u
 
 let fidelity_of target u = Mat.hs_fidelity target u
 
-(* tr(A * H) for square A, H. *)
-let trace_product (a : Mat.t) (h : Mat.t) =
-  let d = Mat.rows a in
-  let acc = ref Cx.zero in
-  for r = 0 to d - 1 do
-    for c = 0 to d - 1 do
-      acc := Cx.add !acc (Cx.mul (Mat.get a r c) (Mat.get h c r))
-    done
-  done;
-  !acc
+(* tr(A * H) for square A, H; kept as a named wrapper because the GRAPE
+   gradient literature writes it this way. *)
+let trace_product (a : Mat.t) (h : Mat.t) = Mat.trace_mul a h
 
 let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
     (hw : Hardware.t) ~(target : Mat.t) ~(slots : int) =
@@ -100,9 +110,17 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
         Array.init slots (fun _ -> 0.2 *. limit *. (Random.State.float rng 2.0 -. 1.0)))
   in
   let target_dag = Mat.adjoint target in
-  let slot_props = Array.make slots (Mat.identity dim) in
-  let forward = Array.make (slots + 1) (Mat.identity dim) in
+  (* preallocated workspace, reused across all iterations *)
+  let es = Expm.scratch dim in
+  let h = Mat.create dim dim in
+  let slot_props = Array.init slots (fun _ -> Mat.create dim dim) in
+  let forward = Array.init (slots + 1) (fun _ -> Mat.create dim dim) in
   (* forward.(k) = U_k ... U_1, forward.(0) = I *)
+  Mat.set_identity forward.(0);
+  let b = ref (Mat.create dim dim) in
+  let b_tmp = ref (Mat.create dim dim) in
+  let m_buf = Mat.create dim dim in
+  let a_buf = Mat.create dim dim in
   let m_adam = Array.init nc (fun _ -> Array.make slots 0.0) in
   let v_adam = Array.init nc (fun _ -> Array.make slots 0.0) in
   let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
@@ -115,15 +133,12 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
        iters := it;
        (* build slot propagators and forward products *)
        for k = 0 to slots - 1 do
-         let h = ref (Mat.copy h0) in
-         for j = 0 to nc - 1 do
-           h := Mat.add !h (Mat.scale_re u_amp.(j).(k) ctrls.(j).Hardware.matrix)
-         done;
-         slot_props.(k) <- Expm.expi_hermitian !h dt;
-         forward.(k + 1) <- Mat.mul slot_props.(k) forward.(k)
+         assemble_hamiltonian ~h0 ~ctrls u_amp k ~h;
+         Expm.expi_hermitian_into es h dt ~dst:slot_props.(k);
+         Mat.mul_into slot_props.(k) forward.(k) ~dst:forward.(k + 1)
        done;
        let u_total = forward.(slots) in
-       let z = trace_product target_dag u_total in
+       let z = Mat.trace_mul target_dag u_total in
        let fnow = Cx.norm z /. float_of_int dim in
        if fnow > !best_f then begin
          best_f := fnow;
@@ -134,19 +149,19 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
        if fnow >= options.fidelity_target then raise Exit;
        if !since_improved > options.patience then raise Exit;
        (* backward sweep: b = U_t^dag U_N ... U_(k+1), m = X_(k-1) b *)
-       let b = ref target_dag in
+       Mat.copy_into ~src:target_dag ~dst:!b;
        (* at k = slots: b = U_t^dag *)
        let phase = Cx.div (Cx.conj z) (Cx.of_float (Float.max (Cx.norm z) 1e-12)) in
        for k = slots - 1 downto 0 do
-         (* gradient for slot k uses current b = U_t^dag U_N...U_(k+2)? No:
-            maintained so that entering this iteration b = U_t^dag U_N ... U_(k+2)
-            and we first leave it: for slot k the needed factor is
-            U_t^dag U_N ... U_(k+1); at k = slots-1 that is U_t^dag. *)
-         let m = Mat.mul forward.(k) !b in
+         (* entering this iteration b = U_t^dag U_N ... U_(k+1); at
+            k = slots-1 that is U_t^dag *)
+         let m = m_buf in
+         Mat.mul_into forward.(k) !b ~dst:m;
          (* a = U_k * m, then dz_jk = -i dt tr(a H_j) *)
-         let a = Mat.mul slot_props.(k) m in
+         let a = a_buf in
+         Mat.mul_into slot_props.(k) m ~dst:a;
          for j = 0 to nc - 1 do
-           let tr = trace_product a ctrls.(j).Hardware.matrix in
+           let tr = Mat.trace_mul a ctrls.(j).Hardware.matrix in
            (* dz = -i dt tr;  dF = Re(phase * dz) / d *)
            let dz = Cx.mul (Cx.make 0.0 (-.dt)) tr in
            let grad = Cx.re (Cx.mul phase dz) /. float_of_int dim in
@@ -159,7 +174,11 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
            let next = u_amp.(j).(k) +. (options.learning_rate *. limit *. mh /. (sqrt vh +. eps)) in
            u_amp.(j).(k) <- Float.max (-.limit) (Float.min limit next)
          done;
-         b := Mat.mul !b slot_props.(k)
+         (* b <- b * U_k via the swap buffer *)
+         Mat.mul_into !b slot_props.(k) ~dst:!b_tmp;
+         let t = !b in
+         b := !b_tmp;
+         b_tmp := t
        done
      done
    with Exit -> ());

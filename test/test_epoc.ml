@@ -97,6 +97,28 @@ let test_gate_based_virtual_z_free () =
   Alcotest.(check (float 1e-9)) "pure virtual circuit is free" 0.0
     g.Pipeline.latency
 
+let test_domain_count_determinism () =
+  (* the parallel pipeline must be bit-identical for any domain count *)
+  let cases = [ List.nth suite 0; List.nth suite 3 ] in
+  List.iter
+    (fun (name, c) ->
+      let run d =
+        let pool = Epoc_parallel.Pool.create ~domains:d () in
+        let lib = Epoc_pulse.Library.create () in
+        let r = Pipeline.run ~pool ~library:lib ~name c in
+        ( r.Pipeline.latency,
+          r.Pipeline.esp,
+          r.Pipeline.stats,
+          Epoc_pulse.Library.stats lib )
+      in
+      let l1, e1, s1, ls1 = run 1 in
+      let l4, e4, s4, ls4 = run 4 in
+      Alcotest.(check (float 0.0)) (name ^ " latency identical") l1 l4;
+      Alcotest.(check (float 0.0)) (name ^ " esp identical") e1 e4;
+      Alcotest.(check bool) (name ^ " stage stats identical") true (s1 = s4);
+      Alcotest.(check bool) (name ^ " library stats identical") true (ls1 = ls4))
+    cases
+
 let test_empty_circuit () =
   let r = Pipeline.run ~name:"empty" (Circuit.empty 3) in
   Alcotest.(check (float 1e-9)) "empty latency" 0.0 r.Pipeline.latency;
@@ -224,6 +246,8 @@ let () =
           Alcotest.test_case "regroup improves esp" `Quick
             test_regrouping_improves_esp;
           Alcotest.test_case "shared library" `Quick test_shared_library_accumulates;
+          Alcotest.test_case "domain count determinism" `Quick
+            test_domain_count_determinism;
           Alcotest.test_case "schedule consistent" `Quick
             test_pipeline_schedule_consistent;
           Alcotest.test_case "empty circuit" `Quick test_empty_circuit;

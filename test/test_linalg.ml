@@ -174,6 +174,136 @@ let test_gf2_gauss_ops_replay () =
     done
   done
 
+(* --- destination-passing kernels vs naive reference -------------------- *)
+
+(* Naive textbook implementations over the public get/set API; the unboxed
+   kernels must agree with these on random inputs. *)
+let naive_mul a b =
+  Mat.init (Mat.rows a) (Mat.cols b) (fun r c ->
+      let acc = ref Cx.zero in
+      for k = 0 to Mat.cols a - 1 do
+        acc := Cx.add !acc (Cx.mul (Mat.get a r k) (Mat.get b k c))
+      done;
+      !acc)
+
+let naive_kron a b =
+  let br = Mat.rows b and bc = Mat.cols b in
+  Mat.init (Mat.rows a * br) (Mat.cols a * bc) (fun r c ->
+      Cx.mul (Mat.get a (r / br) (c / bc)) (Mat.get b (r mod br) (c mod bc)))
+
+let naive_adjoint a =
+  Mat.init (Mat.cols a) (Mat.rows a) (fun r c -> Cx.conj (Mat.get a c r))
+
+let seeded_rect seed r c =
+  let st = Random.State.make [| seed; r; c |] in
+  Mat.init r c (fun _ _ ->
+      Cx.make (Random.State.float st 2.0 -. 1.0) (Random.State.float st 2.0 -. 1.0))
+
+let gen_dims = QCheck.Gen.(triple (int_range 1 6) (int_range 1 6) (int_range 1 6))
+
+let arb_dims =
+  QCheck.make
+    ~print:(fun ((a, b, c), seed) -> Printf.sprintf "%dx%dx%d seed %d" a b c seed)
+    QCheck.Gen.(pair gen_dims (int_bound 1_000_000))
+
+let prop_mul_matches_naive =
+  QCheck.Test.make ~name:"mul matches naive reference" ~count:60 arb_dims
+    (fun ((m, k, n), seed) ->
+      let a = seeded_rect seed m k and b = seeded_rect (seed + 1) k n in
+      Mat.approx_equal ~eps:1e-9 (Mat.mul a b) (naive_mul a b))
+
+let prop_mul_into_matches_mul =
+  QCheck.Test.make ~name:"mul_into matches mul" ~count:60 arb_dims
+    (fun ((m, k, n), seed) ->
+      let a = seeded_rect seed m k and b = seeded_rect (seed + 1) k n in
+      let dst = seeded_rect (seed + 2) m n in
+      Mat.mul_into a b ~dst;
+      Mat.approx_equal ~eps:1e-12 dst (Mat.mul a b))
+
+let prop_kron_matches_naive =
+  QCheck.Test.make ~name:"kron matches naive reference" ~count:40 arb_dims
+    (fun ((m, k, n), seed) ->
+      let a = seeded_rect seed m k and b = seeded_rect (seed + 1) k n in
+      Mat.approx_equal ~eps:1e-12 (Mat.kron a b) (naive_kron a b))
+
+let prop_adjoint_matches_naive =
+  QCheck.Test.make ~name:"adjoint/adjoint_into match naive" ~count:40 arb_dims
+    (fun ((m, k, _), seed) ->
+      let a = seeded_rect seed m k in
+      let dst = Mat.create k m in
+      Mat.adjoint_into a ~dst;
+      Mat.approx_equal ~eps:1e-12 (Mat.adjoint a) (naive_adjoint a)
+      && Mat.approx_equal ~eps:1e-12 dst (naive_adjoint a))
+
+let prop_trace_mul_matches =
+  QCheck.Test.make ~name:"trace_mul = trace of mul" ~count:40
+    QCheck.(pair (QCheck.make QCheck.Gen.(int_range 1 6)) small_int)
+    (fun (n, seed) ->
+      let a = seeded_rect (seed + 1) n n and b = seeded_rect (seed + 2) n n in
+      Cx.approx_equal ~eps:1e-9 (Mat.trace_mul a b) (Mat.trace (Mat.mul a b)))
+
+let prop_elementwise_alias =
+  (* element-wise kernels must support dst aliasing an input *)
+  QCheck.Test.make ~name:"element-wise _into kernels allow aliasing" ~count:40
+    QCheck.(pair (QCheck.make QCheck.Gen.(int_range 1 6)) small_int)
+    (fun (n, seed) ->
+      let a = seeded_rect (seed + 1) n n and b = seeded_rect (seed + 2) n n in
+      let sum = Mat.add a b in
+      let x = Mat.copy a in
+      Mat.add_into x b ~dst:x;
+      let scaled = Mat.scale_re 0.37 a in
+      let y = Mat.copy a in
+      Mat.scale_re_into 0.37 y ~dst:y;
+      let axpy = Mat.add a (Mat.scale_re 0.59 b) in
+      let z = Mat.copy a in
+      Mat.add_scaled_re_into 0.59 b ~dst:z;
+      Mat.approx_equal ~eps:1e-12 x sum
+      && Mat.approx_equal ~eps:1e-12 y scaled
+      && Mat.approx_equal ~eps:1e-12 z axpy)
+
+let prop_canonical_phase_random =
+  QCheck.Test.make ~name:"canonical_phase strips phase on random matrices"
+    ~count:40
+    QCheck.(pair (QCheck.make QCheck.Gen.(int_range 1 6)) small_int)
+    (fun (n, seed) ->
+      let a = seeded_rect (seed + 1) n n in
+      let rotated = Mat.scale (Cx.cis (0.1 +. (0.002 *. float_of_int seed))) a in
+      Mat.approx_equal ~eps:1e-9 (Mat.canonical_phase a)
+        (Mat.canonical_phase rotated))
+
+let test_mul_into_rejects_aliasing () =
+  let a = seeded_matrix 31 3 and b = seeded_matrix 32 3 in
+  Alcotest.check_raises "dst == a"
+    (Invalid_argument "Mat.mul_into: dst aliases an input") (fun () ->
+      Mat.mul_into a b ~dst:a);
+  Alcotest.check_raises "dst == b"
+    (Invalid_argument "Mat.mul_into: dst aliases an input") (fun () ->
+      Mat.mul_into a b ~dst:b);
+  Alcotest.check_raises "adjoint dst == m"
+    (Invalid_argument "Mat.adjoint_into: dst aliases input") (fun () ->
+      Mat.adjoint_into a ~dst:a)
+
+let test_mix_rows_matches_reference () =
+  let u = seeded_matrix 33 8 in
+  let coeff = seeded_matrix 34 2 in
+  let rows = [| 1; 5 |] in
+  (* reference: gather, combine via get/set *)
+  let expected = Mat.copy u in
+  let old = Array.map (fun r -> Array.init 8 (fun c -> Mat.get u r c)) rows in
+  Array.iteri
+    (fun i r ->
+      for c = 0 to 7 do
+        let acc = ref Cx.zero in
+        Array.iteri
+          (fun j _ -> acc := Cx.add !acc (Cx.mul (Mat.get coeff i j) old.(j).(c)))
+          rows;
+        Mat.set expected r c !acc
+      done)
+    rows;
+  let scratch = Mat.create 2 8 in
+  Mat.mix_rows_inplace u ~rows ~coeff ~scratch;
+  Alcotest.check mat "mix_rows_inplace = gather/combine reference" expected u
+
 (* --- qcheck properties ------------------------------------------------- *)
 
 let gen_hermitian =
@@ -204,6 +334,24 @@ let prop_kron_unitary =
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_expm_unitary; prop_eig_real_eigenvalues_sum; prop_kron_unitary ]
+
+let kernel_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_mul_matches_naive;
+      prop_mul_into_matches_mul;
+      prop_kron_matches_naive;
+      prop_adjoint_matches_naive;
+      prop_trace_mul_matches;
+      prop_elementwise_alias;
+      prop_canonical_phase_random;
+    ]
+  @ [
+      Alcotest.test_case "mul_into/adjoint_into reject aliasing" `Quick
+        test_mul_into_rejects_aliasing;
+      Alcotest.test_case "mix_rows_inplace reference" `Quick
+        test_mix_rows_matches_reference;
+    ]
 
 let () =
   Alcotest.run "linalg"
@@ -244,5 +392,6 @@ let () =
           Alcotest.test_case "rank dependent rows" `Quick test_gf2_rank_dependent_rows;
           Alcotest.test_case "gauss ops replay" `Quick test_gf2_gauss_ops_replay;
         ] );
+      ("kernels", kernel_cases);
       ("properties", qcheck_cases);
     ]

@@ -214,6 +214,48 @@ let test_library_distinguishes () =
   Alcotest.(check bool) "different unitary misses" true
     (Library.find lib (Gate.matrix Gate.Y) = None)
 
+let test_library_fingerprint_quantization () =
+  (* values straddling zero within rounding distance must land in the same
+     fingerprint bucket: -1e-9 rounds to -0.0, which the single
+     quantization step normalizes to 0.0 *)
+  let near_zero eps = Mat.of_arrays [| [| Cx.make eps (-.eps) |] |] in
+  Alcotest.(check bool) "negative zero bucket" true
+    (Library.fingerprint (near_zero 1e-9) = Library.fingerprint (near_zero (-1e-9)));
+  (* perturbations below the 5-decimal resolution keep the bucket... *)
+  let entry x = Mat.of_arrays [| [| Cx.of_float x |] |] in
+  Alcotest.(check bool) "sub-resolution perturbation same bucket" true
+    (Library.fingerprint (entry 0.123452) = Library.fingerprint (entry 0.1234521));
+  (* ...and a full resolution step changes it *)
+  Alcotest.(check bool) "distinct values distinct buckets" true
+    (Library.fingerprint (entry 0.12345) <> Library.fingerprint (entry 0.12346));
+  (* end to end: a (unitary) probe equal up to noise below the matcher's
+     epsilon still hits the stored entry *)
+  let lib = Library.create () in
+  Library.add lib (entry 1.0) ~duration:5.0 ~fidelity:0.999 ();
+  Alcotest.(check bool) "noisy probe hits" true
+    (Library.find lib (entry (1.0 +. 1e-9)) <> None)
+
+let test_library_fork_absorb () =
+  let lib = Library.create () in
+  Library.add lib (Gate.matrix Gate.X) ~duration:10.0 ~fidelity:0.999 ();
+  let f = Library.fork lib in
+  (* the fork sees existing entries but counts its own traffic *)
+  Alcotest.(check bool) "fork hit" true (Library.find f (Gate.matrix Gate.X) <> None);
+  Alcotest.(check bool) "fork miss" true (Library.find f (Gate.matrix Gate.Y) = None);
+  Library.add f (Gate.matrix Gate.Y) ~duration:12.0 ~fidelity:0.998 ();
+  (* parent unaffected until absorb *)
+  Alcotest.(check int) "parent entries before absorb" 1
+    (Library.stats lib).Library.entries;
+  Library.absorb lib f;
+  let s = Library.stats lib in
+  Alcotest.(check int) "entries merged" 2 s.Library.entries;
+  Alcotest.(check int) "hits merged" 1 s.Library.hits;
+  Alcotest.(check int) "misses merged" 1 s.Library.misses;
+  (* absorbing a stale fork with a duplicate entry must not double it *)
+  Library.absorb lib f;
+  Alcotest.(check int) "duplicate absorb is idempotent on entries" 2
+    (Library.stats lib).Library.entries
+
 (* --- esp ---------------------------------------------------------------------- *)
 
 let test_esp_product () =
@@ -286,6 +328,9 @@ let () =
             test_library_global_phase_matching;
           Alcotest.test_case "phase sensitive mode" `Quick test_library_phase_sensitive;
           Alcotest.test_case "distinguishes" `Quick test_library_distinguishes;
+          Alcotest.test_case "fingerprint quantization" `Quick
+            test_library_fingerprint_quantization;
+          Alcotest.test_case "fork/absorb" `Quick test_library_fork_absorb;
         ] );
       ( "esp",
         [
