@@ -356,8 +356,18 @@ let micro () =
 let json_file = "BENCH_pipeline.json"
 
 (* Compile the table-1 suite and emit per-benchmark compile time, schedule
-   quality and library traffic as JSON, plus a GRAPE throughput
+   quality, library traffic and the per-stage timing breakdown (from the
+   pass manager's trace) as JSON, plus a GRAPE throughput
    microbenchmark — the numbers regressions are judged against. *)
+let stage_rows trace =
+  (* aggregate candidate stages by name: one row per pass, wall summed *)
+  String.concat ", "
+    (List.map
+       (fun (name, calls, wall) ->
+         Printf.sprintf "{\"stage\": \"%s\", \"calls\": %d, \"wall_s\": %.6f}"
+           name calls wall)
+       (Epoc.Trace.aggregate trace))
+
 let bench_json () =
   header "JSON - machine-readable pipeline timings"
     (Printf.sprintf "written to %s" json_file);
@@ -396,12 +406,13 @@ let bench_json () =
            "    {\"name\": \"%s\", \"qubits\": %d, \"gates\": %d, \
             \"compile_s\": %.6f, \"latency_ns\": %.3f, \"esp\": %.6f, \
             \"pulses\": %d, \"blocks\": %d, \"library\": {\"hits\": %d, \
-            \"misses\": %d, \"entries\": %d}}%s\n"
+            \"misses\": %d, \"entries\": %d}, \"stages\": [%s]}%s\n"
            name (Circuit.n_qubits c) (Circuit.gate_count c)
            r.Pipeline.compile_time r.Pipeline.latency r.Pipeline.esp
            r.Pipeline.stats.Pipeline.pulse_count r.Pipeline.stats.Pipeline.blocks
            s.Epoc_pulse.Library.hits s.Epoc_pulse.Library.misses
            s.Epoc_pulse.Library.entries
+           (stage_rows r.Pipeline.trace)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n";

@@ -3,6 +3,7 @@
    epoc compile <file.qasm|bench:name> [--flow epoc|paqoc|accqoc|gate]
                 [--grape] [--no-zx] [--no-synthesis] [--no-regroup]
                 [--partition-width N] [--verbose] [--schedule]
+                [--trace] [--trace-json]
    epoc list                 list builtin benchmarks
    epoc zx <file|bench:name> run only the graph optimization stage *)
 
@@ -45,6 +46,14 @@ let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 let show_schedule =
   Arg.(value & flag & info [ "schedule" ] ~doc:"Print the pulse schedule.")
 
+let show_trace =
+  Arg.(value & flag & info [ "trace" ]
+         ~doc:"Print the per-stage trace (wall-clock + counters).")
+
+let show_trace_json =
+  Arg.(value & flag & info [ "trace-json" ]
+         ~doc:"Print the per-stage trace as JSON on stdout.")
+
 let report (r : Epoc.Pipeline.result) show =
   Printf.printf "flow             : %s\n" r.Epoc.Pipeline.name;
   Printf.printf "latency          : %.1f ns\n" r.Epoc.Pipeline.latency;
@@ -66,7 +75,8 @@ let report (r : Epoc.Pipeline.result) show =
   if show then Format.printf "@.%a@." Epoc_pulse.Schedule.pp r.Epoc.Pipeline.schedule
 
 let compile_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width verbose schedule =
+  let run spec flow grape no_zx no_synth no_regroup width verbose schedule trace
+      trace_json =
     setup_logs verbose;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -102,13 +112,20 @@ let compile_cmd =
               Printf.eprintf "unknown flow %S\n" other;
               exit 1
         in
-        report result schedule;
+        if trace_json then
+          print_endline (Epoc.Trace.to_json result.Epoc.Pipeline.trace)
+        else begin
+          report result schedule;
+          if trace then
+            Format.printf "@.%a@." Epoc.Trace.pp result.Epoc.Pipeline.trace
+        end;
         0
   in
   let term =
     Term.(
       const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ verbose $ show_schedule)
+      $ no_regroup $ partition_width $ verbose $ show_schedule $ show_trace
+      $ show_trace_json)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit to a pulse schedule.") term
 

@@ -1,14 +1,19 @@
-(* Comparison flows for the evaluation.
+(* Comparison flows for the evaluation, all running through the shared
+   pass driver ([Pipeline.run_flow]) with their own pass lists, so the
+   shared logic — partitioning, pulse-library interaction, ASAP
+   scheduling — exists exactly once.
 
    - [gate_based]: the traditional workflow — every gate is played as its
      own calibrated pulse (RZ-family gates are virtual/free, as on IBM
      hardware); latency is the ASAP critical path of per-gate pulses.
+     Pass list: lower -> gate-pulses -> schedule.
    - [accqoc_like]: AccQOC (Cheng et al., ISCA'20) reimplemented from its
      description — uniform two-qubit sub-circuits of bounded depth, QOC per
      sub-circuit with a pulse library; no ZX, no synthesis, and
      phase-*sensitive* library matching.  (AccQOC's MST-ordered library
      construction only affects compile time, which we account for by
-     constructing the library in similarity order.)
+     constructing the library in similarity order.)  Runs the EPOC pass
+     list under a restricted config.
    - [paqoc_like]: PAQOC (Chen et al., HPCA'23) approximated as
      program-aware grouping: frequent two-qubit gate patterns are mined
      and pre-compiled into the pulse library, then the program is grouped
@@ -37,49 +42,60 @@ let gate_pulse (hw : Hardware.t) (g : Gate.t) =
       (* multi-qubit natives are not calibrated: count their CX content *)
       (t2 *. float_of_int (2 * (Gate.arity g - 1)), 0.99)
 
-let gate_based ?(config = Config.default) ~name (circuit : Circuit.t) =
-  let t0 = Unix.gettimeofday () in
-  let n = Circuit.n_qubits circuit in
-  let hw = Hardware.make ~dt:config.Config.dt ~t_coherence:config.Config.t_coherence (max 2 n) in
-  (* lower exotic gates to the calibrated basis first *)
-  let lowered = Lower.to_zx_basis circuit in
-  let instructions =
-    List.filter_map
-      (fun (op : Circuit.op) ->
-        let duration, fidelity = gate_pulse hw op.Circuit.gate in
-        if duration = 0.0 && fidelity = 1.0 then None
-        else
-          Some
-            {
-              Schedule.qubits = op.Circuit.qubits;
-              duration;
-              fidelity;
-              label = Gate.name op.Circuit.gate;
-            })
-      (Circuit.ops lowered)
-  in
-  let schedule = Schedule.schedule ~n instructions in
-  let esp = Esp.of_schedule ~t_coherence:config.Config.t_coherence schedule in
+(* Lower exotic gates to the calibrated basis.  The lowered circuit is
+   also recorded as the flow's "VUG circuit" so the generic stage stats
+   report its single-qubit/CX composition. *)
+let lower_pass =
+  Pass.make "lower"
+    ~counters:(fun _ (ir : Ir.t) ->
+      [ ("gates", Circuit.gate_count ir.Ir.circuit) ])
+    (fun _ctx ir ->
+      let lowered = Lower.to_zx_basis ir.Ir.circuit in
+      { ir with Ir.circuit = lowered; vug_circuit = lowered })
+
+(* One calibrated pulse per gate; virtual gates are dropped. *)
+let gate_pulses_pass =
+  Pass.make "gate-pulses"
+    ~counters:(fun _ (ir : Ir.t) ->
+      [ ("instructions", List.length ir.Ir.instructions) ])
+    (fun ctx ir ->
+      let hw = ctx.Pass.hardware (max 2 ir.Ir.n) in
+      let instructions =
+        List.filter_map
+          (fun (op : Circuit.op) ->
+            let duration, fidelity = gate_pulse hw op.Circuit.gate in
+            if duration = 0.0 && fidelity = 1.0 then None
+            else
+              Some
+                {
+                  Schedule.qubits = op.Circuit.qubits;
+                  duration;
+                  fidelity;
+                  label = Gate.name op.Circuit.gate;
+                })
+          (Circuit.ops ir.Ir.circuit)
+      in
+      { ir with Ir.instructions })
+
+(* ASAP placement of the per-gate pulses in program order. *)
+let schedule_instructions_pass =
+  Pass.make "schedule"
+    ~counters:(fun _ (ir : Ir.t) -> Schedule.counters (Ir.schedule_exn ir))
+    (fun _ctx ir ->
+      { ir with Ir.schedule = Some (Schedule.schedule ~n:ir.Ir.n ir.Ir.instructions) })
+
+let gate_flow =
   {
-    Pipeline.name;
-    latency = Schedule.latency schedule;
-    esp;
-    compile_time = Unix.gettimeofday () -. t0;
-    schedule;
-    stats =
-      {
-        Pipeline.input_depth = Circuit.depth circuit;
-        zx_depth = Circuit.depth circuit;
-        zx_used_graph = false;
-        blocks = 0;
-        synthesized_blocks = 0;
-        vug_count = Circuit.single_qubit_count lowered;
-        cx_count = Circuit.count_gate "cx" lowered;
-        pulse_count = List.length instructions;
-      };
-    library_stats = { Epoc_pulse.Library.hits = 0; misses = 0; entries = 0 };
-    qoc_mode = config.Config.qoc_mode;
+    Pipeline.graph =
+      (fun _ctx circuit -> ([ (circuit, false) ], [ ("candidates", 1) ]));
+    passes =
+      (fun _config ->
+        [ lower_pass; gate_pulses_pass; schedule_instructions_pass ]);
   }
+
+let gate_based ?(config = Config.default) ?library ?pool ?trace ~name
+    (circuit : Circuit.t) =
+  Pipeline.run_flow ~config ?library ?pool ?trace ~name gate_flow circuit
 
 (* --- AccQOC-like ------------------------------------------------------------ *)
 
@@ -97,8 +113,8 @@ let accqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
-let accqoc_like ?(config = Config.default) ~name circuit =
-  Pipeline.run ~config:(accqoc_config config) ~name circuit
+let accqoc_like ?(config = Config.default) ?library ?pool ?trace ~name circuit =
+  Pipeline.run ~config:(accqoc_config config) ?library ?pool ?trace ~name circuit
 
 (* --- PAQOC-like -------------------------------------------------------------- *)
 
@@ -137,7 +153,7 @@ let paqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
-let paqoc_like ?(config = Config.default) ~name circuit =
+let paqoc_like ?(config = Config.default) ?library ?pool ?trace ~name circuit =
   (* pattern mining informs the grouping budget: with frequent patterns
      present, PAQOC invests in deeper program-aware groups *)
   let patterns = mine_patterns circuit in
@@ -148,4 +164,4 @@ let paqoc_like ?(config = Config.default) ~name circuit =
                  regroup_partition = { Partition.qubit_limit = 2; op_limit = 8 } }
     else cfg
   in
-  Pipeline.run ~config:cfg ~name circuit
+  Pipeline.run ~config:cfg ?library ?pool ?trace ~name circuit

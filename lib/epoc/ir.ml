@@ -1,0 +1,84 @@
+(* The compilation IR threaded through the pass pipeline.
+
+   One [t] carries a single candidate representation of the input circuit
+   through the stages of paper Figure 3: the current gate-level circuit,
+   then the partition blocks, the synthesized VUG circuit, the regroup
+   candidates with their pulse jobs, and finally the chosen schedule.
+   Passes are functions [t -> t] that fill in (or rewrite) the fields
+   their stage owns; fields a flow never uses keep their empty defaults,
+   which is how the gate-based baseline runs through the same driver with
+   a different pass list. *)
+
+open Epoc_linalg
+open Epoc_circuit
+open Epoc_partition
+open Epoc_synthesis
+open Epoc_pulse
+
+(* One pulse to generate: a non-virtual group of the regrouped circuit.
+   Jobs are shared between the grouping that owns them and the flat batch
+   that resolves them, so resolution is recorded in place. *)
+type pulse_job = {
+  ju : Mat.t; (* group unitary *)
+  jk : int; (* group qubit count *)
+  jlocal : Circuit.t; (* group circuit on local qubits *)
+  mutable resolved : (float * float) option; (* (duration, fidelity) *)
+  mutable batch_rep : pulse_job option; (* earlier in-batch equivalent *)
+  mutable computed : (float * float) option; (* phase-2 result, reps only *)
+}
+
+(* A regroup candidate: every group paired with its pulse job, or [None]
+   for virtual (diagonal single-qubit) groups that cost nothing. *)
+type grouping = (Partition.block * pulse_job option) list
+
+type t = {
+  name : string;
+  n : int; (* qubit count *)
+  input : Circuit.t; (* the untouched input circuit *)
+  input_depth : int;
+  circuit : Circuit.t; (* current gate-level circuit *)
+  zx_used_graph : bool; (* this candidate came from ZX extraction *)
+  opt_depth : int; (* depth after graph optimization, before reorder *)
+  blocks : Partition.block list; (* partition stage output *)
+  synth : (Partition.block * Synthesis.block_result) list;
+  vug_circuit : Circuit.t; (* synthesis stage output, reassembled *)
+  groupings : grouping list; (* regroup sweep candidates *)
+  pulse_jobs : int; (* jobs resolved by the pulse stage *)
+  pulse_computed : int; (* jobs that needed a fresh computation *)
+  instructions : Schedule.instruction list; (* gate-based flow only *)
+  schedule : Schedule.t option; (* scheduling stage output *)
+}
+
+let of_circuit ~name (circuit : Circuit.t) =
+  let n = Circuit.n_qubits circuit in
+  {
+    name;
+    n;
+    input = circuit;
+    input_depth = Circuit.depth circuit;
+    circuit;
+    zx_used_graph = false;
+    opt_depth = Circuit.depth circuit;
+    blocks = [];
+    synth = [];
+    vug_circuit = Circuit.empty n;
+    groupings = [];
+    pulse_jobs = 0;
+    pulse_computed = 0;
+    instructions = [];
+    schedule = None;
+  }
+
+(* Candidate entry point: a graph-stage output adopted as the current
+   circuit, with the pre-reorder depth recorded for [stage_stats]. *)
+let with_candidate ir (circuit : Circuit.t) ~zx_used_graph =
+  { ir with circuit; zx_used_graph; opt_depth = Circuit.depth circuit }
+
+let schedule_exn ir =
+  match ir.schedule with
+  | Some s -> s
+  | None -> invalid_arg "Ir.schedule_exn: no scheduling pass ran"
+
+let synthesized_blocks ir =
+  List.length
+    (List.filter (fun (_, r) -> r.Synthesis.source = Synthesis.Synthesized) ir.synth)

@@ -1,0 +1,70 @@
+(* The pass manager: a pipeline is a declarative list of named passes run
+   in order over an [Ir.t], every pass wrapped in a [Trace] span that
+   records its wall-clock window and stage counters.
+
+   A pass sees a [ctx] with everything shared across stages — the config,
+   the domain pool, the pulse library, the trace sink and the memoized
+   hardware-model constructor — and must obey the pipeline's determinism
+   contract: identical output for any pool size (see lib/epoc/pipeline.ml). *)
+
+open Epoc_parallel
+open Epoc_pulse
+open Epoc_qoc
+
+type ctx = {
+  config : Config.t;
+  pool : Pool.t;
+  library : Library.t;
+  trace : Trace.t;
+  hardware : int -> Hardware.t; (* memoized per (dt, t_coherence, k) *)
+}
+
+let make_ctx ?(pool = Pool.sequential) ?trace (config : Config.t) library =
+  {
+    config;
+    pool;
+    library;
+    trace = (match trace with Some t -> t | None -> Trace.create ());
+    hardware =
+      (fun k ->
+        Hardware.shared ~dt:config.Config.dt
+          ~t_coherence:config.Config.t_coherence k);
+  }
+
+(* A ctx tracing into a private sink, for candidate fan-out: the caller
+   absorbs the child trace after the parallel region. *)
+let with_child_trace ctx =
+  let trace = Trace.create () in
+  ({ ctx with trace }, trace)
+
+module type PASS = sig
+  val name : string
+
+  val run : ctx -> Ir.t -> Ir.t
+
+  val counters : ctx -> Ir.t -> (string * int) list
+  (** Stage counters reported into the trace, computed on the pass output. *)
+end
+
+type t = (module PASS)
+
+let make ?(counters = fun _ _ -> []) name run : t =
+  (module struct
+    let name = name
+    let run = run
+    let counters = counters
+  end)
+
+let name (p : t) =
+  let (module P) = p in
+  P.name
+
+(* Run one pass inside a trace span. *)
+let run_one ctx (p : t) ir =
+  let (module P) = p in
+  Trace.span_with ctx.trace P.name (fun () ->
+      let ir = P.run ctx ir in
+      (ir, P.counters ctx ir))
+
+let run_list ctx (passes : t list) ir =
+  List.fold_left (fun ir p -> run_one ctx p ir) ir passes

@@ -1,12 +1,11 @@
-(* The EPOC pipeline (paper Figure 3, right column):
+(* The EPOC pipeline (paper Figure 3, right column), as a pass pipeline:
 
      input circuit
-       -> ZX graph optimization        (Epoc_zx.Zx.optimize)
-       -> greedy partition             (Epoc_partition.Partition)
-       -> per-block VUG synthesis      (Epoc_synthesis.Synthesis)
-       -> regrouping                   (Partition again, on the VUG circuit)
-       -> pulse generation per group   (library lookup, else GRAPE/estimate)
-       -> ASAP schedule on qubit lines (Epoc_pulse.Schedule)
+       -> ZX graph optimization        (Epoc_zx.Zx.optimize, candidates)
+       -> per candidate, the declarative pass list of [candidate_passes]:
+            reorder | partition | synthesis | reorder-vug
+            | regroup | pulses | schedule            (lib/epoc/stages.ml)
+       -> best candidate schedule wins
 
    Soundness: every stage output is unitarily equivalent to its input (ZX
    verifies or falls back; synthesis verifies or falls back; partitioning
@@ -19,23 +18,22 @@
    representations.  Every parallel region is either pure (fixed RNG
    seeds, no shared mutable state) or works on a forked library that is
    absorbed in a fixed order, and all fan-outs preserve item order, so
-   results are bit-identical for any domain count. *)
+   results are bit-identical for any domain count.
+
+   Tracing: every pass runs inside a [Trace] span with stage counters;
+   candidate compilation traces into per-candidate child sinks absorbed
+   in candidate order under "candN/" prefixes.  The trace rides on the
+   result and is the only non-deterministic part of it (wall-clock). *)
 
 open Epoc_linalg
 open Epoc_circuit
-open Epoc_partition
-open Epoc_synthesis
 open Epoc_qoc
 open Epoc_pulse
 open Epoc_parallel
 
-let log_src = Logs.Src.create "epoc.pipeline" ~doc:"EPOC pipeline"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
-
 type stage_stats = {
   input_depth : int;
-  zx_depth : int; (* depth after graph optimization *)
+  zx_depth : int; (* depth after graph optimization, before reordering *)
   zx_used_graph : bool;
   blocks : int;
   synthesized_blocks : int; (* blocks where search beat the direct form *)
@@ -53,31 +51,24 @@ type result = {
   stats : stage_stats;
   library_stats : Library.stats;
   qoc_mode : Config.qoc_mode;
+  trace : Trace.t; (* per-stage wall-clock + counters *)
 }
 
-(* Pulse duration + fidelity for one regrouped unitary, without touching
-   the library: the pure, parallelizable half of pulse generation. *)
-let compute_pulse (config : Config.t) (hw_block : Hardware.t)
-    ~(vug_circuit : Circuit.t) (u : Mat.t) =
-  match config.Config.qoc_mode with
-  | Config.Estimate ->
-      let e = Latency.estimate ~unitary:u hw_block vug_circuit in
-      (e.Latency.est_duration, e.Latency.est_fidelity)
-  | Config.Grape -> (
-      let guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
-      match
-        Latency.find_min_duration ~options:config.Config.latency
-          ~initial_guess:guess hw_block u
-      with
-      | Some s -> (s.Latency.duration, s.Latency.fidelity)
-      | None ->
-          (* duration search exhausted: fall back to the estimate so the
-             pipeline still emits a (pessimistic) pulse *)
-          let e = Latency.estimate ~unitary:u hw_block vug_circuit in
-          Log.warn (fun m ->
-              m "GRAPE duration search failed on a %d-qubit block"
-                hw_block.Hardware.n);
-          (2.0 *. e.Latency.est_duration, 0.99))
+(* A compilation flow: a graph stage producing equivalent candidate
+   representations (with trace counters), and a config-derived pass list
+   each candidate runs through.  [run] instantiates it for EPOC; the
+   baselines in baselines.ml reuse the same driver with their own pass
+   lists. *)
+type flow = {
+  graph :
+    Pass.ctx -> Circuit.t -> (Circuit.t * bool) list * (string * int) list;
+  passes : Config.t -> Pass.t list;
+}
+
+(* Hardware model for [k] qubits under [config]'s physical parameters,
+   memoized process-wide (lib/qoc/hardware.ml). *)
+let hardware_for (config : Config.t) k =
+  Hardware.shared ~dt:config.Config.dt ~t_coherence:config.Config.t_coherence k
 
 (* Library-backed resolution of a single unitary, for callers outside the
    batched pipeline path. *)
@@ -86,366 +77,134 @@ let pulse_for (config : Config.t) (library : Library.t) (hw_block : Hardware.t)
   match Library.find library u with
   | Some e -> (e.Library.duration, e.Library.fidelity)
   | None ->
-      let duration, fidelity = compute_pulse config hw_block ~vug_circuit u in
+      let duration, fidelity =
+        Stages.compute_pulse config hw_block ~vug_circuit u
+      in
       Library.add library u ~duration ~fidelity ();
       (duration, fidelity)
 
-let hardware_for (config : Config.t) k =
-  Hardware.make ~dt:config.Config.dt ~t_coherence:config.Config.t_coherence k
+(* The EPOC per-candidate pipeline, declaratively derived from the
+   config: which passes run (reorder, regroup sweep vs trivial grouping)
+   is decided here, how each runs is decided inside the pass. *)
+let candidate_passes (config : Config.t) : Pass.t list =
+  (if config.Config.commutation_reorder then [ Stages.reorder_gates ] else [])
+  @ [ Stages.partition; Stages.synthesis ]
+  @ (if config.Config.commutation_reorder then [ Stages.reorder_vugs ] else [])
+  @ [
+      (if config.Config.regroup then Stages.regroup_sweep
+       else Stages.regroup_trivial);
+      Stages.pulses;
+      Stages.schedule;
+    ]
 
-(* Two pulse instructions commute when every pair of their constituent
-   gates sharing a qubit commutes syntactically (conservative). *)
-let instructions_commute ops_a ops_b =
-  List.for_all
-    (fun (a : Circuit.op) ->
-      List.for_all
-        (fun (b : Circuit.op) ->
-          (not (List.exists (fun q -> List.mem q b.Circuit.qubits) a.Circuit.qubits))
-          || Peephole.commutes a b)
-        ops_b)
-    ops_a
-
-(* Greedy commutation-aware list scheduling of pulse instructions:
-   repeatedly emit the ready instruction with the earliest achievable
-   start time.  Ready = all earlier non-commuting qubit-sharing
-   instructions already emitted, so the reordering only swaps commuting
-   or disjoint pulses. *)
-let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
-  let arr = Array.of_list items in
-  let n = Array.length arr in
-  let deps = Array.make n [] in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let (ii, iops) = arr.(i) and (ji, jops) = arr.(j) in
-      let shares =
-        List.exists (fun q -> List.mem q ji.Schedule.qubits) ii.Schedule.qubits
-      in
-      if shares && not (instructions_commute iops jops) then deps.(j) <- i :: deps.(j)
-    done
-  done;
-  let emitted = Array.make n false in
-  let finish = Array.make n 0.0 in
-  let line : (int, float) Hashtbl.t = Hashtbl.create 16 in
-  let line_time q = Option.value ~default:0.0 (Hashtbl.find_opt line q) in
-  let order = ref [] in
-  for _ = 1 to n do
-    let best = ref (-1) in
-    let best_start = ref infinity in
-    for i = 0 to n - 1 do
-      if (not emitted.(i)) && List.for_all (fun d -> emitted.(d)) deps.(i) then begin
-        let instr, _ = arr.(i) in
-        let dep_ready = List.fold_left (fun acc d -> Float.max acc finish.(d)) 0.0 deps.(i) in
-        let line_ready =
-          List.fold_left (fun acc q -> Float.max acc (line_time q)) 0.0
-            instr.Schedule.qubits
-        in
-        let start = Float.max dep_ready line_ready in
-        if start < !best_start then begin
-          best_start := start;
-          best := i
-        end
-      end
-    done;
-    let i = !best in
-    let instr, _ = arr.(i) in
-    emitted.(i) <- true;
-    let fin = !best_start +. instr.Schedule.duration in
-    finish.(i) <- fin;
-    List.iter (fun q -> Hashtbl.replace line q fin) instr.Schedule.qubits;
-    order := instr :: !order
-  done;
-  List.rev !order
-
-(* One pulse to generate: a non-virtual group of the regrouped circuit.
-   Jobs are shared between the grouping that owns them and the flat batch
-   that resolves them, so resolution is recorded in place. *)
-type pulse_job = {
-  ju : Mat.t; (* group unitary *)
-  jk : int; (* group qubit count *)
-  jlocal : Circuit.t; (* group circuit on local qubits *)
-  mutable resolved : (float * float) option; (* (duration, fidelity) *)
-  mutable batch_rep : pulse_job option; (* earlier in-batch equivalent *)
-  mutable computed : (float * float) option; (* phase-2 result, reps only *)
-}
-
-(* Resolve every job against the library in three phases whose library
-   interaction order is independent of the domain count:
-
-   1. sequentially, in job order: probe the library; misses become
-      compute representatives unless an earlier representative already
-      covers an equivalent unitary (then the job aliases it — the
-      sequential pipeline would have hit the entry that representative
-      was about to add);
-   2. in parallel: run the pure pulse computation for each representative;
-   3. sequentially, in job order: representatives add their entry (and
-      count nothing — their miss was counted in phase 1), aliases re-probe
-      and register the hit their sequential counterpart would have had.
-
-   The counter totals and the stored entries are exactly those of a fully
-   sequential run. *)
-let resolve_pulses (config : Config.t) pool library ~hardware jobs =
-  let reps = ref [] in
-  List.iter
-    (fun j ->
-      let cu = Library.canonicalize library j.ju in
-      let key = Library.fingerprint cu in
-      match
-        List.find_opt
-          (fun (key', cu', _) -> key' = key && Library.matches library cu' cu)
-          !reps
-      with
-      | Some (_, _, r) -> j.batch_rep <- Some r
-      | None -> (
-          match Library.find library j.ju with
-          | Some e -> j.resolved <- Some (e.Library.duration, e.Library.fidelity)
-          | None -> reps := (key, cu, j) :: !reps))
-    jobs;
-  let reps = List.rev !reps in
-  (* warm the hardware cache before fanning out: phase 2 only reads it *)
-  List.iter (fun (_, _, j) -> ignore (hardware j.jk)) reps;
-  let computed =
-    Pool.map pool
-      (fun (_, _, j) ->
-        compute_pulse config (hardware j.jk) ~vug_circuit:j.jlocal j.ju)
-      reps
-  in
-  List.iter2 (fun (_, _, j) v -> j.computed <- Some v) reps computed;
-  List.iter
-    (fun j ->
-      if j.resolved = None then
-        match j.batch_rep with
-        | Some r -> (
-            match Library.find library j.ju with
-            | Some e ->
-                j.resolved <- Some (e.Library.duration, e.Library.fidelity)
-            | None -> j.resolved <- r.resolved)
-        | None ->
-            let duration, fidelity = Option.get j.computed in
-            Library.add library j.ju ~duration ~fidelity ();
-            j.resolved <- Some (duration, fidelity))
-    jobs
-
-(* First minimum by schedule latency; ties keep the earliest candidate so
-   selection matches a stable sort regardless of evaluation order. *)
-let best_schedule pairs =
-  match pairs with
-  | [] -> assert false
-  | first :: rest ->
-      List.fold_left
-        (fun (bs, bx) (s, x) ->
-          if Schedule.latency s < Schedule.latency bs then (s, x) else (bs, bx))
-        first rest
-
-(* Compile one equivalent representation of the input circuit down to a
-   schedule.  [run] calls this for each candidate produced by the graph
-   stage and keeps the best result. *)
-let compile_candidate (config : Config.t) ?(pool = Pool.sequential) library ~n
-    ~zx_used_graph ~input_depth (optimized : Circuit.t) =
-  (* commutation analysis: slide commuting gates into parallel layers *)
-  let optimized =
-    if config.Config.commutation_reorder then Reorder.commutation_aware optimized
-    else optimized
-  in
-  (* 2. greedy partition *)
-  let blocks = Partition.partition ~config:config.Config.partition optimized in
-  (* 3. VUG synthesis per block — independent searches with fixed seeds,
-     fanned out over the pool *)
-  let synth_results =
-    Pool.map pool
-      (fun b ->
-        let local = Partition.block_circuit b in
-        let r =
-          if config.Config.use_synthesis then
-            Synthesis.synthesize_block ~options:config.Config.synthesis local
-          else
-            {
-              Synthesis.circuit = Synthesis.vug_form local;
-              source = Synthesis.Fallback;
-              distance = 0.0;
-              expansions = 0;
-            }
-        in
-        (b, r))
-      blocks
-  in
-  let synthesized_count =
-    List.length
-      (List.filter
-         (fun (_, r) -> r.Synthesis.source = Synthesis.Synthesized)
-         synth_results)
-  in
-  let vug_circuit =
-    List.fold_left
-      (fun acc (b, r) ->
-        Circuit.append acc
-          (Partition.circuit_on_block_qubits b r.Synthesis.circuit ~n))
-      (Circuit.empty n) synth_results
-  in
-  let vug_circuit =
-    if config.Config.commutation_reorder then Reorder.commutation_aware vug_circuit
-    else vug_circuit
-  in
-  (* 4. regroup (or treat each VUG/CX as its own pulse).  Several regroup
-     widths are explored and the schedule with the lowest latency wins:
-     wider groups pack pulses tighter but occupy more qubit lines. *)
-  let trivial_groups =
-    List.map
-      (fun (op : Circuit.op) ->
-        { Partition.qubits = List.sort compare op.Circuit.qubits; ops = [ op ] })
-      (Circuit.ops vug_circuit)
-  in
-  let group_candidates =
-    if config.Config.regroup then
-      let widths =
-        match config.Config.regroup_widths with
-        | [] -> [ config.Config.regroup_partition.Partition.qubit_limit ]
-        | ws -> ws
-      in
-      (* the trivial per-op grouping is always a candidate, so regrouping
-         can only improve the schedule *)
-      trivial_groups
-      :: List.map
-           (fun w ->
-             Partition.partition
-               ~config:
-                 { config.Config.regroup_partition with Partition.qubit_limit = w }
-               vug_circuit)
-           widths
-    else [ trivial_groups ]
-  in
-  (* 5. pulse generation: annotate every group across all regroupings,
-     then resolve the whole batch at once; diagonal single-qubit groups
-     are virtual-Z frame updates and cost nothing (as on real transmon
-     stacks) *)
-  let hw_cache : (int, Hardware.t) Hashtbl.t = Hashtbl.create 4 in
-  let hardware k =
-    match Hashtbl.find_opt hw_cache k with
-    | Some hw -> hw
-    | None ->
-        let hw = hardware_for config k in
-        Hashtbl.add hw_cache k hw;
-        hw
-  in
-  let annotated =
-    List.map
-      (fun groups ->
-        List.map
-          (fun (g : Partition.block) ->
-            let local = Partition.block_circuit g in
-            let u = Circuit.unitary local in
-            let k = Circuit.n_qubits local in
-            if k = 1 && Mat.is_diagonal ~eps:1e-9 u then (g, None)
-            else
-              ( g,
-                Some
-                  {
-                    ju = u;
-                    jk = k;
-                    jlocal = local;
-                    resolved = None;
-                    batch_rep = None;
-                    computed = None;
-                  } ))
-          groups)
-      group_candidates
-  in
-  let jobs = List.concat_map (List.filter_map snd) annotated in
-  resolve_pulses config pool library ~hardware jobs;
-  (* 6. build one schedule per regrouping (pure, fanned out) and keep the
-     lowest-latency one *)
-  let schedules =
-    Pool.map pool
-      (fun groups ->
-        let items =
-          List.filter_map
-            (fun ((g : Partition.block), job) ->
-              Option.map
-                (fun j ->
-                  let duration, fidelity = Option.get j.resolved in
-                  ( {
-                      Schedule.qubits = g.Partition.qubits;
-                      duration;
-                      fidelity;
-                      label = Fmt.str "g%d" j.jk;
-                    },
-                    g.Partition.ops ))
-                job)
-            groups
-        in
-        let ordered =
-          if config.Config.commutation_reorder then list_schedule items
-          else List.map fst items
-        in
-        Schedule.schedule ~n ordered)
-      annotated
-  in
-  let schedule, _groups =
-    best_schedule (List.combine schedules group_candidates)
-  in
-  ( schedule,
-    {
-      input_depth;
-      zx_depth = Circuit.depth optimized;
-      zx_used_graph;
-      blocks = List.length blocks;
-      synthesized_blocks = synthesized_count;
-      vug_count = Circuit.single_qubit_count vug_circuit;
-      cx_count = Circuit.count_gate "cx" vug_circuit;
-      pulse_count = Schedule.instruction_count schedule;
-    } )
-
-(* Run the full pipeline on [circuit].  The graph stage yields up to two
-   equivalent representations (ZX-extracted and peephole-optimized); both
-   are compiled in parallel — each against a fork of the library, merged
-   back in candidate order — and the lower-latency schedule wins: the
+(* Graph-based depth optimization: the stage yields up to two equivalent
+   representations (ZX-extracted and peephole-optimized) — the
    "continuous optimization through equivalent representations" of the
    paper. *)
-let run ?(config = Config.default) ?library ?pool ~name (circuit : Circuit.t) =
+let epoc_graph (ctx : Pass.ctx) (circuit : Circuit.t) =
+  if ctx.Pass.config.Config.use_zx then begin
+    let graph = Epoc_zx.Zx.optimize circuit in
+    let peephole =
+      Epoc_zx.Zx.optimize ~strategy:Epoc_zx.Zx.Peephole_only circuit
+    in
+    let candidates =
+      if graph.Epoc_zx.Zx.used = Epoc_zx.Zx.Graph then
+        [ (graph.Epoc_zx.Zx.circuit, true); (peephole.Epoc_zx.Zx.circuit, false) ]
+      else [ (peephole.Epoc_zx.Zx.circuit, false) ]
+    in
+    (candidates, ("candidates", List.length candidates) :: Epoc_zx.Zx.counters graph)
+  end
+  else ([ (circuit, false) ], [ ("candidates", 1) ])
+
+let epoc_flow = { graph = epoc_graph; passes = candidate_passes }
+
+let stats_of_ir (ir : Ir.t) =
+  {
+    input_depth = ir.Ir.input_depth;
+    zx_depth = ir.Ir.opt_depth;
+    zx_used_graph = ir.Ir.zx_used_graph;
+    blocks = List.length ir.Ir.blocks;
+    synthesized_blocks = Ir.synthesized_blocks ir;
+    vug_count = Circuit.single_qubit_count ir.Ir.vug_circuit;
+    cx_count = Circuit.count_gate "cx" ir.Ir.vug_circuit;
+    pulse_count = Schedule.instruction_count (Ir.schedule_exn ir);
+  }
+
+(* Compile one candidate representation down to a schedule by running the
+   flow's pass list over a fresh IR, tracing into [ctx]'s sink. *)
+let compile_candidate (ctx : Pass.ctx) passes ir0 ((optimized : Circuit.t), zx_used_graph)
+    =
+  let ir = Ir.with_candidate ir0 optimized ~zx_used_graph in
+  Pass.run_list ctx passes ir
+
+(* Run a flow on [circuit]: graph stage, candidate fan-out — each
+   candidate against a fork of the library and a private trace sink,
+   merged back in candidate order — and best-schedule selection. *)
+let run_flow ?(config = Config.default) ?library ?pool ?trace ~name flow
+    (circuit : Circuit.t) =
   let t0 = Unix.gettimeofday () in
   let pool = match pool with Some p -> p | None -> Pool.create () in
-  let n = Circuit.n_qubits circuit in
   let library =
     match library with
     | Some l -> l
     | None -> Library.create ~match_global_phase:config.Config.match_global_phase ()
   in
-  (* 1. graph-based depth optimization: collect candidates *)
+  let ctx = Pass.make_ctx ~pool ?trace config library in
+  let trace = ctx.Pass.trace in
   let candidates =
-    if config.Config.use_zx then begin
-      let graph = Epoc_zx.Zx.optimize circuit in
-      let peephole =
-        Epoc_zx.Zx.optimize ~strategy:Epoc_zx.Zx.Peephole_only circuit
-      in
-      if graph.Epoc_zx.Zx.used = Epoc_zx.Zx.Graph then
-        [ (graph.Epoc_zx.Zx.circuit, true); (peephole.Epoc_zx.Zx.circuit, false) ]
-      else [ (peephole.Epoc_zx.Zx.circuit, false) ]
-    end
-    else [ (circuit, false) ]
+    Trace.span_with trace "graph" (fun () -> flow.graph ctx circuit)
   in
-  let input_depth = Circuit.depth circuit in
+  let passes = flow.passes config in
+  let ir0 = Ir.of_circuit ~name circuit in
   let compiled =
-    match candidates with
-    | [ (optimized, zx_used_graph) ] ->
-        [ compile_candidate config ~pool library ~n ~zx_used_graph ~input_depth
-            optimized ]
-    | _ ->
-        (* fork the library per candidate so candidate compilation is free
-           of cross-candidate ordering; absorb in candidate order after *)
-        let forked =
-          List.map (fun cand -> (cand, Library.fork library)) candidates
+    Trace.span_with trace "candidates" (fun () ->
+        let irs =
+          match candidates with
+          | [ candidate ] ->
+              (* single candidate: compile against the shared library *)
+              let cctx, ctrace = Pass.with_child_trace ctx in
+              let ir = compile_candidate cctx passes ir0 candidate in
+              Trace.absorb trace ~prefix:"cand0/" ctrace;
+              [ ir ]
+          | _ ->
+              (* fork the library per candidate so candidate compilation
+                 is free of cross-candidate ordering; absorb library and
+                 trace in candidate order after *)
+              let forked =
+                List.map
+                  (fun cand -> (cand, Library.fork library, Trace.create ()))
+                  candidates
+              in
+              let irs =
+                Pool.map pool
+                  (fun (cand, flib, ctrace) ->
+                    let cctx =
+                      { ctx with Pass.library = flib; trace = ctrace }
+                    in
+                    compile_candidate cctx passes ir0 cand)
+                  forked
+              in
+              List.iteri
+                (fun i (_, flib, ctrace) ->
+                  Library.absorb library flib;
+                  Trace.absorb trace ~prefix:(Fmt.str "cand%d/" i) ctrace)
+                forked;
+              irs
         in
-        let results =
-          Pool.map pool
-            (fun (((optimized : Circuit.t), zx_used_graph), flib) ->
-              compile_candidate config ~pool flib ~n ~zx_used_graph ~input_depth
-                optimized)
-            forked
-        in
-        List.iter (fun (_, flib) -> Library.absorb library flib) forked;
-        results
+        (irs, [ ("candidates", List.length irs) ]))
   in
-  let schedule, stats = best_schedule compiled in
-  let esp = Esp.of_schedule ~t_coherence:config.Config.t_coherence schedule in
+  let schedule, stats =
+    Trace.span trace "select" (fun () ->
+        let schedule, best =
+          Stages.best_by_latency
+            (List.map (fun ir -> (Ir.schedule_exn ir, ir)) compiled)
+        in
+        (schedule, stats_of_ir best))
+  in
+  let esp =
+    Trace.span trace "esp" (fun () ->
+        Esp.of_schedule ~t_coherence:config.Config.t_coherence schedule)
+  in
   let compile_time = Unix.gettimeofday () -. t0 in
   {
     name;
@@ -456,4 +215,9 @@ let run ?(config = Config.default) ?library ?pool ~name (circuit : Circuit.t) =
     stats;
     library_stats = Library.stats library;
     qoc_mode = config.Config.qoc_mode;
+    trace;
   }
+
+(* Run the full EPOC pipeline on [circuit]. *)
+let run ?config ?library ?pool ?trace ~name (circuit : Circuit.t) =
+  run_flow ?config ?library ?pool ?trace ~name epoc_flow circuit

@@ -1,0 +1,393 @@
+(* Concrete passes of the EPOC pipeline (paper Figure 3), over the
+   [Ir.t] compilation IR:
+
+     reorder    commutation-aware gate reordering
+     partition  greedy partition                  (Epoc_partition.Partition)
+     synthesis  per-block VUG synthesis           (Epoc_synthesis.Synthesis)
+     reorder-vug  reordering of the VUG circuit
+     regroup    regroup sweep (or trivial per-op groups)
+     pulses     pulse generation per group        (library + GRAPE/estimate)
+     schedule   ASAP schedule per grouping, keep the lowest latency
+
+   Each pass preserves the determinism contract stated in
+   lib/epoc/pipeline.ml: every parallel fan-out is pure or works on
+   forked state merged in a fixed order, and preserves item order, so
+   results are bit-identical for any domain count. *)
+
+open Epoc_linalg
+open Epoc_circuit
+open Epoc_partition
+open Epoc_synthesis
+open Epoc_qoc
+open Epoc_pulse
+open Epoc_parallel
+
+let log_src = Logs.Src.create "epoc.pipeline" ~doc:"EPOC pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Pulse duration + fidelity for one regrouped unitary, without touching
+   the library: the pure, parallelizable half of pulse generation. *)
+let compute_pulse (config : Config.t) (hw_block : Hardware.t)
+    ~(vug_circuit : Circuit.t) (u : Mat.t) =
+  match config.Config.qoc_mode with
+  | Config.Estimate ->
+      let e = Latency.estimate ~unitary:u hw_block vug_circuit in
+      (e.Latency.est_duration, e.Latency.est_fidelity)
+  | Config.Grape -> (
+      let guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
+      match
+        Latency.find_min_duration ~options:config.Config.latency
+          ~initial_guess:guess hw_block u
+      with
+      | Some s -> (s.Latency.duration, s.Latency.fidelity)
+      | None ->
+          (* duration search exhausted: fall back to the estimate so the
+             pipeline still emits a (pessimistic) pulse *)
+          let e = Latency.estimate ~unitary:u hw_block vug_circuit in
+          Log.warn (fun m ->
+              m "GRAPE duration search failed on a %d-qubit block"
+                hw_block.Hardware.n);
+          (2.0 *. e.Latency.est_duration, 0.99))
+
+(* Two pulse instructions commute when every pair of their constituent
+   gates sharing a qubit commutes syntactically (conservative). *)
+let instructions_commute ops_a ops_b =
+  List.for_all
+    (fun (a : Circuit.op) ->
+      List.for_all
+        (fun (b : Circuit.op) ->
+          (not (List.exists (fun q -> List.mem q b.Circuit.qubits) a.Circuit.qubits))
+          || Peephole.commutes a b)
+        ops_b)
+    ops_a
+
+(* Greedy commutation-aware list scheduling of pulse instructions:
+   repeatedly emit the ready instruction with the earliest achievable
+   start time.  Ready = all earlier non-commuting qubit-sharing
+   instructions already emitted, so the reordering only swaps commuting
+   or disjoint pulses. *)
+let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let deps = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let (ii, iops) = arr.(i) and (ji, jops) = arr.(j) in
+      let shares =
+        List.exists (fun q -> List.mem q ji.Schedule.qubits) ii.Schedule.qubits
+      in
+      if shares && not (instructions_commute iops jops) then deps.(j) <- i :: deps.(j)
+    done
+  done;
+  let emitted = Array.make n false in
+  let finish = Array.make n 0.0 in
+  let line : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let line_time q = Option.value ~default:0.0 (Hashtbl.find_opt line q) in
+  let order = ref [] in
+  for _ = 1 to n do
+    let best = ref (-1) in
+    let best_start = ref infinity in
+    for i = 0 to n - 1 do
+      if (not emitted.(i)) && List.for_all (fun d -> emitted.(d)) deps.(i) then begin
+        let instr, _ = arr.(i) in
+        let dep_ready = List.fold_left (fun acc d -> Float.max acc finish.(d)) 0.0 deps.(i) in
+        let line_ready =
+          List.fold_left (fun acc q -> Float.max acc (line_time q)) 0.0
+            instr.Schedule.qubits
+        in
+        let start = Float.max dep_ready line_ready in
+        if start < !best_start then begin
+          best_start := start;
+          best := i
+        end
+      end
+    done;
+    let i = !best in
+    let instr, _ = arr.(i) in
+    emitted.(i) <- true;
+    let fin = !best_start +. instr.Schedule.duration in
+    finish.(i) <- fin;
+    List.iter (fun q -> Hashtbl.replace line q fin) instr.Schedule.qubits;
+    order := instr :: !order
+  done;
+  List.rev !order
+
+(* Resolve every job against the library in three phases whose library
+   interaction order is independent of the domain count:
+
+   1. sequentially, in job order: probe the library; misses become
+      compute representatives unless an earlier representative already
+      covers an equivalent unitary (then the job aliases it — the
+      sequential pipeline would have hit the entry that representative
+      was about to add);
+   2. in parallel: run the pure pulse computation for each representative;
+   3. sequentially, in job order: representatives add their entry (and
+      count nothing — their miss was counted in phase 1), aliases re-probe
+      and register the hit their sequential counterpart would have had.
+
+   The counter totals and the stored entries are exactly those of a fully
+   sequential run.  Phase 1 finds the covering representative through a
+   fingerprint-keyed table (a bucket holds pairwise non-matching
+   representatives, so at most one bucket entry can match a probe),
+   keeping the scan O(jobs) instead of O(jobs^2).
+
+   Returns (jobs, representatives) counts for the stage report. *)
+let resolve_pulses (config : Config.t) pool library ~hardware jobs =
+  let rep_tbl : (string, (Mat.t * Ir.pulse_job) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let reps = ref [] in
+  List.iter
+    (fun (j : Ir.pulse_job) ->
+      let cu = Library.canonicalize library j.Ir.ju in
+      let key = Library.fingerprint cu in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt rep_tbl key) in
+      match
+        List.find_opt (fun (cu', _) -> Library.matches library cu' cu) bucket
+      with
+      | Some (_, r) -> j.Ir.batch_rep <- Some r
+      | None -> (
+          match Library.find library j.Ir.ju with
+          | Some e -> j.Ir.resolved <- Some (e.Library.duration, e.Library.fidelity)
+          | None ->
+              Hashtbl.replace rep_tbl key ((cu, j) :: bucket);
+              reps := j :: !reps))
+    jobs;
+  let reps = List.rev !reps in
+  (* warm the hardware memo before fanning out: phase 2 only reads it *)
+  List.iter (fun (j : Ir.pulse_job) -> ignore (hardware j.Ir.jk)) reps;
+  let computed =
+    Pool.map pool
+      (fun (j : Ir.pulse_job) ->
+        compute_pulse config (hardware j.Ir.jk) ~vug_circuit:j.Ir.jlocal j.Ir.ju)
+      reps
+  in
+  List.iter2 (fun (j : Ir.pulse_job) v -> j.Ir.computed <- Some v) reps computed;
+  List.iter
+    (fun (j : Ir.pulse_job) ->
+      if j.Ir.resolved = None then
+        match j.Ir.batch_rep with
+        | Some r -> (
+            match Library.find library j.Ir.ju with
+            | Some e ->
+                j.Ir.resolved <- Some (e.Library.duration, e.Library.fidelity)
+            | None -> j.Ir.resolved <- r.Ir.resolved)
+        | None ->
+            let duration, fidelity = Option.get j.Ir.computed in
+            Library.add library j.Ir.ju ~duration ~fidelity ();
+            j.Ir.resolved <- Some (duration, fidelity))
+    jobs;
+  (List.length jobs, List.length reps)
+
+(* First minimum by schedule latency; ties keep the earliest candidate so
+   selection matches a stable sort regardless of evaluation order. *)
+let best_by_latency pairs =
+  match pairs with
+  | [] -> invalid_arg "best_by_latency: no schedules"
+  | first :: rest ->
+      List.fold_left
+        (fun (bs, bx) (s, x) ->
+          if Schedule.latency s < Schedule.latency bs then (s, x) else (bs, bx))
+        first rest
+
+let resolved_durations (ir : Ir.t) =
+  List.concat_map
+    (List.filter_map (fun (_, job) ->
+         Option.bind job (fun (j : Ir.pulse_job) -> j.Ir.resolved)))
+    ir.Ir.groupings
+
+(* --- passes -------------------------------------------------------------- *)
+
+(* Commutation analysis: slide commuting gates into parallel layers. *)
+let reorder_gates =
+  Pass.make "reorder"
+    ~counters:(fun _ (ir : Ir.t) -> [ ("depth", Circuit.depth ir.Ir.circuit) ])
+    (fun _ctx ir ->
+      { ir with Ir.circuit = Reorder.commutation_aware ir.Ir.circuit })
+
+(* Greedy partition of the current gate-level circuit. *)
+let partition =
+  Pass.make "partition"
+    ~counters:(fun _ (ir : Ir.t) ->
+      Partition.counters (Partition.stage_report ir.Ir.blocks))
+    (fun ctx ir ->
+      {
+        ir with
+        Ir.blocks =
+          Partition.partition ~config:ctx.Pass.config.Config.partition
+            ir.Ir.circuit;
+      })
+
+(* VUG synthesis per block — independent searches with fixed seeds,
+   fanned out over the pool — and reassembly into the VUG circuit. *)
+let synthesis =
+  Pass.make "synthesis"
+    ~counters:(fun _ (ir : Ir.t) ->
+      Synthesis.counters (Synthesis.stage_report (List.map snd ir.Ir.synth)))
+    (fun ctx ir ->
+      let config = ctx.Pass.config in
+      let synth =
+        Pool.map ctx.Pass.pool
+          (fun b ->
+            let local = Partition.block_circuit b in
+            let r =
+              if config.Config.use_synthesis then
+                Synthesis.synthesize_block ~options:config.Config.synthesis local
+              else
+                {
+                  Synthesis.circuit = Synthesis.vug_form local;
+                  source = Synthesis.Fallback;
+                  distance = 0.0;
+                  expansions = 0;
+                }
+            in
+            (b, r))
+          ir.Ir.blocks
+      in
+      let vug_circuit =
+        List.fold_left
+          (fun acc (b, r) ->
+            Circuit.append acc
+              (Partition.circuit_on_block_qubits b r.Synthesis.circuit
+                 ~n:ir.Ir.n))
+          (Circuit.empty ir.Ir.n) synth
+      in
+      { ir with Ir.synth; vug_circuit })
+
+(* Commutation analysis on the synthesized VUG circuit. *)
+let reorder_vugs =
+  Pass.make "reorder-vug"
+    ~counters:(fun _ (ir : Ir.t) ->
+      [ ("depth", Circuit.depth ir.Ir.vug_circuit) ])
+    (fun _ctx ir ->
+      { ir with Ir.vug_circuit = Reorder.commutation_aware ir.Ir.vug_circuit })
+
+let trivial_groups (vug_circuit : Circuit.t) =
+  List.map
+    (fun (op : Circuit.op) ->
+      { Partition.qubits = List.sort compare op.Circuit.qubits; ops = [ op ] })
+    (Circuit.ops vug_circuit)
+
+let as_grouping groups : Ir.grouping = List.map (fun g -> (g, None)) groups
+
+let grouping_counters _ (ir : Ir.t) =
+  [
+    ("groupings", List.length ir.Ir.groupings);
+    ("groups", List.fold_left (fun acc g -> acc + List.length g) 0 ir.Ir.groupings);
+  ]
+
+(* Treat each VUG/CX as its own pulse: the no-regroup setting. *)
+let regroup_trivial =
+  Pass.make "regroup" ~counters:grouping_counters (fun _ctx ir ->
+      { ir with Ir.groupings = [ as_grouping (trivial_groups ir.Ir.vug_circuit) ] })
+
+(* Regroup sweep: several regroup widths are explored and the schedule
+   with the lowest latency wins — wider groups pack pulses tighter but
+   occupy more qubit lines.  The trivial per-op grouping is always a
+   candidate, so regrouping can only improve the schedule. *)
+let regroup_sweep =
+  Pass.make "regroup" ~counters:grouping_counters (fun ctx ir ->
+      let config = ctx.Pass.config in
+      let widths =
+        match config.Config.regroup_widths with
+        | [] -> [ config.Config.regroup_partition.Partition.qubit_limit ]
+        | ws -> ws
+      in
+      let groupings =
+        trivial_groups ir.Ir.vug_circuit
+        :: List.map
+             (fun w ->
+               Partition.partition
+                 ~config:
+                   {
+                     config.Config.regroup_partition with
+                     Partition.qubit_limit = w;
+                   }
+                 ir.Ir.vug_circuit)
+             widths
+      in
+      { ir with Ir.groupings = List.map as_grouping groupings })
+
+(* Pulse generation: annotate every group across all regroupings with its
+   pulse job, then resolve the whole batch at once against the library;
+   diagonal single-qubit groups are virtual-Z frame updates and cost
+   nothing (as on real transmon stacks). *)
+let pulses =
+  Pass.make "pulses"
+    ~counters:(fun ctx (ir : Ir.t) ->
+      Latency.counters
+        (Latency.stage_report ~computed:ir.Ir.pulse_computed
+           (resolved_durations ir))
+      @ Library.counters (Library.stats ctx.Pass.library))
+    (fun ctx ir ->
+      let annotated =
+        List.map
+          (fun grouping ->
+            List.map
+              (fun ((g : Partition.block), _) ->
+                let local = Partition.block_circuit g in
+                let u = Circuit.unitary local in
+                let k = Circuit.n_qubits local in
+                if k = 1 && Mat.is_diagonal ~eps:1e-9 u then (g, None)
+                else
+                  ( g,
+                    Some
+                      {
+                        Ir.ju = u;
+                        jk = k;
+                        jlocal = local;
+                        resolved = None;
+                        batch_rep = None;
+                        computed = None;
+                      } ))
+              grouping)
+          ir.Ir.groupings
+      in
+      let jobs = List.concat_map (List.filter_map snd) annotated in
+      let n_jobs, n_computed =
+        resolve_pulses ctx.Pass.config ctx.Pass.pool ctx.Pass.library
+          ~hardware:ctx.Pass.hardware jobs
+      in
+      {
+        ir with
+        Ir.groupings = annotated;
+        pulse_jobs = n_jobs;
+        pulse_computed = n_computed;
+      })
+
+(* Build one schedule per regrouping (pure, fanned out) and keep the
+   lowest-latency one. *)
+let schedule =
+  Pass.make "schedule"
+    ~counters:(fun _ (ir : Ir.t) -> Schedule.counters (Ir.schedule_exn ir))
+    (fun ctx ir ->
+      let config = ctx.Pass.config in
+      let schedules =
+        Pool.map ctx.Pass.pool
+          (fun grouping ->
+            let items =
+              List.filter_map
+                (fun ((g : Partition.block), job) ->
+                  Option.map
+                    (fun (j : Ir.pulse_job) ->
+                      let duration, fidelity = Option.get j.Ir.resolved in
+                      ( {
+                          Schedule.qubits = g.Partition.qubits;
+                          duration;
+                          fidelity;
+                          label = Fmt.str "g%d" j.Ir.jk;
+                        },
+                        g.Partition.ops ))
+                    job)
+                grouping
+            in
+            let ordered =
+              if config.Config.commutation_reorder then list_schedule items
+              else List.map fst items
+            in
+            Schedule.schedule ~n:ir.Ir.n ordered)
+          ir.Ir.groupings
+      in
+      let best, _ = best_by_latency (List.combine schedules ir.Ir.groupings) in
+      { ir with Ir.schedule = Some best })

@@ -1,0 +1,185 @@
+(* Per-stage tracing for the pass pipeline.
+
+   A trace is a sink of timed spans: every pass the driver runs (and any
+   other region worth measuring) records a [span] with its wall-clock
+   window and a list of integer counters (blocks, VUGs, library hits,
+   pool jobs, ...).  Spans nest — the driver's candidate fan-out wraps
+   the per-candidate stage spans — and nesting is tracked by an explicit
+   depth so the trace can be rendered as an indented tree or exported as
+   JSON without reconstructing the hierarchy from timestamps.
+
+   Candidate compilation runs on worker domains, so each candidate traces
+   into a private child sink that the driver [absorb]s after the fan-out,
+   in candidate order, with a "candN/" name prefix.  Timestamps are
+   absolute ([Unix.gettimeofday]), so absorbed child spans land inside
+   the parent's enclosing span window and the nesting invariant (every
+   depth-d span lies within a depth-(d-1) span) holds by construction.
+   Trace contents are wall-clock measurements and therefore *not* part of
+   the pipeline's determinism guarantee; everything else in a result is. *)
+
+type event = {
+  name : string;
+  depth : int; (* nesting depth; 0 = top-level stage *)
+  start_s : float; (* absolute, Unix.gettimeofday *)
+  stop_s : float;
+  counters : (string * int) list;
+}
+
+type t = {
+  mutable events : event list; (* completion order, newest first *)
+  mutable depth : int;
+  lock : Mutex.t;
+}
+
+let create () = { events = []; depth = 0; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Run [f] as a named span; [f] returns the value plus the counters to
+   attach.  The span is recorded even when [f] raises (with no counters),
+   so a failing stage still shows up in the trace. *)
+let span_with t name f =
+  let depth = locked t (fun () ->
+      let d = t.depth in
+      t.depth <- d + 1;
+      d)
+  in
+  let start_s = Unix.gettimeofday () in
+  let finish counters =
+    let stop_s = Unix.gettimeofday () in
+    locked t (fun () ->
+        t.depth <- t.depth - 1;
+        t.events <- { name; depth; start_s; stop_s; counters } :: t.events)
+  in
+  match f () with
+  | v, counters ->
+      finish counters;
+      v
+  | exception e ->
+      finish [];
+      raise e
+
+let span t name f = span_with t name (fun () -> (f (), []))
+
+(* Splice a child sink's spans under the caller's current nesting level,
+   prefixing their names.  Call inside the span that covered the child's
+   execution so depths line up. *)
+let absorb t ~prefix (child : t) =
+  let child_events = locked child (fun () -> child.events) in
+  locked t (fun () ->
+      let d = t.depth in
+      let shifted =
+        List.map
+          (fun e -> { e with name = prefix ^ e.name; depth = e.depth + d })
+          child_events
+      in
+      t.events <- shifted @ t.events)
+
+(* Events in chronological start order (parents before their children). *)
+let events t =
+  let evs = locked t (fun () -> t.events) in
+  List.stable_sort
+    (fun a b -> compare (a.start_s, a.depth) (b.start_s, b.depth))
+    (List.rev evs)
+
+let duration e = e.stop_s -. e.start_s
+
+(* Sum of top-level span durations: the traced share of total wall time. *)
+let top_level_s t =
+  List.fold_left
+    (fun acc (e : event) -> if e.depth = 0 then acc +. duration e else acc)
+    0.0 (events t)
+
+(* Wall time per stage name with "candN/" prefixes stripped, so parallel
+   candidates aggregate into one row per stage; insertion order of first
+   occurrence is kept for stable output. *)
+let base_name name =
+  match String.index_opt name '/' with
+  | Some i
+    when i > 4
+         && String.sub name 0 4 = "cand"
+         && String.for_all
+              (fun c -> c >= '0' && c <= '9')
+              (String.sub name 4 (i - 4)) ->
+      String.sub name (i + 1) (String.length name - i - 1)
+  | _ -> name
+
+let aggregate t =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let key = base_name e.name in
+      (match Hashtbl.find_opt tbl key with
+      | None ->
+          order := key :: !order;
+          Hashtbl.add tbl key (1, duration e)
+      | Some (calls, wall) -> Hashtbl.replace tbl key (calls + 1, wall +. duration e)))
+    (events t);
+  List.rev_map (fun key ->
+      let calls, wall = Hashtbl.find tbl key in
+      (key, calls, wall))
+    !order
+
+let pp_counters ppf counters =
+  List.iter (fun (k, v) -> Fmt.pf ppf " %s=%d" k v) counters
+
+(* Human-readable indented tree, durations in milliseconds. *)
+let pp ppf t =
+  let evs = events t in
+  match evs with
+  | [] -> Fmt.pf ppf "trace: empty@."
+  | first :: _ ->
+      let t0 = first.start_s in
+      Fmt.pf ppf "@[<v>trace (%d spans, %.3f ms traced at top level):@," (List.length evs)
+        (1e3 *. top_level_s t);
+      List.iter
+        (fun e ->
+          Fmt.pf ppf "  %8.3f ms  %s%-24s %8.3f ms%a@,"
+            (1e3 *. (e.start_s -. t0))
+            (String.concat "" (List.init e.depth (fun _ -> "  ")))
+            e.name
+            (1e3 *. duration e)
+            pp_counters e.counters)
+        evs;
+      Fmt.pf ppf "@]"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Machine-readable form: start times relative to the first span. *)
+let to_json t =
+  let evs = events t in
+  let t0 = match evs with [] -> 0.0 | e :: _ -> e.start_s in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"top_level_s\": %.6f,\n  \"events\": [\n" (top_level_s t));
+  List.iteri
+    (fun i e ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"depth\": %d, \"start_s\": %.6f, \
+            \"wall_s\": %.6f, \"counters\": {%s}}%s\n"
+           (json_escape e.name) e.depth (e.start_s -. t0) (duration e)
+           (String.concat ", "
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+                 e.counters))
+           (if i = List.length evs - 1 then "" else ",")))
+    evs;
+  Buffer.add_string b "  ]\n}";
+  Buffer.contents b

@@ -145,3 +145,8 @@ let hit_rate lib =
   let s = stats lib in
   if s.hits + s.misses = 0 then 0.0
   else float_of_int s.hits /. float_of_int (s.hits + s.misses)
+
+(* Structured counters of the library traffic, for the pass pipeline's
+   trace sink (lib/epoc). *)
+let counters (s : stats) =
+  [ ("hits", s.hits); ("misses", s.misses); ("entries", s.entries) ]

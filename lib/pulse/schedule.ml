@@ -64,3 +64,15 @@ let pp ppf s =
         p.instruction.qubits p.instruction.duration p.instruction.fidelity)
     s.placed;
   Fmt.pf ppf "@]"
+
+(* --- stage report ------------------------------------------------------- *)
+
+(* Structured counters of a built schedule, for the pass pipeline's trace
+   sink (lib/epoc).  Latency is rounded to whole ns and utilization to
+   percent, since trace counters are integers. *)
+let counters s =
+  [
+    ("instructions", instruction_count s);
+    ("latency_ns", int_of_float (Float.round s.latency));
+    ("utilization_pct", int_of_float (Float.round (100.0 *. utilization s)));
+  ]

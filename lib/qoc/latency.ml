@@ -175,3 +175,29 @@ let estimate ?unitary (hw : Hardware.t) (vug_circuit : Circuit.t) =
 let guess_slots ?unitary (hw : Hardware.t) (vug_circuit : Circuit.t) =
   let e = estimate ?unitary hw vug_circuit in
   max 2 (int_of_float (Float.ceil (e.est_duration /. hw.Hardware.dt)))
+
+(* --- stage report ------------------------------------------------------- *)
+
+(* Structured summary of a batch of resolved pulses (QOC stage), for the
+   pass pipeline's trace sink (lib/epoc): how many pulses were needed,
+   how many required a fresh duration search / estimate (the rest came
+   from the pulse library), and the summed pulse time in whole ns. *)
+type stage_report = {
+  pulses : int;
+  computed : int;
+  total_duration_ns : float;
+}
+
+let stage_report ~computed (resolved : (float * float) list) =
+  {
+    pulses = List.length resolved;
+    computed;
+    total_duration_ns = List.fold_left (fun acc (d, _) -> acc +. d) 0.0 resolved;
+  }
+
+let counters (r : stage_report) =
+  [
+    ("pulses", r.pulses);
+    ("computed", r.computed);
+    ("duration_ns", int_of_float (Float.round r.total_duration_ns));
+  ]

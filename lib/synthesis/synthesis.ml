@@ -73,3 +73,34 @@ let synthesize_block ?(options = Qsearch.default_options)
 (* Hilbert-Schmidt verification helper for callers and tests. *)
 let verify ~eps (block : Circuit.t) (result : block_result) =
   Mat.hs_distance (Circuit.unitary block) (Circuit.unitary result.circuit) < eps
+
+(* --- stage report ------------------------------------------------------- *)
+
+(* Structured summary of a batch of per-block synthesis runs, for the
+   pass pipeline's trace sink (lib/epoc). *)
+type stage_report = {
+  block_count : int;
+  synthesized : int; (* blocks where the search beat the direct form *)
+  fallback : int;
+  total_expansions : int;
+}
+
+let stage_report (results : block_result list) =
+  List.fold_left
+    (fun r br ->
+      {
+        block_count = r.block_count + 1;
+        synthesized = (r.synthesized + if br.source = Synthesized then 1 else 0);
+        fallback = (r.fallback + if br.source = Fallback then 1 else 0);
+        total_expansions = r.total_expansions + br.expansions;
+      })
+    { block_count = 0; synthesized = 0; fallback = 0; total_expansions = 0 }
+    results
+
+let counters (r : stage_report) =
+  [
+    ("blocks", r.block_count);
+    ("synthesized", r.synthesized);
+    ("fallback", r.fallback);
+    ("expansions", r.total_expansions);
+  ]

@@ -98,3 +98,17 @@ let optimize ?(strategy = Graph) ?(objective = Latency)
               finish Graph optimized true
             else fallback "verification mismatch"
           else finish Graph optimized false)
+
+(* --- stage report ------------------------------------------------------- *)
+
+(* Structured counters of one graph-stage run, for the pass pipeline's
+   trace sink (lib/epoc). *)
+let counters (r : report) =
+  [
+    ("input_depth", r.input_depth);
+    ("output_depth", r.output_depth);
+    ("input_gates", r.input_gates);
+    ("output_gates", r.output_gates);
+    ("used_graph", if r.used = Graph then 1 else 0);
+    ("verified", if r.verified then 1 else 0);
+  ]

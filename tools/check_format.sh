@@ -1,0 +1,32 @@
+#!/bin/sh
+# Lightweight format check (stand-in for `dune build @fmt`: ocamlformat is
+# not pinned for this repo).  Fails on tab indentation, trailing
+# whitespace, or a missing final newline in any tracked OCaml/dune source.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+files=$(git ls-files '*.ml' '*.mli' 'dune-project' '*/dune' 'dune' 2>/dev/null)
+
+for f in $files; do
+  if grep -n "$(printf '\t')" "$f" >/dev/null; then
+    echo "format: tab character in $f:" >&2
+    grep -n "$(printf '\t')" "$f" | head -3 >&2
+    status=1
+  fi
+  if grep -n ' $' "$f" >/dev/null; then
+    echo "format: trailing whitespace in $f:" >&2
+    grep -n ' $' "$f" | head -3 >&2
+    status=1
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | od -An -c | tr -d ' \n')" != '\n' ]; then
+    echo "format: missing final newline in $f" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "format: OK ($(echo "$files" | wc -l | tr -d ' ') files)"
+fi
+exit "$status"
