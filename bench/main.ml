@@ -363,9 +363,9 @@ let stage_rows trace =
   (* aggregate candidate stages by name: one row per pass, wall summed *)
   String.concat ", "
     (List.map
-       (fun (name, calls, wall) ->
+       (fun (r : Trace.agg_row) ->
          Printf.sprintf "{\"stage\": \"%s\", \"calls\": %d, \"wall_s\": %.6f}"
-           name calls wall)
+           r.Trace.agg_name r.Trace.agg_calls r.Trace.agg_wall_s)
        (Epoc.Trace.aggregate trace))
 
 let bench_json () =
@@ -406,13 +406,15 @@ let bench_json () =
            "    {\"name\": \"%s\", \"qubits\": %d, \"gates\": %d, \
             \"compile_s\": %.6f, \"latency_ns\": %.3f, \"esp\": %.6f, \
             \"pulses\": %d, \"blocks\": %d, \"library\": {\"hits\": %d, \
-            \"misses\": %d, \"entries\": %d}, \"stages\": [%s]}%s\n"
+            \"misses\": %d, \"entries\": %d}, \"stages\": [%s], \
+            \"metrics\": %s}%s\n"
            name (Circuit.n_qubits c) (Circuit.gate_count c)
            r.Pipeline.compile_time r.Pipeline.latency r.Pipeline.esp
            r.Pipeline.stats.Pipeline.pulse_count r.Pipeline.stats.Pipeline.blocks
            s.Epoc_pulse.Library.hits s.Epoc_pulse.Library.misses
            s.Epoc_pulse.Library.entries
            (stage_rows r.Pipeline.trace)
+           (Epoc_obs.Json.to_string (Epoc_obs.Metrics.to_json r.Pipeline.metrics))
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n";

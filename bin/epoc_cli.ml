@@ -2,16 +2,30 @@
 
    epoc compile <file.qasm|bench:name> [--flow epoc|paqoc|accqoc|gate]
                 [--grape] [--no-zx] [--no-synthesis] [--no-regroup]
-                [--partition-width N] [--verbose] [--schedule]
-                [--trace] [--trace-json]
+                [--partition-width N] [-v|-vv] [--schedule]
+                [--trace] [--trace-json] [--trace-gc] [--trace-chrome FILE]
+   epoc report  <file.qasm|bench:name> [--json] [flow/stage options]
+                per-stage wall clock + GC deltas, solver convergence
+                telemetry and the full metrics registry for one compile
    epoc list                 list builtin benchmarks
    epoc zx <file|bench:name> run only the graph optimization stage *)
 
 open Cmdliner
+module T = Epoc.Trace
+module M = Epoc_obs.Metrics
+module J = Epoc_obs.Json
 
-let setup_logs verbose =
+(* -v selects Info, -vv (and more) Debug; default shows warnings only.
+   Sources (epoc.pipeline, epoc.qoc, epoc.synthesis, epoc.zx) follow the
+   global level. *)
+let setup_logs verbosity =
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+  Logs.set_level
+    (Some
+       (match verbosity with
+       | 0 -> Logs.Warning
+       | 1 -> Logs.Info
+       | _ -> Logs.Debug))
 
 let load spec =
   match String.length spec >= 6 && String.sub spec 0 6 = "bench:" with
@@ -42,7 +56,11 @@ let partition_width =
   Arg.(value & opt int 3 & info [ "partition-width" ] ~docv:"N"
          ~doc:"Partition qubit budget (default 3).")
 
-let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
+let verbose =
+  let doc = "Increase log verbosity: -v info, -vv debug." in
+  Term.app (Term.const List.length)
+    Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
 let show_schedule =
   Arg.(value & flag & info [ "schedule" ] ~doc:"Print the pulse schedule.")
 
@@ -53,6 +71,48 @@ let show_trace =
 let show_trace_json =
   Arg.(value & flag & info [ "trace-json" ]
          ~doc:"Print the per-stage trace as JSON on stdout.")
+
+let trace_gc =
+  Arg.(value & flag & info [ "trace-gc" ]
+         ~doc:"Capture GC/allocation deltas per traced span.")
+
+let trace_chrome =
+  Arg.(value & opt (some string) None
+       & info [ "trace-chrome" ] ~docv:"FILE"
+           ~doc:
+             "Write the span tree as Chrome trace-event JSON to $(docv) \
+              (open in chrome://tracing or Perfetto).")
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width =
+  let base = Epoc.Config.default in
+  {
+    base with
+    Epoc.Config.qoc_mode =
+      (if grape then Epoc.Config.Grape else Epoc.Config.Estimate);
+    use_zx = not no_zx;
+    use_synthesis = not no_synth;
+    regroup = not no_regroup;
+    partition =
+      {
+        base.Epoc.Config.partition with
+        Epoc_partition.Partition.qubit_limit = width;
+      };
+  }
+
+let run_flow_named flow ~config ~trace ~metrics ~name circuit =
+  match flow with
+  | "epoc" -> Epoc.Pipeline.run ~config ~trace ~metrics ~name circuit
+  | "paqoc" -> Epoc.Baselines.paqoc_like ~config ~trace ~metrics ~name circuit
+  | "accqoc" -> Epoc.Baselines.accqoc_like ~config ~trace ~metrics ~name circuit
+  | "gate" -> Epoc.Baselines.gate_based ~config ~trace ~metrics ~name circuit
+  | other ->
+      Printf.eprintf "unknown flow %S\n" other;
+      exit 1
 
 let report (r : Epoc.Pipeline.result) show =
   Printf.printf "flow             : %s\n" r.Epoc.Pipeline.name;
@@ -75,9 +135,9 @@ let report (r : Epoc.Pipeline.result) show =
   if show then Format.printf "@.%a@." Epoc_pulse.Schedule.pp r.Epoc.Pipeline.schedule
 
 let compile_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width verbose schedule trace
-      trace_json =
-    setup_logs verbose;
+  let run spec flow grape no_zx no_synth no_regroup width verbosity schedule
+      trace trace_json gc chrome =
+    setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
         Printf.eprintf "parse error: %s\n" m;
@@ -86,38 +146,23 @@ let compile_cmd =
         Printf.eprintf "error: %s\n" m;
         1
     | circuit ->
-        let base = Epoc.Config.default in
-        let config =
-          {
-            base with
-            Epoc.Config.qoc_mode =
-              (if grape then Epoc.Config.Grape else Epoc.Config.Estimate);
-            use_zx = not no_zx;
-            use_synthesis = not no_synth;
-            regroup = not no_regroup;
-            partition =
-              {
-                base.Epoc.Config.partition with
-                Epoc_partition.Partition.qubit_limit = width;
-              };
-          }
-        in
+        let config = config_of ~grape ~no_zx ~no_synth ~no_regroup ~width in
+        let sink = T.create ~gc () in
+        let metrics = M.create () in
         let result =
-          match flow with
-          | "epoc" -> Epoc.Pipeline.run ~config ~name:spec circuit
-          | "paqoc" -> Epoc.Baselines.paqoc_like ~config ~name:spec circuit
-          | "accqoc" -> Epoc.Baselines.accqoc_like ~config ~name:spec circuit
-          | "gate" -> Epoc.Baselines.gate_based ~config ~name:spec circuit
-          | other ->
-              Printf.eprintf "unknown flow %S\n" other;
-              exit 1
+          run_flow_named flow ~config ~trace:sink ~metrics ~name:spec circuit
         in
+        (match chrome with
+        | None -> ()
+        | Some file ->
+            write_file file (T.to_chrome_json result.Epoc.Pipeline.trace);
+            Printf.eprintf "wrote chrome trace to %s\n" file);
         if trace_json then
-          print_endline (Epoc.Trace.to_json result.Epoc.Pipeline.trace)
+          print_endline (T.to_json result.Epoc.Pipeline.trace)
         else begin
           report result schedule;
           if trace then
-            Format.printf "@.%a@." Epoc.Trace.pp result.Epoc.Pipeline.trace
+            Format.printf "@.%a@." T.pp result.Epoc.Pipeline.trace
         end;
         0
   in
@@ -125,9 +170,157 @@ let compile_cmd =
     Term.(
       const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
       $ no_regroup $ partition_width $ verbose $ show_schedule $ show_trace
-      $ show_trace_json)
+      $ show_trace_json $ trace_gc $ trace_chrome)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit to a pulse schedule.") term
+
+(* --- epoc report ---------------------------------------------------------- *)
+
+let gc_json (g : T.gc_delta) =
+  J.Obj
+    [
+      ("minor_words", J.Num g.T.minor_words);
+      ("major_words", J.Num g.T.major_words);
+      ("promoted_words", J.Num g.T.promoted_words);
+      ("minor_collections", J.of_int g.T.minor_collections);
+      ("major_collections", J.of_int g.T.major_collections);
+    ]
+
+let agg_row_json (r : T.agg_row) =
+  J.Obj
+    ([
+       ("stage", J.Str r.T.agg_name);
+       ("calls", J.of_int r.T.agg_calls);
+       ("wall_s", J.Num r.T.agg_wall_s);
+     ]
+    @ match r.T.agg_gc with None -> [] | Some g -> [ ("gc", gc_json g) ])
+
+let report_json (r : Epoc.Pipeline.result) metrics =
+  J.Obj
+    [
+      ("name", J.Str r.Epoc.Pipeline.name);
+      ("latency_ns", J.Num r.Epoc.Pipeline.latency);
+      ("esp", J.Num r.Epoc.Pipeline.esp);
+      ("compile_s", J.Num r.Epoc.Pipeline.compile_time);
+      ( "stages",
+        J.Arr (List.map agg_row_json (T.aggregate r.Epoc.Pipeline.trace)) );
+      ("metrics", M.to_json metrics);
+      ("process", M.to_json M.global);
+    ]
+
+let pp_hist_row name (h : M.hist_snapshot) =
+  Printf.printf "  %-26s n=%-5d mean=%-12.4g min=%-12.4g max=%-12.4g\n" name
+    h.M.count (M.mean h)
+    (if h.M.count = 0 then 0.0 else h.M.vmin)
+    (if h.M.count = 0 then 0.0 else h.M.vmax)
+
+let report_text (r : Epoc.Pipeline.result) metrics =
+  report r false;
+  (* stage table: aggregated wall clock and GC per pass *)
+  Printf.printf "\nstages (aggregated over candidates):\n";
+  Printf.printf "  %-26s %5s %12s %12s %12s %7s\n" "stage" "calls" "wall ms"
+    "minor kw" "major kw" "gc";
+  List.iter
+    (fun (row : T.agg_row) ->
+      match row.T.agg_gc with
+      | Some g ->
+          Printf.printf "  %-26s %5d %12.3f %12.1f %12.1f %3d/%-3d\n"
+            row.T.agg_name row.T.agg_calls
+            (1e3 *. row.T.agg_wall_s)
+            (g.T.minor_words /. 1e3)
+            (g.T.major_words /. 1e3)
+            g.T.minor_collections g.T.major_collections
+      | None ->
+          Printf.printf "  %-26s %5d %12.3f\n" row.T.agg_name row.T.agg_calls
+            (1e3 *. row.T.agg_wall_s))
+    (T.aggregate r.Epoc.Pipeline.trace);
+  (* solver convergence telemetry *)
+  Printf.printf "\nsolvers:\n";
+  Printf.printf
+    "  GRAPE: %d searches, %d runs; stop reasons: target=%d patience=%d \
+     budget=%d\n"
+    (M.counter_value metrics "grape.searches")
+    (M.counter_value metrics "grape.runs")
+    (M.counter_value metrics "grape.stop.target")
+    (M.counter_value metrics "grape.stop.patience")
+    (M.counter_value metrics "grape.stop.budget");
+  Option.iter (pp_hist_row "grape.iterations") (M.hist_value metrics "grape.iterations");
+  Option.iter
+    (pp_hist_row "grape.final_infidelity")
+    (M.hist_value metrics "grape.final_infidelity");
+  Printf.printf
+    "  QSearch: %d blocks, %d synthesized, %d prunes, open-set high water %s\n"
+    (M.counter_value metrics "synth.blocks")
+    (M.counter_value metrics "synth.synthesized")
+    (M.counter_value metrics "qsearch.prunes")
+    (match M.gauge_value metrics "qsearch.open_high_water" with
+    | Some g -> Printf.sprintf "%.0f" g
+    | None -> "-");
+  Option.iter
+    (pp_hist_row "qsearch.expansions")
+    (M.hist_value metrics "qsearch.expansions");
+  Option.iter
+    (pp_hist_row "synth.cnots_per_block")
+    (M.hist_value metrics "synth.cnots_per_block");
+  (* full registry dump *)
+  let dump title reg =
+    let snap = M.snapshot reg in
+    if snap <> [] then begin
+      Printf.printf "\n%s:\n" title;
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | M.Counter_v c -> Printf.printf "  %-26s %d\n" name c
+          | M.Gauge_v g -> Printf.printf "  %-26s %.6g\n" name g
+          | M.Hist_v h -> pp_hist_row name h)
+        snap
+    end
+  in
+  dump "metrics (per run)" metrics;
+  dump "metrics (process)" M.global
+
+let report_cmd =
+  let run spec flow grape no_zx no_synth no_regroup width verbosity json chrome
+      =
+    setup_logs verbosity;
+    match load spec with
+    | exception Epoc_qasm.Qasm.Parse_error m ->
+        Printf.eprintf "parse error: %s\n" m;
+        1
+    | exception Invalid_argument m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | circuit ->
+        let config = config_of ~grape ~no_zx ~no_synth ~no_regroup ~width in
+        let sink = T.create ~gc:true () in
+        let metrics = M.create () in
+        let result =
+          run_flow_named flow ~config ~trace:sink ~metrics ~name:spec circuit
+        in
+        (match chrome with
+        | None -> ()
+        | Some file ->
+            write_file file (T.to_chrome_json result.Epoc.Pipeline.trace);
+            Printf.eprintf "wrote chrome trace to %s\n" file);
+        if json then
+          print_endline (J.to_string ~indent:true (report_json result metrics))
+        else report_text result metrics;
+        0
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
+      $ no_regroup $ partition_width $ verbose $ json_flag $ trace_chrome)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Compile once and report stage timings with GC deltas, solver \
+          convergence telemetry and the metrics registry.")
+    term
 
 let list_cmd =
   let run () =
@@ -146,8 +339,8 @@ let list_cmd =
     Term.(const run $ const ())
 
 let zx_cmd =
-  let run spec verbose =
-    setup_logs verbose;
+  let run spec verbosity =
+    setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
         Printf.eprintf "parse error: %s\n" m;
@@ -174,4 +367,4 @@ let () =
     Cmd.info "epoc" ~version:"1.0.0"
       ~doc:"EPOC: efficient pulse generation with advanced synthesis"
   in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; list_cmd; zx_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; report_cmd; list_cmd; zx_cmd ]))

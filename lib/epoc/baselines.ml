@@ -75,6 +75,8 @@ let gate_pulses_pass =
                 })
           (Circuit.ops ir.Ir.circuit)
       in
+      Epoc_obs.Metrics.incr ~by:(List.length instructions) ctx.Pass.metrics
+        "gate.pulses";
       { ir with Ir.instructions })
 
 (* ASAP placement of the per-gate pulses in program order. *)
@@ -93,9 +95,10 @@ let gate_flow =
         [ lower_pass; gate_pulses_pass; schedule_instructions_pass ]);
   }
 
-let gate_based ?(config = Config.default) ?library ?pool ?trace ~name
+let gate_based ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
     (circuit : Circuit.t) =
-  Pipeline.run_flow ~config ?library ?pool ?trace ~name gate_flow circuit
+  Pipeline.run_flow ~config ?library ?pool ?trace ?metrics ~name gate_flow
+    circuit
 
 (* --- AccQOC-like ------------------------------------------------------------ *)
 
@@ -113,8 +116,10 @@ let accqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
-let accqoc_like ?(config = Config.default) ?library ?pool ?trace ~name circuit =
-  Pipeline.run ~config:(accqoc_config config) ?library ?pool ?trace ~name circuit
+let accqoc_like ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
+    circuit =
+  Pipeline.run ~config:(accqoc_config config) ?library ?pool ?trace ?metrics
+    ~name circuit
 
 (* --- PAQOC-like -------------------------------------------------------------- *)
 
@@ -153,7 +158,8 @@ let paqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
-let paqoc_like ?(config = Config.default) ?library ?pool ?trace ~name circuit =
+let paqoc_like ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
+    circuit =
   (* pattern mining informs the grouping budget: with frequent patterns
      present, PAQOC invests in deeper program-aware groups *)
   let patterns = mine_patterns circuit in
@@ -164,4 +170,4 @@ let paqoc_like ?(config = Config.default) ?library ?pool ?trace ~name circuit =
                  regroup_partition = { Partition.qubit_limit = 2; op_limit = 8 } }
     else cfg
   in
-  Pipeline.run ~config:cfg ?library ?pool ?trace ~name circuit
+  Pipeline.run ~config:cfg ?library ?pool ?trace ?metrics ~name circuit

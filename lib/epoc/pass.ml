@@ -10,32 +10,38 @@
 open Epoc_parallel
 open Epoc_pulse
 open Epoc_qoc
+module Metrics = Epoc_obs.Metrics
 
 type ctx = {
   config : Config.t;
   pool : Pool.t;
   library : Library.t;
   trace : Trace.t;
+  metrics : Metrics.t; (* per-run registry (lib/obs), deterministic values *)
   hardware : int -> Hardware.t; (* memoized per (dt, t_coherence, k) *)
 }
 
-let make_ctx ?(pool = Pool.sequential) ?trace (config : Config.t) library =
+let make_ctx ?(pool = Pool.sequential) ?trace ?metrics (config : Config.t)
+    library =
   {
     config;
     pool;
     library;
     trace = (match trace with Some t -> t | None -> Trace.create ());
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     hardware =
       (fun k ->
         Hardware.shared ~dt:config.Config.dt
           ~t_coherence:config.Config.t_coherence k);
   }
 
-(* A ctx tracing into a private sink, for candidate fan-out: the caller
-   absorbs the child trace after the parallel region. *)
-let with_child_trace ctx =
-  let trace = Trace.create () in
-  ({ ctx with trace }, trace)
+(* A ctx with private trace and metrics shards, for candidate fan-out:
+   the caller absorbs both after the parallel region, in candidate
+   order. *)
+let fork_ctx ctx =
+  let trace = Trace.fork ctx.trace in
+  let metrics = Metrics.fork ctx.metrics in
+  ({ ctx with trace; metrics }, trace, metrics)
 
 module type PASS = sig
   val name : string

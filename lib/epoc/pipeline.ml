@@ -30,6 +30,7 @@ open Epoc_circuit
 open Epoc_qoc
 open Epoc_pulse
 open Epoc_parallel
+module Metrics = Epoc_obs.Metrics
 
 type stage_stats = {
   input_depth : int;
@@ -52,6 +53,7 @@ type result = {
   library_stats : Library.stats;
   qoc_mode : Config.qoc_mode;
   trace : Trace.t; (* per-stage wall-clock + counters *)
+  metrics : Metrics.t; (* per-run registry: solver telemetry, stage counts *)
 }
 
 (* A compilation flow: a graph stage producing equivalent candidate
@@ -140,8 +142,8 @@ let compile_candidate (ctx : Pass.ctx) passes ir0 ((optimized : Circuit.t), zx_u
 (* Run a flow on [circuit]: graph stage, candidate fan-out — each
    candidate against a fork of the library and a private trace sink,
    merged back in candidate order — and best-schedule selection. *)
-let run_flow ?(config = Config.default) ?library ?pool ?trace ~name flow
-    (circuit : Circuit.t) =
+let run_flow ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
+    flow (circuit : Circuit.t) =
   let t0 = Unix.gettimeofday () in
   let pool = match pool with Some p -> p | None -> Pool.create () in
   let library =
@@ -149,8 +151,9 @@ let run_flow ?(config = Config.default) ?library ?pool ?trace ~name flow
     | Some l -> l
     | None -> Library.create ~match_global_phase:config.Config.match_global_phase ()
   in
-  let ctx = Pass.make_ctx ~pool ?trace config library in
+  let ctx = Pass.make_ctx ~pool ?trace ?metrics config library in
   let trace = ctx.Pass.trace in
+  let metrics = ctx.Pass.metrics in
   let candidates =
     Trace.span_with trace "graph" (fun () -> flow.graph ctx circuit)
   in
@@ -162,32 +165,37 @@ let run_flow ?(config = Config.default) ?library ?pool ?trace ~name flow
           match candidates with
           | [ candidate ] ->
               (* single candidate: compile against the shared library *)
-              let cctx, ctrace = Pass.with_child_trace ctx in
+              let cctx, ctrace, cmetrics = Pass.fork_ctx ctx in
               let ir = compile_candidate cctx passes ir0 candidate in
               Trace.absorb trace ~prefix:"cand0/" ctrace;
+              Metrics.absorb metrics cmetrics;
               [ ir ]
           | _ ->
-              (* fork the library per candidate so candidate compilation
-                 is free of cross-candidate ordering; absorb library and
-                 trace in candidate order after *)
+              (* fork the library, trace and metrics per candidate so
+                 candidate compilation is free of cross-candidate
+                 ordering; absorb all three in candidate order after *)
               let forked =
                 List.map
-                  (fun cand -> (cand, Library.fork library, Trace.create ()))
+                  (fun cand ->
+                    (cand, Library.fork library, Trace.fork trace,
+                     Metrics.fork metrics))
                   candidates
               in
               let irs =
                 Pool.map pool
-                  (fun (cand, flib, ctrace) ->
+                  (fun (cand, flib, ctrace, cmetrics) ->
                     let cctx =
-                      { ctx with Pass.library = flib; trace = ctrace }
+                      { ctx with Pass.library = flib; trace = ctrace;
+                        metrics = cmetrics }
                     in
                     compile_candidate cctx passes ir0 cand)
                   forked
               in
               List.iteri
-                (fun i (_, flib, ctrace) ->
+                (fun i (_, flib, ctrace, cmetrics) ->
                   Library.absorb library flib;
-                  Trace.absorb trace ~prefix:(Fmt.str "cand%d/" i) ctrace)
+                  Trace.absorb trace ~prefix:(Fmt.str "cand%d/" i) ctrace;
+                  Metrics.absorb metrics cmetrics)
                 forked;
               irs
         in
@@ -206,9 +214,16 @@ let run_flow ?(config = Config.default) ?library ?pool ?trace ~name flow
         Esp.of_schedule ~t_coherence:config.Config.t_coherence schedule)
   in
   let compile_time = Unix.gettimeofday () -. t0 in
+  let latency = Schedule.latency schedule in
+  (* run-level summary gauges, set by the coordinator after selection;
+     these are model quantities (ns, probability), not wall clock, so
+     they stay deterministic across domain counts *)
+  Metrics.set metrics "pipeline.latency_ns" latency;
+  Metrics.set metrics "pipeline.esp" esp;
+  Metrics.incr metrics "pipeline.runs";
   {
     name;
-    latency = Schedule.latency schedule;
+    latency;
     esp;
     compile_time;
     schedule;
@@ -216,8 +231,9 @@ let run_flow ?(config = Config.default) ?library ?pool ?trace ~name flow
     library_stats = Library.stats library;
     qoc_mode = config.Config.qoc_mode;
     trace;
+    metrics;
   }
 
 (* Run the full EPOC pipeline on [circuit]. *)
-let run ?config ?library ?pool ?trace ~name (circuit : Circuit.t) =
-  run_flow ?config ?library ?pool ?trace ~name epoc_flow circuit
+let run ?config ?library ?pool ?trace ?metrics ~name (circuit : Circuit.t) =
+  run_flow ?config ?library ?pool ?trace ?metrics ~name epoc_flow circuit

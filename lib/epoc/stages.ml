@@ -21,34 +21,62 @@ open Epoc_synthesis
 open Epoc_qoc
 open Epoc_pulse
 open Epoc_parallel
+module Metrics = Epoc_obs.Metrics
 
 let log_src = Logs.Src.create "epoc.pipeline" ~doc:"EPOC pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Solver telemetry of one GRAPE duration search, recorded into the
+   run's metrics registry.  Every recording is a counter increment or a
+   histogram observation — commutative — so concurrent workers produce
+   the same registry for any domain count. *)
+let record_search metrics (s : Latency.search_result) =
+  Metrics.incr metrics "grape.searches";
+  Metrics.incr ~by:s.Latency.grape_runs metrics "grape.runs";
+  List.iter
+    (fun (a : Latency.attempt) ->
+      Metrics.observe metrics "grape.iterations"
+        (float_of_int a.Latency.att_iterations);
+      Metrics.incr metrics
+        ("grape.stop." ^ Grape.stop_reason_name a.Latency.att_stop))
+    s.Latency.attempts;
+  Metrics.observe metrics "grape.final_infidelity"
+    (Float.max 0.0 (1.0 -. s.Latency.fidelity))
+
 (* Pulse duration + fidelity for one regrouped unitary, without touching
-   the library: the pure, parallelizable half of pulse generation. *)
-let compute_pulse (config : Config.t) (hw_block : Hardware.t)
+   the library: the pure, parallelizable half of pulse generation.
+   [metrics] collects solver telemetry when provided. *)
+let compute_pulse ?metrics (config : Config.t) (hw_block : Hardware.t)
     ~(vug_circuit : Circuit.t) (u : Mat.t) =
-  match config.Config.qoc_mode with
-  | Config.Estimate ->
-      let e = Latency.estimate ~unitary:u hw_block vug_circuit in
-      (e.Latency.est_duration, e.Latency.est_fidelity)
-  | Config.Grape -> (
-      let guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
-      match
-        Latency.find_min_duration ~options:config.Config.latency
-          ~initial_guess:guess hw_block u
-      with
-      | Some s -> (s.Latency.duration, s.Latency.fidelity)
-      | None ->
-          (* duration search exhausted: fall back to the estimate so the
-             pipeline still emits a (pessimistic) pulse *)
-          let e = Latency.estimate ~unitary:u hw_block vug_circuit in
-          Log.warn (fun m ->
-              m "GRAPE duration search failed on a %d-qubit block"
-                hw_block.Hardware.n);
-          (2.0 *. e.Latency.est_duration, 0.99))
+  let record f = Option.iter f metrics in
+  let duration, fidelity =
+    match config.Config.qoc_mode with
+    | Config.Estimate ->
+        let e = Latency.estimate ~unitary:u hw_block vug_circuit in
+        record (fun m -> Metrics.incr m "qoc.estimates");
+        (e.Latency.est_duration, e.Latency.est_fidelity)
+    | Config.Grape -> (
+        let guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
+        match
+          Latency.find_min_duration ~options:config.Config.latency
+            ~initial_guess:guess hw_block u
+        with
+        | Some s ->
+            record (fun m -> record_search m s);
+            (s.Latency.duration, s.Latency.fidelity)
+        | None ->
+            (* duration search exhausted: fall back to the estimate so the
+               pipeline still emits a (pessimistic) pulse *)
+            let e = Latency.estimate ~unitary:u hw_block vug_circuit in
+            Log.warn (fun m ->
+                m "GRAPE duration search failed on a %d-qubit block"
+                  hw_block.Hardware.n);
+            record (fun m -> Metrics.incr m "grape.search_failed");
+            (2.0 *. e.Latency.est_duration, 0.99))
+  in
+  record (fun m -> Metrics.observe m "pulse.duration_ns" duration);
+  (duration, fidelity)
 
 (* Two pulse instructions commute when every pair of their constituent
    gates sharing a qubit commutes syntactically (conservative). *)
@@ -133,7 +161,7 @@ let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
    keeping the scan O(jobs) instead of O(jobs^2).
 
    Returns (jobs, representatives) counts for the stage report. *)
-let resolve_pulses (config : Config.t) pool library ~hardware jobs =
+let resolve_pulses ?metrics (config : Config.t) pool library ~hardware jobs =
   let rep_tbl : (string, (Mat.t * Ir.pulse_job) list) Hashtbl.t =
     Hashtbl.create 64
   in
@@ -160,7 +188,11 @@ let resolve_pulses (config : Config.t) pool library ~hardware jobs =
   let computed =
     Pool.map pool
       (fun (j : Ir.pulse_job) ->
-        compute_pulse config (hardware j.Ir.jk) ~vug_circuit:j.Ir.jlocal j.Ir.ju)
+        (* telemetry recording is commutative (counters + histogram
+           observations), so sharing the registry across workers keeps
+           the determinism contract *)
+        compute_pulse ?metrics config (hardware j.Ir.jk)
+          ~vug_circuit:j.Ir.jlocal j.Ir.ju)
       reps
   in
   List.iter2 (fun (j : Ir.pulse_job) v -> j.Ir.computed <- Some v) reps computed;
@@ -240,6 +272,8 @@ let synthesis =
                   source = Synthesis.Fallback;
                   distance = 0.0;
                   expansions = 0;
+                  prunes = 0;
+                  open_max = 0;
                 }
             in
             (b, r))
@@ -253,6 +287,24 @@ let synthesis =
                  ~n:ir.Ir.n))
           (Circuit.empty ir.Ir.n) synth
       in
+      (* QSearch telemetry, recorded in block order after the fan-out *)
+      let m = ctx.Pass.metrics in
+      List.iter
+        (fun (_, (r : Synthesis.block_result)) ->
+          Metrics.incr m "synth.blocks";
+          if r.Synthesis.source = Synthesis.Synthesized then
+            Metrics.incr m "synth.synthesized";
+          if r.Synthesis.open_max > 0 then begin
+            (* a search actually ran on this block *)
+            Metrics.observe m "qsearch.expansions"
+              (float_of_int r.Synthesis.expansions);
+            Metrics.incr ~by:r.Synthesis.prunes m "qsearch.prunes";
+            Metrics.peak m "qsearch.open_high_water"
+              (float_of_int r.Synthesis.open_max)
+          end;
+          Metrics.observe m "synth.cnots_per_block"
+            (float_of_int (Circuit.count_gate "cx" r.Synthesis.circuit)))
+        synth;
       { ir with Ir.synth; vug_circuit })
 
 (* Commutation analysis on the synthesized VUG circuit. *)
@@ -346,9 +398,14 @@ let pulses =
       in
       let jobs = List.concat_map (List.filter_map snd) annotated in
       let n_jobs, n_computed =
-        resolve_pulses ctx.Pass.config ctx.Pass.pool ctx.Pass.library
-          ~hardware:ctx.Pass.hardware jobs
+        resolve_pulses ~metrics:ctx.Pass.metrics ctx.Pass.config ctx.Pass.pool
+          ctx.Pass.library ~hardware:ctx.Pass.hardware jobs
       in
+      Metrics.incr ~by:n_jobs ctx.Pass.metrics "pulse.jobs";
+      Metrics.incr ~by:n_computed ctx.Pass.metrics "pulse.computed";
+      Log.info (fun m ->
+          m "pulses: %d jobs, %d fresh computations (library resolved %d)"
+            n_jobs n_computed (n_jobs - n_computed));
       {
         ir with
         Ir.groupings = annotated;

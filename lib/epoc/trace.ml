@@ -17,25 +17,80 @@
    Trace contents are wall-clock measurements and therefore *not* part of
    the pipeline's determinism guarantee; everything else in a result is. *)
 
+(* GC activity within a span: [Gc.quick_stat] deltas, so allocation
+   regressions show up next to wall time.  Captured only when the sink
+   was created with [~gc:true] — the quick_stat calls are cheap but not
+   free, and most runs only need wall clock. *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let gc_zero =
+  {
+    minor_words = 0.0;
+    major_words = 0.0;
+    promoted_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+let gc_add a b =
+  {
+    minor_words = a.minor_words +. b.minor_words;
+    major_words = a.major_words +. b.major_words;
+    promoted_words = a.promoted_words +. b.promoted_words;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+  }
+
 type event = {
   name : string;
   depth : int; (* nesting depth; 0 = top-level stage *)
   start_s : float; (* absolute, Unix.gettimeofday *)
   stop_s : float;
   counters : (string * int) list;
+  gc : gc_delta option; (* only when the sink captures GC stats *)
 }
 
 type t = {
   mutable events : event list; (* completion order, newest first *)
   mutable depth : int;
   lock : Mutex.t;
+  gc_stats : bool;
 }
 
-let create () = { events = []; depth = 0; lock = Mutex.create () }
+let create ?(gc = false) () =
+  { events = []; depth = 0; lock = Mutex.create (); gc_stats = gc }
+
+(* A fresh child sink with the parent's capture settings, for fan-outs
+   that absorb per-worker traces afterwards. *)
+let fork t = create ~gc:t.gc_stats ()
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* [Gc.quick_stat]'s minor_words only advances at collection points on
+   OCaml 5.0/5.1; [Gc.minor_words ()] also counts allocation since the
+   last minor GC, so short spans still see their own allocations. *)
+let gc_snapshot () =
+  let s = Gc.quick_stat () in
+  ( Gc.minor_words (), s.Gc.major_words, s.Gc.promoted_words,
+    s.Gc.minor_collections, s.Gc.major_collections )
+
+let gc_delta_since (mw, jw, pw, mc, jc) =
+  let mw', jw', pw', mc', jc' = gc_snapshot () in
+  {
+    minor_words = mw' -. mw;
+    major_words = jw' -. jw;
+    promoted_words = pw' -. pw;
+    minor_collections = mc' - mc;
+    major_collections = jc' - jc;
+  }
 
 (* Run [f] as a named span; [f] returns the value plus the counters to
    attach.  The span is recorded even when [f] raises (with no counters),
@@ -46,12 +101,14 @@ let span_with t name f =
       t.depth <- d + 1;
       d)
   in
+  let gc0 = if t.gc_stats then Some (gc_snapshot ()) else None in
   let start_s = Unix.gettimeofday () in
   let finish counters =
     let stop_s = Unix.gettimeofday () in
+    let gc = Option.map gc_delta_since gc0 in
     locked t (fun () ->
         t.depth <- t.depth - 1;
-        t.events <- { name; depth; start_s; stop_s; counters } :: t.events)
+        t.events <- { name; depth; start_s; stop_s; counters; gc } :: t.events)
   in
   match f () with
   | v, counters ->
@@ -92,10 +149,9 @@ let top_level_s t =
     (fun acc (e : event) -> if e.depth = 0 then acc +. duration e else acc)
     0.0 (events t)
 
-(* Wall time per stage name with "candN/" prefixes stripped, so parallel
-   candidates aggregate into one row per stage; insertion order of first
-   occurrence is kept for stable output. *)
-let base_name name =
+(* Candidate prefix handling: "candN/stage" spans belong to candidate N
+   and aggregate under the bare stage name. *)
+let cand_index name =
   match String.index_opt name '/' with
   | Some i
     when i > 4
@@ -103,28 +159,62 @@ let base_name name =
          && String.for_all
               (fun c -> c >= '0' && c <= '9')
               (String.sub name 4 (i - 4)) ->
-      String.sub name (i + 1) (String.length name - i - 1)
-  | _ -> name
+      Some (int_of_string (String.sub name 4 (i - 4)))
+  | _ -> None
 
+(* Stage name with "candN/" prefixes stripped, so parallel candidates
+   aggregate into one row per stage. *)
+let base_name name =
+  match cand_index name with
+  | Some _ ->
+      let i = String.index name '/' in
+      String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name
+
+type agg_row = {
+  agg_name : string;
+  agg_calls : int;
+  agg_wall_s : float;
+  agg_gc : gc_delta option; (* summed over calls, when captured *)
+}
+
+(* Per-stage totals with "candN/" prefixes stripped; insertion order of
+   first occurrence is kept for stable output. *)
 let aggregate t =
   let order = ref [] in
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun e ->
       let key = base_name e.name in
-      (match Hashtbl.find_opt tbl key with
+      match Hashtbl.find_opt tbl key with
       | None ->
           order := key :: !order;
-          Hashtbl.add tbl key (1, duration e)
-      | Some (calls, wall) -> Hashtbl.replace tbl key (calls + 1, wall +. duration e)))
+          Hashtbl.add tbl key
+            { agg_name = key; agg_calls = 1; agg_wall_s = duration e; agg_gc = e.gc }
+      | Some row ->
+          Hashtbl.replace tbl key
+            {
+              row with
+              agg_calls = row.agg_calls + 1;
+              agg_wall_s = row.agg_wall_s +. duration e;
+              agg_gc =
+                (match (row.agg_gc, e.gc) with
+                | Some a, Some b -> Some (gc_add a b)
+                | Some a, None | None, Some a -> Some a
+                | None, None -> None);
+            })
     (events t);
-  List.rev_map (fun key ->
-      let calls, wall = Hashtbl.find tbl key in
-      (key, calls, wall))
-    !order
+  List.rev_map (fun key -> Hashtbl.find tbl key) !order
 
 let pp_counters ppf counters =
   List.iter (fun (k, v) -> Fmt.pf ppf " %s=%d" k v) counters
+
+let pp_gc ppf = function
+  | None -> ()
+  | Some g ->
+      Fmt.pf ppf " [minor %.1fkw major %.1fkw gc %d/%d]"
+        (g.minor_words /. 1e3) (g.major_words /. 1e3) g.minor_collections
+        g.major_collections
 
 (* Human-readable indented tree, durations in milliseconds. *)
 let pp ppf t =
@@ -137,12 +227,12 @@ let pp ppf t =
         (1e3 *. top_level_s t);
       List.iter
         (fun e ->
-          Fmt.pf ppf "  %8.3f ms  %s%-24s %8.3f ms%a@,"
+          Fmt.pf ppf "  %8.3f ms  %s%-24s %8.3f ms%a%a@,"
             (1e3 *. (e.start_s -. t0))
             (String.concat "" (List.init e.depth (fun _ -> "  ")))
             e.name
             (1e3 *. duration e)
-            pp_counters e.counters)
+            pp_counters e.counters pp_gc e.gc)
         evs;
       Fmt.pf ppf "@]"
 
@@ -160,26 +250,87 @@ let json_escape s =
     s;
   Buffer.contents b
 
-(* Machine-readable form: start times relative to the first span. *)
+let gc_json_fields g =
+  Printf.sprintf
+    "\"minor_words\": %.0f, \"major_words\": %.0f, \"promoted_words\": %.0f, \
+     \"minor_collections\": %d, \"major_collections\": %d"
+    g.minor_words g.major_words g.promoted_words g.minor_collections
+    g.major_collections
+
+(* Machine-readable form: start times relative to the first span.  An
+   empty trace still emits the full shape with an explicit empty list. *)
 let to_json t =
   let evs = events t in
-  let t0 = match evs with [] -> 0.0 | e :: _ -> e.start_s in
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n";
-  Buffer.add_string b
-    (Printf.sprintf "  \"top_level_s\": %.6f,\n  \"events\": [\n" (top_level_s t));
-  List.iteri
-    (fun i e ->
+  match evs with
+  | [] -> "{\n  \"top_level_s\": 0.000000,\n  \"events\": []\n}"
+  | first :: _ ->
+      let t0 = first.start_s in
+      let b = Buffer.create 1024 in
+      Buffer.add_string b "{\n";
       Buffer.add_string b
-        (Printf.sprintf
-           "    {\"name\": \"%s\", \"depth\": %d, \"start_s\": %.6f, \
-            \"wall_s\": %.6f, \"counters\": {%s}}%s\n"
-           (json_escape e.name) e.depth (e.start_s -. t0) (duration e)
-           (String.concat ", "
-              (List.map
-                 (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
-                 e.counters))
-           (if i = List.length evs - 1 then "" else ",")))
-    evs;
-  Buffer.add_string b "  ]\n}";
-  Buffer.contents b
+        (Printf.sprintf "  \"top_level_s\": %.6f,\n  \"events\": [\n"
+           (top_level_s t));
+      List.iteri
+        (fun i e ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"name\": \"%s\", \"depth\": %d, \"start_s\": %.6f, \
+                \"wall_s\": %.6f, \"counters\": {%s}%s}%s\n"
+               (json_escape e.name) e.depth (e.start_s -. t0) (duration e)
+               (String.concat ", "
+                  (List.map
+                     (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+                     e.counters))
+               (match e.gc with
+               | None -> ""
+               | Some g -> Printf.sprintf ", \"gc\": {%s}" (gc_json_fields g))
+               (if i = List.length evs - 1 then "" else ",")))
+        evs;
+      Buffer.add_string b "  ]\n}";
+      Buffer.contents b
+
+(* --- Chrome trace-event export ------------------------------------------- *)
+
+(* The span tree as Chrome trace-event JSON (chrome://tracing, Perfetto):
+   one process, the driver's spans on thread 0 and each candidate's spans
+   on their own thread, counters and GC deltas as event args. *)
+let to_chrome_json t =
+  let open Epoc_obs in
+  let evs = events t in
+  let t0 = match evs with [] -> 0.0 | e :: _ -> e.start_s in
+  let tid_of e = match cand_index e.name with Some i -> i + 1 | None -> 0 in
+  let spans =
+    List.map
+      (fun e ->
+        let args =
+          List.map (fun (k, v) -> (k, Json.of_int v)) e.counters
+          @ (match e.gc with
+            | None -> []
+            | Some g ->
+                [
+                  ("minor_words", Json.Num g.minor_words);
+                  ("major_words", Json.Num g.major_words);
+                  ("promoted_words", Json.Num g.promoted_words);
+                  ("minor_collections", Json.of_int g.minor_collections);
+                  ("major_collections", Json.of_int g.major_collections);
+                ])
+        in
+        {
+          Chrome_trace.name = base_name e.name;
+          cat = "epoc";
+          ts_us = 1e6 *. (e.start_s -. t0);
+          dur_us = 1e6 *. duration e;
+          pid = 1;
+          tid = tid_of e;
+          args;
+        })
+      evs
+  in
+  let tids = List.sort_uniq compare (List.map tid_of evs) in
+  let thread_names =
+    List.map
+      (fun tid ->
+        (1, tid, if tid = 0 then "driver" else Printf.sprintf "cand%d" (tid - 1)))
+      tids
+  in
+  Chrome_trace.to_string ~process_name:"epoc" ~thread_names spans

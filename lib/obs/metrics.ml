@@ -1,0 +1,265 @@
+(* Process-wide metrics registry: counters, gauges, and log-bucketed
+   histograms, keyed by name.
+
+   Concurrency and determinism.  A registry is mutex-guarded, so any
+   domain may record into it; counter increments and histogram
+   observations are commutative, so their totals are independent of the
+   interleaving and therefore of the domain count.  For fan-outs that
+   also need order-sensitive state, the registry follows the same
+   fork/absorb discipline as the pulse library and the trace sink:
+   workers record into a private [fork], and the coordinator [absorb]s
+   the shards back in a fixed order.  Gauge merge is by [max] — the only
+   order-free choice — so cross-shard gauges should be high-water marks
+   (recorded with [peak]); last-write gauges ([set]) belong on the
+   coordinator.
+
+   Histograms are log2-bucketed: bucket 0 collects v <= 0, buckets
+   1..62 collect v in [2^(i-32), 2^(i-31)), bucket 63 overflows.  The
+   bucket of a value is computed exactly from the float exponent
+   ([Float.frexp]), so boundary values land deterministically. *)
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float; (* +inf when empty *)
+  mutable h_max : float; (* -inf when empty *)
+  h_buckets : int array;
+}
+
+let bucket_count = 64
+
+let bucket_index v =
+  if Float.is_nan v || v <= 0.0 then 0
+  else
+    let _, e = Float.frexp v in
+    (* v is in [2^(e-1), 2^e) *)
+    let k = e - 1 in
+    if k < -31 then 1 else if k > 30 then bucket_count - 1 else k + 32
+
+(* Half-open value range [lo, hi) of a bucket. *)
+let bucket_bounds i =
+  if i <= 0 then (neg_infinity, 0.0)
+  else if i >= bucket_count - 1 then (Float.ldexp 1.0 31, infinity)
+  else (Float.ldexp 1.0 (i - 32), Float.ldexp 1.0 (i - 31))
+
+type instrument =
+  | Counter of int ref
+  | Gauge of float ref
+  | Hist of histogram
+
+type t = { tbl : (string, instrument) Hashtbl.t; lock : Mutex.t }
+
+let create () = { tbl = Hashtbl.create 32; lock = Mutex.create () }
+
+(* One registry for process-wide infrastructure counters (domain pool
+   traffic and the like); per-run metrics live in the registry the
+   pipeline threads through its passes. *)
+let global = create ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let get_or_add t name make use wrong =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | None ->
+          let i = make () in
+          Hashtbl.add t.tbl name i;
+          use i
+      | Some i -> (
+          match use i with
+          | v -> v
+          | exception Not_found ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %s is a %s, not a %s" name
+                   (kind_name i) wrong)))
+
+let incr ?(by = 1) t name =
+  get_or_add t name
+    (fun () -> Counter (ref 0))
+    (function Counter c -> c := !c + by | _ -> raise Not_found)
+    "counter"
+
+(* Last-write gauge; merge across shards is by [max], see header. *)
+let set t name v =
+  get_or_add t name
+    (fun () -> Gauge (ref v))
+    (function Gauge g -> g := v | _ -> raise Not_found)
+    "gauge"
+
+(* High-water gauge: keeps the maximum of all recorded values. *)
+let peak t name v =
+  get_or_add t name
+    (fun () -> Gauge (ref v))
+    (function Gauge g -> g := Float.max !g v | _ -> raise Not_found)
+    "gauge"
+
+let fresh_hist () =
+  {
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = infinity;
+    h_max = neg_infinity;
+    h_buckets = Array.make bucket_count 0;
+  }
+
+let observe t name v =
+  get_or_add t name
+    (fun () -> Hist (fresh_hist ()))
+    (function
+      | Hist h ->
+          h.h_count <- h.h_count + 1;
+          h.h_sum <- h.h_sum +. v;
+          h.h_min <- Float.min h.h_min v;
+          h.h_max <- Float.max h.h_max v;
+          let i = bucket_index v in
+          h.h_buckets.(i) <- h.h_buckets.(i) + 1
+      | _ -> raise Not_found)
+    "histogram"
+
+(* --- fork / absorb ------------------------------------------------------- *)
+
+(* A private shard for a parallel region; the parent is only named to
+   mirror the Library/Trace fork API. *)
+let fork (_parent : t) = create ()
+
+let merge_hist ~into:(a : histogram) (b : histogram) =
+  a.h_count <- a.h_count + b.h_count;
+  a.h_sum <- a.h_sum +. b.h_sum;
+  a.h_min <- Float.min a.h_min b.h_min;
+  a.h_max <- Float.max a.h_max b.h_max;
+  Array.iteri (fun i c -> a.h_buckets.(i) <- a.h_buckets.(i) + c) b.h_buckets
+
+let copy_instrument = function
+  | Counter c -> Counter (ref !c)
+  | Gauge g -> Gauge (ref !g)
+  | Hist h ->
+      let fresh = fresh_hist () in
+      merge_hist ~into:fresh h;
+      Hist fresh
+
+(* Merge a shard into [t]: counters and histogram buckets add, gauges
+   take the maximum.  All three merges are commutative and associative,
+   so absorbing shards in any order yields the same registry. *)
+let absorb t (child : t) =
+  let entries =
+    locked child (fun () ->
+        Hashtbl.fold (fun k i acc -> (k, copy_instrument i) :: acc) child.tbl [])
+  in
+  List.iter
+    (fun (name, instr) ->
+      match instr with
+      | Counter c -> incr ~by:!c t name
+      | Gauge g -> peak t name !g
+      | Hist h ->
+          get_or_add t name
+            (fun () -> Hist (fresh_hist ()))
+            (function
+              | Hist dst -> merge_hist ~into:dst h | _ -> raise Not_found)
+            "histogram")
+    entries
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  vmin : float; (* +inf when empty *)
+  vmax : float; (* -inf when empty *)
+  buckets : (int * int) list; (* (bucket index, count), non-zero, ascending *)
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Hist_v of hist_snapshot
+
+let snapshot_hist (h : histogram) =
+  let buckets = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+  done;
+  { count = h.h_count; sum = h.h_sum; vmin = h.h_min; vmax = h.h_max;
+    buckets = !buckets }
+
+(* Name-sorted snapshot of every instrument: the stable, comparable form
+   used by tests and exporters. *)
+let snapshot t =
+  let rows =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun name instr acc ->
+            let v =
+              match instr with
+              | Counter c -> Counter_v !c
+              | Gauge g -> Gauge_v !g
+              | Hist h -> Hist_v (snapshot_hist h)
+            in
+            (name, v) :: acc)
+          t.tbl [])
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let counter_value t name =
+  match List.assoc_opt name (snapshot t) with Some (Counter_v c) -> c | _ -> 0
+
+let gauge_value t name =
+  match List.assoc_opt name (snapshot t) with
+  | Some (Gauge_v g) -> Some g
+  | _ -> None
+
+let hist_value t name =
+  match List.assoc_opt name (snapshot t) with
+  | Some (Hist_v h) -> Some h
+  | _ -> None
+
+let mean (h : hist_snapshot) =
+  if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+(* --- export -------------------------------------------------------------- *)
+
+let hist_to_json (h : hist_snapshot) =
+  Json.Obj
+    [
+      ("count", Json.of_int h.count);
+      ("sum", Json.Num h.sum);
+      ("min", if h.count = 0 then Json.Null else Json.Num h.vmin);
+      ("max", if h.count = 0 then Json.Null else Json.Num h.vmax);
+      ( "buckets",
+        Json.Arr
+          (List.map
+             (fun (i, c) ->
+               let lo, hi = bucket_bounds i in
+               Json.Obj
+                 [
+                   ("lo", Json.Num lo);
+                   ("hi", Json.Num hi);
+                   ("count", Json.of_int c);
+                 ])
+             h.buckets) );
+    ]
+
+(* Three name-sorted sections; deterministic for a deterministic run. *)
+let to_json t =
+  let snap = snapshot t in
+  let section f =
+    List.filter_map (fun (name, v) -> Option.map (fun j -> (name, j)) (f v)) snap
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (section (function Counter_v c -> Some (Json.of_int c) | _ -> None)) );
+      ( "gauges",
+        Json.Obj (section (function Gauge_v g -> Some (Json.Num g) | _ -> None))
+      );
+      ( "histograms",
+        Json.Obj
+          (section (function Hist_v h -> Some (hist_to_json h) | _ -> None)) );
+    ]

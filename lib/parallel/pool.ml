@@ -55,12 +55,30 @@ let rec reserve t want =
 
 let release t n = if n > 0 then ignore (Atomic.fetch_and_add t.in_flight (-n))
 
+(* Pool traffic counters, recorded into the process-wide registry
+   (lib/obs).  Deliberately not part of any per-run registry: how many
+   fan-outs went parallel depends on the domain budget, so these values
+   are *expected* to differ across EPOC_JOBS settings. *)
+let record_map ~items ~extra =
+  let m = Epoc_obs.Metrics.global in
+  Epoc_obs.Metrics.incr m "pool.maps";
+  Epoc_obs.Metrics.incr ~by:items m "pool.items";
+  if extra = 0 then Epoc_obs.Metrics.incr m "pool.sequential_maps"
+  else begin
+    Epoc_obs.Metrics.incr m "pool.parallel_maps";
+    Epoc_obs.Metrics.incr ~by:extra m "pool.workers_spawned"
+  end
+
 let map t f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
-  if n <= 1 || t.max_extra = 0 then List.map f xs
+  if n <= 1 || t.max_extra = 0 then begin
+    record_map ~items:n ~extra:0;
+    List.map f xs
+  end
   else
     let extra = reserve t (min t.max_extra (n - 1)) in
+    record_map ~items:n ~extra;
     if extra = 0 then List.map f xs
     else
       Fun.protect

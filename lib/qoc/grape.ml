@@ -16,6 +16,11 @@
 
 open Epoc_linalg
 
+(* Shared log source for the QOC layer (GRAPE + the duration search). *)
+let log_src = Logs.Src.create "epoc.qoc" ~doc:"EPOC quantum optimal control"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type pulse = {
   dt : float;
   labels : string array; (* control labels, parallel to amplitudes *)
@@ -55,11 +60,32 @@ type options = {
 let default_options =
   { iterations = 300; learning_rate = 0.08; fidelity_target = 0.999; patience = 50 }
 
+(* Why the ascent loop ended. *)
+type stop_reason =
+  | Target_hit (* fidelity target reached *)
+  | Patience (* no improvement for [patience] iterations *)
+  | Budget (* iteration budget exhausted *)
+
+let stop_reason_name = function
+  | Target_hit -> "target"
+  | Patience -> "patience"
+  | Budget -> "budget"
+
+(* One point of the convergence series, recorded every iteration. *)
+type sample = {
+  it : int; (* 1-based iteration *)
+  s_fidelity : float;
+  s_grad_norm : float; (* L2 norm over all (control, slot) gradients *)
+  s_step : float; (* mean |amplitude update| this iteration, rad/ns *)
+}
+
 type result = {
   pulse : pulse;
   fidelity : float;
   achieved : Mat.t; (* realized total propagator *)
   iterations : int;
+  stop : stop_reason;
+  series : sample list; (* convergence telemetry, oldest first *)
 }
 
 (* Assemble H = H0 + sum_j u_j H_j into [h] (preallocated). *)
@@ -128,6 +154,13 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
   let best_amp = ref (Array.map Array.copy u_amp) in
   let iters = ref 0 in
   let since_improved = ref 0 in
+  let stop = ref Budget in
+  let series = ref [] in
+  let record it fnow grad_norm step =
+    series :=
+      { it; s_fidelity = fnow; s_grad_norm = grad_norm; s_step = step }
+      :: !series
+  in
   (try
      for it = 1 to options.iterations do
        iters := it;
@@ -146,12 +179,22 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
          since_improved := 0
        end
        else incr since_improved;
-       if fnow >= options.fidelity_target then raise Exit;
-       if !since_improved > options.patience then raise Exit;
+       if fnow >= options.fidelity_target then begin
+         stop := Target_hit;
+         record it fnow 0.0 0.0;
+         raise Exit
+       end;
+       if !since_improved > options.patience then begin
+         stop := Patience;
+         record it fnow 0.0 0.0;
+         raise Exit
+       end;
        (* backward sweep: b = U_t^dag U_N ... U_(k+1), m = X_(k-1) b *)
        Mat.copy_into ~src:target_dag ~dst:!b;
        (* at k = slots: b = U_t^dag *)
        let phase = Cx.div (Cx.conj z) (Cx.of_float (Float.max (Cx.norm z) 1e-12)) in
+       let grad_sq = ref 0.0 in
+       let step_abs = ref 0.0 in
        for k = slots - 1 downto 0 do
          (* entering this iteration b = U_t^dag U_N ... U_(k+1); at
             k = slots-1 that is U_t^dag *)
@@ -165,6 +208,7 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
            (* dz = -i dt tr;  dF = Re(phase * dz) / d *)
            let dz = Cx.mul (Cx.make 0.0 (-.dt)) tr in
            let grad = Cx.re (Cx.mul phase dz) /. float_of_int dim in
+           grad_sq := !grad_sq +. (grad *. grad);
            (* Adam ascent step *)
            let mj = m_adam.(j) and vj = v_adam.(j) in
            mj.(k) <- (beta1 *. mj.(k)) +. ((1.0 -. beta1) *. grad);
@@ -172,17 +216,32 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
            let mh = mj.(k) /. (1.0 -. Float.pow beta1 (float_of_int it)) in
            let vh = vj.(k) /. (1.0 -. Float.pow beta2 (float_of_int it)) in
            let next = u_amp.(j).(k) +. (options.learning_rate *. limit *. mh /. (sqrt vh +. eps)) in
-           u_amp.(j).(k) <- Float.max (-.limit) (Float.min limit next)
+           let clipped = Float.max (-.limit) (Float.min limit next) in
+           step_abs := !step_abs +. Float.abs (clipped -. u_amp.(j).(k));
+           u_amp.(j).(k) <- clipped
          done;
          (* b <- b * U_k via the swap buffer *)
          Mat.mul_into !b slot_props.(k) ~dst:!b_tmp;
          let t = !b in
          b := !b_tmp;
          b_tmp := t
-       done
+       done;
+       record it fnow (sqrt !grad_sq)
+         (!step_abs /. float_of_int (nc * slots))
      done
    with Exit -> ());
   let labels = Array.map (fun c -> c.Hardware.label) ctrls in
   let pulse = { dt; labels; amplitudes = !best_amp } in
   let achieved = propagate hw pulse in
-  { pulse; fidelity = fidelity_of target achieved; achieved; iterations = !iters }
+  let fidelity = fidelity_of target achieved in
+  Log.debug (fun m ->
+      m "grape: %d qubits, %d slots, %d iters, F=%.6f, stop=%s" hw.Hardware.n
+        slots !iters fidelity (stop_reason_name !stop));
+  {
+    pulse;
+    fidelity;
+    achieved;
+    iterations = !iters;
+    stop = !stop;
+    series = List.rev !series;
+  }

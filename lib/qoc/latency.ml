@@ -14,12 +14,24 @@
 open Epoc_linalg
 open Epoc_circuit
 
+module Log = (val Logs.src_log Grape.log_src : Logs.LOG)
+
+(* Telemetry of one GRAPE optimization inside the duration search — kept
+   lightweight (no matrices) so searches can report every attempt. *)
+type attempt = {
+  att_slots : int;
+  att_iterations : int;
+  att_fidelity : float;
+  att_stop : Grape.stop_reason;
+}
+
 type search_result = {
   slots : int;
   duration : float; (* ns *)
   fidelity : float;
   result : Grape.result;
   grape_runs : int; (* how many GRAPE optimizations the search used *)
+  attempts : attempt list; (* per-run telemetry, in run order *)
 }
 
 type options = {
@@ -35,10 +47,24 @@ let default_options =
 let find_min_duration ?(options = default_options) ?initial_guess ?rng
     (hw : Hardware.t) (target : Mat.t) =
   let runs = ref 0 in
+  let attempts = ref [] in
   let attempt slots =
     incr runs;
     let rng = match rng with Some r -> r | None -> Random.State.make [| 29; slots |] in
-    Grape.optimize ~options:options.grape ~rng hw ~target ~slots
+    let r = Grape.optimize ~options:options.grape ~rng hw ~target ~slots in
+    attempts :=
+      {
+        att_slots = slots;
+        att_iterations = r.Grape.iterations;
+        att_fidelity = r.Grape.fidelity;
+        att_stop = r.Grape.stop;
+      }
+      :: !attempts;
+    Log.debug (fun m ->
+        m "duration search: %d slots -> F=%.6f (%d iters, %s)" slots
+          r.Grape.fidelity r.Grape.iterations
+          (Grape.stop_reason_name r.Grape.stop));
+    r
   in
   let ok (r : Grape.result) = r.Grape.fidelity >= options.grape.Grape.fidelity_target in
   let min_slots = max 1 options.min_slots in
@@ -76,9 +102,17 @@ let find_min_duration ?(options = default_options) ?initial_guess ?rng
       | Some (hi, r_hi) -> Some (hi / 2, hi, r_hi)
   in
   match bracket with
-  | None -> None
+  | None ->
+      Log.debug (fun m ->
+          m "duration search: no bracket up to %d slots (%d runs)"
+            options.max_slots !runs);
+      None
   | Some (lo, hi, r_hi) ->
       let slots, result = bisect lo hi r_hi in
+      Log.debug (fun m ->
+          m "duration search: converged at %d slots (%.1f ns) in %d runs" slots
+            (float_of_int slots *. hw.Hardware.dt)
+            !runs);
       Some
         {
           slots;
@@ -86,6 +120,7 @@ let find_min_duration ?(options = default_options) ?initial_guess ?rng
           fidelity = result.Grape.fidelity;
           result;
           grape_runs = !runs;
+          attempts = List.rev !attempts;
         }
 
 (* --- analytic estimator -------------------------------------------------- *)

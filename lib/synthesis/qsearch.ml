@@ -43,6 +43,9 @@ type outcome = {
   cnots : int;
   expansions : int;
   converged : bool; (* false = budget exhausted, best effort returned *)
+  prunes : int; (* nodes popped but not expanded (CNOT cap reached) *)
+  open_max : int; (* open-set high-water mark: search frontier pressure *)
+  trajectory : float list; (* best distance after each expansion, oldest first *)
 }
 
 (* Simple sorted-list priority queue; open sets stay tiny (tens of nodes). *)
@@ -77,6 +80,9 @@ let synthesize ?(options = default_options) ?(rng = Random.State.make [| 11 |])
   let root = node_of options target rng (Template.root n) in
   let best = ref root in
   let expansions = ref 0 in
+  let prunes = ref 0 in
+  let open_max = ref 1 in
+  let trajectory = ref [ root.result.Instantiate.distance ] in
   let finish node converged =
     {
       circuit = Template.to_circuit node.template node.result.Instantiate.params;
@@ -84,6 +90,9 @@ let synthesize ?(options = default_options) ?(rng = Random.State.make [| 11 |])
       cnots = Template.cnot_count node.template;
       expansions = !expansions;
       converged;
+      prunes = !prunes;
+      open_max = !open_max;
+      trajectory = List.rev !trajectory;
     }
   in
   if n = 1 || root.result.Instantiate.distance < options.threshold then
@@ -116,6 +125,9 @@ let synthesize ?(options = default_options) ?(rng = Random.State.make [| 11 |])
                   answer := Some node
                 else open_set := insert node !open_set)
               (Template.successors current.template)
+          else incr prunes;
+          open_max := max !open_max (List.length !open_set);
+          trajectory := !best.result.Instantiate.distance :: !trajectory
     done;
     match !answer with
     | Some node -> finish node true

@@ -15,6 +15,8 @@ type block_result = {
   source : source;
   distance : float; (* instantiation distance (0 for fallback) *)
   expansions : int;
+  prunes : int; (* QSearch nodes dropped at the CNOT cap *)
+  open_max : int; (* QSearch open-set high-water mark (0 = no search) *)
 }
 
 (* Lower every entangling gate to CX and fuse single-qubit runs. *)
@@ -51,7 +53,8 @@ let synthesize_block ?(options = Qsearch.default_options)
     (* wider targets are priced out of the numerical search by default
        (generic 3-qubit unitaries need ~14 CNOT layers); the direct VUG
        form is used instead *)
-    { circuit = fallback; source = Fallback; distance = 0.0; expansions = 0 }
+    { circuit = fallback; source = Fallback; distance = 0.0; expansions = 0;
+      prunes = 0; open_max = 0 }
   else
     let target = Circuit.unitary block in
     let outcome = Qsearch.synthesize ~options ~rng target in
@@ -67,8 +70,14 @@ let synthesize_block ?(options = Qsearch.default_options)
         source = Synthesized;
         distance = outcome.Qsearch.distance;
         expansions = outcome.Qsearch.expansions;
+        prunes = outcome.Qsearch.prunes;
+        open_max = outcome.Qsearch.open_max;
       }
-    else { circuit = fallback; source = Fallback; distance = 0.0; expansions = outcome.Qsearch.expansions }
+    else
+      { circuit = fallback; source = Fallback; distance = 0.0;
+        expansions = outcome.Qsearch.expansions;
+        prunes = outcome.Qsearch.prunes;
+        open_max = outcome.Qsearch.open_max }
 
 (* Hilbert-Schmidt verification helper for callers and tests. *)
 let verify ~eps (block : Circuit.t) (result : block_result) =
@@ -83,6 +92,8 @@ type stage_report = {
   synthesized : int; (* blocks where the search beat the direct form *)
   fallback : int;
   total_expansions : int;
+  total_prunes : int;
+  max_open : int; (* largest open-set high-water mark over the batch *)
 }
 
 let stage_report (results : block_result list) =
@@ -93,8 +104,11 @@ let stage_report (results : block_result list) =
         synthesized = (r.synthesized + if br.source = Synthesized then 1 else 0);
         fallback = (r.fallback + if br.source = Fallback then 1 else 0);
         total_expansions = r.total_expansions + br.expansions;
+        total_prunes = r.total_prunes + br.prunes;
+        max_open = max r.max_open br.open_max;
       })
-    { block_count = 0; synthesized = 0; fallback = 0; total_expansions = 0 }
+    { block_count = 0; synthesized = 0; fallback = 0; total_expansions = 0;
+      total_prunes = 0; max_open = 0 }
     results
 
 let counters (r : stage_report) =
@@ -103,4 +117,6 @@ let counters (r : stage_report) =
     ("synthesized", r.synthesized);
     ("fallback", r.fallback);
     ("expansions", r.total_expansions);
+    ("prunes", r.total_prunes);
+    ("open_max", r.max_open);
   ]

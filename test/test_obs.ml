@@ -1,0 +1,319 @@
+(* Observability tests: the JSON layer, the metrics registry (bucket
+   boundaries, instrument semantics, fork/absorb determinism), trace GC
+   capture and the Chrome trace-event exporter. *)
+
+open Epoc
+module M = Epoc_obs.Metrics
+module J = Epoc_obs.Json
+
+(* --- json ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("a", J.Num 1.0);
+        ("b", J.Str "x\"y\n\\z");
+        ("c", J.Arr [ J.Null; J.Bool true; J.Bool false; J.Num 0.125 ]);
+        ("d", J.Obj []);
+        ("e", J.Arr []);
+        ("f", J.Num 1.6180339887498949);
+      ]
+  in
+  Alcotest.(check bool) "compact round-trips" true
+    (J.parse_exn (J.to_string v) = v);
+  Alcotest.(check bool) "indented round-trips" true
+    (J.parse_exn (J.to_string ~indent:true v) = v);
+  (* integral floats print without a fraction *)
+  Alcotest.(check string) "int form" "42" (J.to_string (J.of_int 42));
+  (* non-finite numbers degrade to null rather than invalid JSON *)
+  Alcotest.(check string) "nan is null" "null" (J.to_string (J.Num Float.nan));
+  Alcotest.(check string) "inf is null" "null" (J.to_string (J.Num infinity))
+
+let test_json_parse () =
+  Alcotest.(check bool) "escapes" true
+    (J.parse_exn {|"aA\n\t\\ é"|} = J.Str "aA\n\t\\ \xc3\xa9");
+  Alcotest.(check bool) "surrogate pair" true
+    (J.parse_exn {|"😀"|} = J.Str "\xf0\x9f\x98\x80");
+  Alcotest.(check bool) "numbers" true
+    (J.parse_exn "[-1.5e3, 0, 7]" = J.Arr [ J.Num (-1500.0); J.Num 0.0; J.Num 7.0 ]);
+  (match J.parse "{\"a\": 1," with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated object accepted");
+  (match J.parse "[1] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  (* accessors *)
+  let v = J.parse_exn {|{"x": {"y": [1, 2, 3]}}|} in
+  let ys =
+    Option.bind (J.member "x" v) (J.member "y") |> Fun.flip Option.bind J.to_list
+  in
+  Alcotest.(check int) "nested member" 3 (List.length (Option.get ys))
+
+(* --- histogram buckets --------------------------------------------------- *)
+
+let test_bucket_boundaries () =
+  let check v expected =
+    Alcotest.(check int) (Printf.sprintf "bucket of %g" v) expected (M.bucket_index v)
+  in
+  check 0.0 0;
+  check (-3.0) 0;
+  check Float.nan 0;
+  (* [0.5, 1) is the bucket just below 1.0 *)
+  check 0.5 31;
+  check 0.75 31;
+  check 1.0 32;
+  check 1.5 32;
+  check 1.9999999 32;
+  check 2.0 33;
+  check 4.0 34;
+  (* extremes clamp into the first/last finite buckets *)
+  check 1e-300 1;
+  check 1e300 (M.bucket_count - 1);
+  (* every positive value lands in a bucket whose bounds contain it *)
+  List.iter
+    (fun v ->
+      let i = M.bucket_index v in
+      let lo, hi = M.bucket_bounds i in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g in [%g, %g)" v lo hi)
+        true
+        (lo <= v && v < hi))
+    [ 1e-9; 0.013; 0.5; 1.0; 3.14; 255.0; 256.0; 1e6; 2.5e9 ]
+
+let test_instrument_semantics () =
+  let m = M.create () in
+  M.incr m "c";
+  M.incr ~by:5 m "c";
+  Alcotest.(check int) "counter adds" 6 (M.counter_value m "c");
+  M.set m "g" 3.0;
+  M.set m "g" 1.5;
+  Alcotest.(check bool) "set is last-write" true (M.gauge_value m "g" = Some 1.5);
+  M.peak m "hw" 2.0;
+  M.peak m "hw" 7.0;
+  M.peak m "hw" 4.0;
+  Alcotest.(check bool) "peak keeps max" true (M.gauge_value m "hw" = Some 7.0);
+  M.observe m "h" 1.0;
+  M.observe m "h" 3.0;
+  M.observe m "h" 3.0;
+  let h = Option.get (M.hist_value m "h") in
+  Alcotest.(check int) "hist count" 3 h.M.count;
+  Alcotest.(check (float 0.0)) "hist sum" 7.0 h.M.sum;
+  Alcotest.(check (float 0.0)) "hist min" 1.0 h.M.vmin;
+  Alcotest.(check (float 0.0)) "hist max" 3.0 h.M.vmax;
+  Alcotest.(check bool) "hist buckets" true
+    (h.M.buckets = [ (M.bucket_index 1.0, 1); (M.bucket_index 3.0, 2) ]);
+  Alcotest.(check (float 1e-12)) "hist mean" (7.0 /. 3.0) (M.mean h);
+  (* instrument kinds are sticky: reusing a name with another kind fails *)
+  (match M.observe m "c" 1.0 with
+  | () -> Alcotest.fail "counter accepted an observation"
+  | exception Invalid_argument _ -> ());
+  (* missing instruments read as empty *)
+  Alcotest.(check int) "missing counter is 0" 0 (M.counter_value m "nope");
+  Alcotest.(check bool) "missing gauge is None" true (M.gauge_value m "nope" = None)
+
+let test_fork_absorb () =
+  let parent = M.create () in
+  let a = M.fork parent in
+  M.incr a "x";
+  Alcotest.(check int) "fork starts empty" 0 (M.counter_value parent "x");
+  (* same shards absorbed in either order give the same registry *)
+  let snap_of order_sel =
+    let parent = M.create () in
+    M.incr ~by:10 parent "c";
+    M.observe parent "h" 1.0;
+    let a = M.fork parent and b = M.fork parent in
+    M.incr ~by:3 a "c";
+    M.peak a "hw" 5.0;
+    M.observe a "h" 8.0;
+    M.incr ~by:4 b "c";
+    M.peak b "hw" 2.0;
+    M.observe b "h" 0.25;
+    List.iter (M.absorb parent) (if order_sel then [ a; b ] else [ b; a ]);
+    M.snapshot parent
+  in
+  let s1 = snap_of true and s2 = snap_of false in
+  Alcotest.(check bool) "absorb order-free" true (s1 = s2);
+  (* and the merged values are the sums/maxima *)
+  let parent = M.create () in
+  M.incr ~by:10 parent "c";
+  let a = M.fork parent in
+  M.incr ~by:3 a "c";
+  M.peak a "hw" 5.0;
+  M.observe a "h" 8.0;
+  M.absorb parent a;
+  Alcotest.(check int) "counters add" 13 (M.counter_value parent "c");
+  Alcotest.(check bool) "gauges max" true (M.gauge_value parent "hw" = Some 5.0);
+  let h = Option.get (M.hist_value parent "h") in
+  Alcotest.(check int) "hist absorbed" 1 h.M.count
+
+(* Shard-per-item fan-out through the domain pool: the merged registry
+   must not depend on the domain count. *)
+let test_pool_merge_determinism () =
+  let run domains =
+    let pool = Epoc_parallel.Pool.create ~domains () in
+    let parent = M.create () in
+    let items = List.init 20 (fun i -> (i, M.fork parent)) in
+    let _ =
+      Epoc_parallel.Pool.map pool
+        (fun (i, shard) ->
+          M.incr ~by:i shard "work.items";
+          M.observe shard "work.size" (float_of_int (1 + (i mod 5)));
+          M.peak shard "work.peak" (float_of_int (i mod 7)))
+        items
+    in
+    List.iter (fun (_, shard) -> M.absorb parent shard) items;
+    M.snapshot parent
+  in
+  Alcotest.(check bool) "1 vs 4 domains identical" true (run 1 = run 4)
+
+(* --- full-pipeline metrics determinism ----------------------------------- *)
+
+(* Histogram sums are accumulated floats; recording order inside one
+   shard is fixed, but the pulse stage records straight into the shared
+   candidate registry from worker domains, so compare sums at tolerance
+   and everything else exactly. *)
+let same_value a b =
+  match (a, b) with
+  | M.Hist_v ha, M.Hist_v hb ->
+      ha.M.count = hb.M.count && ha.M.vmin = hb.M.vmin && ha.M.vmax = hb.M.vmax
+      && ha.M.buckets = hb.M.buckets
+      && Float.abs (ha.M.sum -. hb.M.sum)
+         <= 1e-9 *. Float.max 1.0 (Float.abs ha.M.sum)
+  | a, b -> a = b
+
+let test_pipeline_metrics_determinism () =
+  let c = Epoc_benchmarks.Benchmarks.find "simon" in
+  let run domains =
+    let pool = Epoc_parallel.Pool.create ~domains () in
+    let metrics = M.create () in
+    let _ = Pipeline.run ~pool ~metrics ~name:"simon" c in
+    M.snapshot metrics
+  in
+  let s1 = run 1 and s4 = run 4 in
+  Alcotest.(check bool) "same instrument names" true
+    (List.map fst s1 = List.map fst s4);
+  List.iter2
+    (fun (name, v1) (_, v4) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "metric %s identical across domain counts" name)
+        true (same_value v1 v4))
+    s1 s4;
+  (* the registry actually saw the run *)
+  Alcotest.(check int) "pipeline.runs" 1
+    (List.length (List.filter (fun (n, _) -> n = "pipeline.runs") s1))
+
+(* --- trace: empty JSON, GC capture, chrome export ------------------------ *)
+
+let test_empty_trace_json () =
+  let t = Trace.create () in
+  let v = J.parse_exn (Trace.to_json t) in
+  Alcotest.(check bool) "events is an explicit empty array" true
+    (J.member "events" v = Some (J.Arr []));
+  Alcotest.(check bool) "top_level_s is 0" true
+    (Option.bind (J.member "top_level_s" v) J.to_num = Some 0.0)
+
+let test_gc_capture () =
+  let t = Trace.create ~gc:true () in
+  let _ =
+    Trace.span t "alloc" (fun () ->
+        (* allocate enough to move the minor-words counter *)
+        Sys.opaque_identity (List.init 10_000 (fun i -> float_of_int i)))
+  in
+  (match Trace.events t with
+  | [ e ] -> (
+      match e.Trace.gc with
+      | Some g ->
+          Alcotest.(check bool) "minor words grew" true (g.Trace.minor_words > 0.0);
+          Alcotest.(check bool) "collections non-negative" true
+            (g.Trace.minor_collections >= 0 && g.Trace.major_collections >= 0)
+      | None -> Alcotest.fail "gc delta missing despite ~gc:true")
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs));
+  (* without ~gc the delta is absent and aggregation copes *)
+  let t0 = Trace.create () in
+  Trace.span t0 "plain" (fun () -> ());
+  (match Trace.events t0 with
+  | [ e ] -> Alcotest.(check bool) "no gc by default" true (e.Trace.gc = None)
+  | _ -> Alcotest.fail "expected 1 event");
+  match Trace.aggregate t0 with
+  | [ row ] -> Alcotest.(check bool) "agg gc None" true (row.Trace.agg_gc = None)
+  | _ -> Alcotest.fail "expected 1 aggregate row"
+
+let test_chrome_trace_shape () =
+  let c = Epoc_benchmarks.Benchmarks.find "qaoa" in
+  let r = Pipeline.run ~name:"qaoa" c in
+  let v = J.parse_exn (Trace.to_chrome_json r.Pipeline.trace) in
+  let events =
+    Option.get (Option.bind (J.member "traceEvents" v) J.to_list)
+  in
+  Alcotest.(check bool) "has events" true (events <> []);
+  let str k e = Option.bind (J.member k e) J.to_str in
+  let num k e = Option.bind (J.member k e) J.to_num in
+  List.iter
+    (fun e ->
+      let ph = Option.get (str "ph" e) in
+      Alcotest.(check bool) "ph is X or M" true (ph = "X" || ph = "M");
+      Alcotest.(check bool) "has name" true (str "name" e <> None);
+      Alcotest.(check bool) "has pid" true (num "pid" e <> None);
+      Alcotest.(check bool) "has tid" true (num "tid" e <> None);
+      if ph = "X" then begin
+        Alcotest.(check bool) "X has ts" true (num "ts" e <> None);
+        Alcotest.(check bool) "X has dur >= 0" true
+          (match num "dur" e with Some d -> d >= 0.0 | None -> false)
+      end)
+    events;
+  (* thread metadata names the driver and candidate threads *)
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        if str "ph" e = Some "M" && str "name" e = Some "thread_name" then
+          Option.bind (J.member "args" e) (J.member "name")
+          |> Fun.flip Option.bind J.to_str
+        else None)
+      events
+  in
+  Alcotest.(check bool) "driver thread named" true
+    (List.mem "driver" thread_names);
+  Alcotest.(check bool) "cand0 thread named" true
+    (List.mem "cand0" thread_names);
+  (* candidate spans land on the candidate's thread with bare stage names *)
+  let cand_spans =
+    List.filter
+      (fun e -> str "ph" e = Some "X" && num "tid" e = Some 1.0)
+      events
+  in
+  Alcotest.(check bool) "cand0 spans present" true (cand_spans <> []);
+  Alcotest.(check bool) "names have no cand prefix" true
+    (List.for_all
+       (fun e ->
+         match str "name" e with
+         | Some n -> not (String.length n >= 4 && String.sub n 0 4 = "cand")
+         | None -> false)
+       cand_spans)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "print/parse round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parser edge cases" `Quick test_json_parse;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+          Alcotest.test_case "instrument semantics" `Quick
+            test_instrument_semantics;
+          Alcotest.test_case "fork/absorb merge" `Quick test_fork_absorb;
+          Alcotest.test_case "pool merge determinism" `Quick
+            test_pool_merge_determinism;
+          Alcotest.test_case "pipeline metrics domain-count determinism" `Quick
+            test_pipeline_metrics_determinism;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "empty trace json" `Quick test_empty_trace_json;
+          Alcotest.test_case "gc capture" `Quick test_gc_capture;
+          Alcotest.test_case "chrome trace shape" `Quick test_chrome_trace_shape;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* bench_compare — regression gate over two BENCH_pipeline.json files.
+
+   Usage:
+     bench_compare [--threshold PCT] [--min-ms MS] BASELINE.json CANDIDATE.json
+
+   Compares per-benchmark compile time, per-stage wall clock and the
+   GRAPE micro-benchmark throughput of a candidate run against a
+   committed baseline.  A measurement regresses when it is more than
+   [threshold] percent slower (default 20%) AND the absolute slowdown
+   exceeds [min-ms] milliseconds (default 2 ms) — the floor keeps
+   micro-second stages, which are pure timer noise, out of the gate.
+   Metric counter drifts (work done, not time taken) are printed as
+   warnings but never fail the gate: counters legitimately move when
+   the pipeline's behaviour is intentionally changed.
+
+   Exit status: 0 no regression, 1 regression, 2 usage or parse error. *)
+
+module J = Epoc_obs.Json
+
+let usage () =
+  prerr_endline
+    "usage: bench_compare [--threshold PCT] [--min-ms MS] BASELINE.json \
+     CANDIDATE.json";
+  exit 2
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error m -> die "bench_compare: %s" m
+
+let load path =
+  match J.parse (read_file path) with
+  | Ok v -> v
+  | Error m -> die "bench_compare: %s: %s" path m
+
+(* --- accessors over the bench JSON shape --------------------------------- *)
+
+let benchmarks json =
+  match Option.bind (J.member "benchmarks" json) J.to_list with
+  | Some l -> l
+  | None -> die "bench_compare: no \"benchmarks\" array"
+
+let bench_name b =
+  match Option.bind (J.member "name" b) J.to_str with
+  | Some n -> n
+  | None -> die "bench_compare: benchmark without a name"
+
+let num_field name j = Option.bind (J.member name j) J.to_num
+
+(* stage name -> wall_s *)
+let stage_walls b =
+  match Option.bind (J.member "stages" b) J.to_list with
+  | None -> []
+  | Some stages ->
+      List.filter_map
+        (fun s ->
+          match
+            (Option.bind (J.member "stage" s) J.to_str, num_field "wall_s" s)
+          with
+          | Some name, Some w -> Some (name, w)
+          | _ -> None)
+        stages
+
+(* metrics counters section, when present (older baselines lack it) *)
+let counters b =
+  match Option.bind (J.member "metrics" b) (J.member "counters") with
+  | Some (J.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun n -> (k, n)) (J.to_int v))
+        fields
+  | _ -> []
+
+(* --- comparison ----------------------------------------------------------- *)
+
+type gate = {
+  threshold : float; (* relative slowdown that fails, in percent *)
+  min_s : float; (* absolute slowdown floor, in seconds *)
+  mutable regressions : int;
+  mutable warnings : int;
+}
+
+let pct_change ~base ~cand =
+  if base <= 0.0 then 0.0 else 100.0 *. (cand -. base) /. base
+
+let check_time gate ~what ~base ~cand =
+  let delta = pct_change ~base ~cand in
+  if delta > gate.threshold && cand -. base > gate.min_s then begin
+    Printf.printf "REGRESSION %-40s %10.4f s -> %10.4f s (%+.1f%%)\n" what base
+      cand delta;
+    gate.regressions <- gate.regressions + 1
+  end
+  else if Float.abs delta > gate.threshold && cand -. base < -.gate.min_s then
+    Printf.printf "improved   %-40s %10.4f s -> %10.4f s (%+.1f%%)\n" what base
+      cand delta
+
+let check_counters gate ~bench ~base ~cand =
+  List.iter
+    (fun (name, bv) ->
+      match List.assoc_opt name cand with
+      | Some cv when cv <> bv ->
+          Printf.printf "warning    %s/%s: counter %d -> %d\n" bench name bv cv;
+          gate.warnings <- gate.warnings + 1
+      | Some _ -> ()
+      | None ->
+          Printf.printf "warning    %s/%s: counter disappeared (was %d)\n" bench
+            name bv;
+          gate.warnings <- gate.warnings + 1)
+    base
+
+let compare_benchmark gate base cand =
+  let name = bench_name base in
+  (match (num_field "compile_s" base, num_field "compile_s" cand) with
+  | Some b, Some c -> check_time gate ~what:(name ^ "/compile") ~base:b ~cand:c
+  | _ -> ());
+  let cand_stages = stage_walls cand in
+  List.iter
+    (fun (stage, b) ->
+      match List.assoc_opt stage cand_stages with
+      | Some c ->
+          check_time gate ~what:(Printf.sprintf "%s/%s" name stage) ~base:b
+            ~cand:c
+      | None -> ())
+    (stage_walls base);
+  check_counters gate ~bench:name ~base:(counters base) ~cand:(counters cand)
+
+(* GRAPE throughput: higher is better, so the check is inverted and has
+   no absolute floor (the micro-benchmark always runs long enough). *)
+let compare_grape gate base cand =
+  match
+    ( Option.bind (J.member "grape_micro" base) (num_field "iters_per_s"),
+      Option.bind (J.member "grape_micro" cand) (num_field "iters_per_s") )
+  with
+  | Some b, Some c when b > 0.0 ->
+      let drop = 100.0 *. (b -. c) /. b in
+      if drop > gate.threshold then begin
+        Printf.printf
+          "REGRESSION %-40s %10.1f -> %10.1f iters/s (-%.1f%%)\n" "grape_micro"
+          b c drop;
+        gate.regressions <- gate.regressions + 1
+      end
+  | _ -> ()
+
+let () =
+  let threshold = ref 20.0 in
+  let min_ms = ref 2.0 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t > 0.0 ->
+            threshold := t;
+            parse_args rest
+        | _ -> usage ())
+    | "--min-ms" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t >= 0.0 ->
+            min_ms := t;
+            parse_args rest
+        | _ -> usage ())
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | file :: rest ->
+        files := file :: !files;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ baseline_file; candidate_file ] ->
+      let baseline = load baseline_file in
+      let candidate = load candidate_file in
+      let gate =
+        {
+          threshold = !threshold;
+          min_s = !min_ms /. 1e3;
+          regressions = 0;
+          warnings = 0;
+        }
+      in
+      let cand_benches =
+        List.map (fun b -> (bench_name b, b)) (benchmarks candidate)
+      in
+      List.iter
+        (fun base ->
+          match List.assoc_opt (bench_name base) cand_benches with
+          | Some cand -> compare_benchmark gate base cand
+          | None ->
+              Printf.printf "warning    benchmark %s missing from candidate\n"
+                (bench_name base);
+              gate.warnings <- gate.warnings + 1)
+        (benchmarks baseline);
+      compare_grape gate baseline candidate;
+      Printf.printf
+        "bench_compare: %d regression%s, %d warning%s (threshold %.0f%%, \
+         floor %.1f ms)\n"
+        gate.regressions
+        (if gate.regressions = 1 then "" else "s")
+        gate.warnings
+        (if gate.warnings = 1 then "" else "s")
+        !threshold !min_ms;
+      exit (if gate.regressions > 0 then 1 else 0)
+  | _ -> usage ()
