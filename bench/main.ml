@@ -355,6 +355,70 @@ let micro () =
 
 let json_file = "BENCH_pipeline.json"
 
+(* Version of the bench JSON shape; tools/bench_compare.exe refuses files
+   whose version it does not speak. *)
+let bench_schema_version = 1
+
+(* --- persistent-cache cold/warm sweep ------------------------------------- *)
+
+(* Quantify the cross-run pulse cache (lib/cache): each benchmark compiles
+   twice with GRAPE pulses against the same fresh store directory — the
+   cold run fills it, the warm run resolves every distinct unitary from
+   disk and skips GRAPE.  Latency/ESP must be identical (cached entries
+   carry the exact computed values); compile time is the payoff.  Limited
+   to small benchmarks because the cold GRAPE run is the slow part. *)
+let cache_sweep_benchmarks = [ "bb84"; "simon" ]
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+type cache_run = {
+  cr_compile_s : float;
+  cr_latency : float;
+  cr_esp : float;
+  cr_cache_hits : int;
+  cr_cache_misses : int;
+}
+
+let cache_sweep () =
+  List.map
+    (fun name ->
+      let c = Epoc_benchmarks.Benchmarks.find name in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "epoc-bench-cache-%d-%s" (Unix.getpid ()) name)
+      in
+      rm_rf dir;
+      let cfg = { Config.grape with Config.cache_dir = Some dir } in
+      let run () =
+        let lib = Epoc_pulse.Library.create () in
+        let r = Pipeline.run ~config:cfg ~pool ~library:lib ~name c in
+        {
+          cr_compile_s = r.Pipeline.compile_time;
+          cr_latency = r.Pipeline.latency;
+          cr_esp = r.Pipeline.esp;
+          cr_cache_hits =
+            Epoc_obs.Metrics.counter_value r.Pipeline.metrics "cache.hits";
+          cr_cache_misses =
+            Epoc_obs.Metrics.counter_value r.Pipeline.metrics "cache.misses";
+        }
+      in
+      let cold = run () in
+      let warm = run () in
+      rm_rf dir;
+      (name, cold, warm))
+    cache_sweep_benchmarks
+
+let cache_run_json (r : cache_run) =
+  Printf.sprintf
+    "{\"compile_s\": %.6f, \"latency_ns\": %.3f, \"esp\": %.6f, \
+     \"cache_hits\": %d, \"cache_misses\": %d}"
+    r.cr_compile_s r.cr_latency r.cr_esp r.cr_cache_hits r.cr_cache_misses
+
 (* Compile the table-1 suite and emit per-benchmark compile time, schedule
    quality, library traffic and the per-stage timing breakdown (from the
    pass manager's trace) as JSON, plus a GRAPE throughput
@@ -392,9 +456,13 @@ let bench_json () =
     grape_iters := !grape_iters + r.Epoc_qoc.Grape.iterations
   done;
   let grape_s = Unix.gettimeofday () -. g0 in
+  (* cold/warm persistent-cache sweep (GRAPE pulses, small benchmarks) *)
+  let sweep = cache_sweep () in
   let total_s = Unix.gettimeofday () -. t0 in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"schema_version\": %d,\n" bench_schema_version);
   Buffer.add_string b
     (Printf.sprintf "  \"domains\": %d,\n  \"qoc_mode\": \"estimate\",\n"
        (Pool.domains pool));
@@ -418,6 +486,15 @@ let bench_json () =
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"cache_sweep\": [\n";
+  List.iteri
+    (fun i (name, cold, warm) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"cold\": %s, \"warm\": %s}%s\n"
+           name (cache_run_json cold) (cache_run_json warm)
+           (if i = List.length sweep - 1 then "" else ",")))
+    sweep;
+  Buffer.add_string b "  ],\n";
   Buffer.add_string b
     (Printf.sprintf
        "  \"grape_micro\": {\"slots\": 24, \"runs\": %d, \"iterations\": %d, \
@@ -433,6 +510,19 @@ let bench_json () =
       Printf.printf "%-12s compile %8.4f s   latency %10.1f ns\n" name
         r.Pipeline.compile_time r.Pipeline.latency)
     rows;
+  Printf.printf "\ncold/warm pulse-cache sweep (GRAPE pulses):\n";
+  List.iter
+    (fun (name, cold, warm) ->
+      Printf.printf
+        "%-12s cold %8.3f s -> warm %8.3f s (%5.1fx, %d cache hits, \
+         latency %s, esp %s)\n"
+        name cold.cr_compile_s warm.cr_compile_s
+        (if warm.cr_compile_s > 0.0 then cold.cr_compile_s /. warm.cr_compile_s
+         else 0.0)
+        warm.cr_cache_hits
+        (if cold.cr_latency = warm.cr_latency then "identical" else "DIFFERS")
+        (if cold.cr_esp = warm.cr_esp then "identical" else "DIFFERS"))
+    sweep;
   Printf.printf "\nwrote %s (total wall %.3f s, %d domain%s)\n" json_file total_s
     (Pool.domains pool)
     (if Pool.domains pool = 1 then "" else "s")

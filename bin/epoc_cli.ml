@@ -56,6 +56,15 @@ let partition_width =
   Arg.(value & opt int 3 & info [ "partition-width" ] ~docv:"N"
          ~doc:"Partition qubit budget (default 3).")
 
+let cache_arg =
+  let doc =
+    "Persistent pulse cache directory: pulses synthesized by this run are \
+     stored there and later runs reuse them (exact fingerprint hits skip \
+     GRAPE, near hits warm-start it). Created if missing."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "cache" ] ~docv:"DIR" ~env:(Cmd.Env.info "EPOC_CACHE") ~doc)
+
 let verbose =
   let doc = "Increase log verbosity: -v info, -vv debug." in
   Term.app (Term.const List.length)
@@ -88,7 +97,7 @@ let write_file path contents =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc contents)
 
-let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width =
+let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir =
   let base = Epoc.Config.default in
   {
     base with
@@ -102,6 +111,7 @@ let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width =
         base.Epoc.Config.partition with
         Epoc_partition.Partition.qubit_limit = width;
       };
+    cache_dir;
   }
 
 let run_flow_named flow ~config ~trace ~metrics ~name circuit =
@@ -127,16 +137,19 @@ let report (r : Epoc.Pipeline.result) show =
   Printf.printf "blocks/synth     : %d / %d\n"
     r.Epoc.Pipeline.stats.Epoc.Pipeline.blocks
     r.Epoc.Pipeline.stats.Epoc.Pipeline.synthesized_blocks;
-  Printf.printf "library          : %d entries, %d hits / %d misses\n"
+  Printf.printf "library          : %d entries, %d hits / %d misses%s\n"
     r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.entries
     r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.hits
-    r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.misses;
+    r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.misses
+    (match r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.cache_hits with
+    | 0 -> ""
+    | c -> Printf.sprintf " (%d from persistent cache)" c);
   Printf.printf "compile time     : %.3f s\n" r.Epoc.Pipeline.compile_time;
   if show then Format.printf "@.%a@." Epoc_pulse.Schedule.pp r.Epoc.Pipeline.schedule
 
 let compile_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width verbosity schedule
-      trace trace_json gc chrome =
+  let run spec flow grape no_zx no_synth no_regroup width cache_dir verbosity
+      schedule trace trace_json gc chrome =
     setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -146,7 +159,9 @@ let compile_cmd =
         Printf.eprintf "error: %s\n" m;
         1
     | circuit ->
-        let config = config_of ~grape ~no_zx ~no_synth ~no_regroup ~width in
+        let config =
+          config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
+        in
         let sink = T.create ~gc () in
         let metrics = M.create () in
         let result =
@@ -169,8 +184,8 @@ let compile_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ verbose $ show_schedule $ show_trace
-      $ show_trace_json $ trace_gc $ trace_chrome)
+      $ no_regroup $ partition_width $ cache_arg $ verbose $ show_schedule
+      $ show_trace $ show_trace_json $ trace_gc $ trace_chrome)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit to a pulse schedule.") term
 
@@ -195,9 +210,15 @@ let agg_row_json (r : T.agg_row) =
      ]
     @ match r.T.agg_gc with None -> [] | Some g -> [ ("gc", gc_json g) ])
 
+(* Version of the report's JSON shape; tools consuming it (see
+   tools/bench_compare.ml for the bench flavour) check this before
+   parsing. *)
+let report_schema_version = 1
+
 let report_json (r : Epoc.Pipeline.result) metrics =
   J.Obj
     [
+      ("schema_version", J.of_int report_schema_version);
       ("name", J.Str r.Epoc.Pipeline.name);
       ("latency_ns", J.Num r.Epoc.Pipeline.latency);
       ("esp", J.Num r.Epoc.Pipeline.esp);
@@ -280,8 +301,8 @@ let report_text (r : Epoc.Pipeline.result) metrics =
   dump "metrics (process)" M.global
 
 let report_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width verbosity json chrome
-      =
+  let run spec flow grape no_zx no_synth no_regroup width cache_dir verbosity
+      json chrome =
     setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -291,7 +312,9 @@ let report_cmd =
         Printf.eprintf "error: %s\n" m;
         1
     | circuit ->
-        let config = config_of ~grape ~no_zx ~no_synth ~no_regroup ~width in
+        let config =
+          config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
+        in
         let sink = T.create ~gc:true () in
         let metrics = M.create () in
         let result =
@@ -313,7 +336,8 @@ let report_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ verbose $ json_flag $ trace_chrome)
+      $ no_regroup $ partition_width $ cache_arg $ verbose $ json_flag
+      $ trace_chrome)
   in
   Cmd.v
     (Cmd.info "report"

@@ -95,10 +95,10 @@ let gate_flow =
         [ lower_pass; gate_pulses_pass; schedule_instructions_pass ]);
   }
 
-let gate_based ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
-    (circuit : Circuit.t) =
-  Pipeline.run_flow ~config ?library ?pool ?trace ?metrics ~name gate_flow
-    circuit
+let gate_based ?(config = Config.default) ?library ?cache ?pool ?trace ?metrics
+    ~name (circuit : Circuit.t) =
+  Pipeline.run_flow ~config ?library ?cache ?pool ?trace ?metrics ~name
+    gate_flow circuit
 
 (* --- AccQOC-like ------------------------------------------------------------ *)
 
@@ -116,10 +116,10 @@ let accqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
-let accqoc_like ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
-    circuit =
-  Pipeline.run ~config:(accqoc_config config) ?library ?pool ?trace ?metrics
-    ~name circuit
+let accqoc_like ?(config = Config.default) ?library ?cache ?pool ?trace
+    ?metrics ~name circuit =
+  Pipeline.run ~config:(accqoc_config config) ?library ?cache ?pool ?trace
+    ?metrics ~name circuit
 
 (* --- PAQOC-like -------------------------------------------------------------- *)
 
@@ -158,8 +158,8 @@ let paqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
-let paqoc_like ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
-    circuit =
+let paqoc_like ?(config = Config.default) ?library ?cache ?pool ?trace ?metrics
+    ~name circuit =
   (* pattern mining informs the grouping budget: with frequent patterns
      present, PAQOC invests in deeper program-aware groups *)
   let patterns = mine_patterns circuit in
@@ -170,4 +170,4 @@ let paqoc_like ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
                  regroup_partition = { Partition.qubit_limit = 2; op_limit = 8 } }
     else cfg
   in
-  Pipeline.run ~config:cfg ?library ?pool ?trace ?metrics ~name circuit
+  Pipeline.run ~config:cfg ?library ?cache ?pool ?trace ?metrics ~name circuit

@@ -26,6 +26,9 @@ type t = {
   qoc_mode : qoc_mode;
   latency : Epoc_qoc.Latency.options;
   match_global_phase : bool; (* EPOC's phase-aware pulse library matching *)
+  (* directory of the persistent pulse store (lib/cache); [None] keeps the
+     library purely in-memory, as in the original paper *)
+  cache_dir : string option;
   dt : float;
   t_coherence : float;
 }
@@ -59,6 +62,7 @@ let default =
         max_slots = 2048;
       };
     match_global_phase = true;
+    cache_dir = None;
     dt = 0.5;
     t_coherence = 100_000.0;
   }

@@ -1,0 +1,47 @@
+(** Pipeline configuration.
+
+    The record is concrete: callers build variants with functional update
+    over {!default} (the CLI, the benchmarks and the tests all do). *)
+
+(** How pulse durations/fidelities are obtained:
+    - [Grape]: the real GRAPE duration search per distinct unitary
+      (cached in the pulse library, and across runs in the persistent
+      store when one is configured).  Reference mode; wall-clock cost
+      grows quickly with block width.
+    - [Estimate]: the calibrated analytic latency model, for very wide
+      sweeps.  Each experiment records which mode produced it. *)
+type qoc_mode = Grape | Estimate
+
+type t = {
+  use_zx : bool;  (** graph-based depth optimization stage *)
+  use_synthesis : bool;  (** VUG-based synthesis of partition blocks *)
+  regroup : bool;  (** regroup VUGs before QOC (the paper's key step) *)
+  partition : Epoc_partition.Partition.config;
+  regroup_partition : Epoc_partition.Partition.config;
+  regroup_widths : int list;
+      (** additional regroup widths to explore; the schedule with the
+          lowest latency wins *)
+  commutation_reorder : bool;
+      (** commutation-aware gate reordering before partitioning and
+          scheduling (baselines disable it) *)
+  synthesis : Epoc_synthesis.Qsearch.options;
+  qoc_mode : qoc_mode;
+  latency : Epoc_qoc.Latency.options;
+  match_global_phase : bool;
+      (** EPOC's phase-aware pulse library matching *)
+  cache_dir : string option;
+      (** directory of the persistent pulse store (lib/cache); [None]
+          keeps the library purely in-memory, as in the original paper *)
+  dt : float;
+  t_coherence : float;
+}
+
+(** Paper defaults with the analytic latency model ([Estimate]). *)
+val default : t
+
+(** Reference EPOC configuration with real GRAPE pulses. *)
+val grape : t
+
+(** Setting (1) of the evaluation: QOC directly on the synthesized VUGs,
+    without the regrouping step. *)
+val no_regroup : t

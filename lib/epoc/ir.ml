@@ -24,7 +24,10 @@ type pulse_job = {
   jlocal : Circuit.t; (* group circuit on local qubits *)
   mutable resolved : (float * float) option; (* (duration, fidelity) *)
   mutable batch_rep : pulse_job option; (* earlier in-batch equivalent *)
-  mutable computed : (float * float) option; (* phase-2 result, reps only *)
+  mutable jinit : float array array option;
+  (* warm-start amplitudes from a near-miss of the persistent store *)
+  mutable computed : (float * float * Epoc_qoc.Grape.pulse option) option;
+  (* phase-2 result (duration, fidelity, control amplitudes), reps only *)
 }
 
 (* A regroup candidate: every group paired with its pulse job, or [None]

@@ -1,0 +1,71 @@
+(** The compilation IR threaded through the pass pipeline.
+
+    One {!t} carries a single candidate representation of the input
+    circuit through the stages of paper Figure 3.  Passes are functions
+    [t -> t] that fill in (or rewrite) the fields their stage owns;
+    fields a flow never uses keep their empty defaults, which is how the
+    gate-based baseline runs through the same driver with a different
+    pass list.
+
+    The records are concrete — passes live in several modules
+    ([Stages], [Baselines]) and update fields directly; the mutable
+    [pulse_job] fields are the in-place resolution protocol of
+    [Stages.resolve_pulses] and must only be written in the phases
+    documented there. *)
+
+open Epoc_linalg
+open Epoc_circuit
+open Epoc_partition
+open Epoc_synthesis
+open Epoc_pulse
+
+(** One pulse to generate: a non-virtual group of the regrouped circuit.
+    Jobs are shared between the grouping that owns them and the flat
+    batch that resolves them, so resolution is recorded in place. *)
+type pulse_job = {
+  ju : Mat.t;  (** group unitary *)
+  jk : int;  (** group qubit count *)
+  jlocal : Circuit.t;  (** group circuit on local qubits *)
+  mutable resolved : (float * float) option;  (** (duration, fidelity) *)
+  mutable batch_rep : pulse_job option;  (** earlier in-batch equivalent *)
+  mutable jinit : float array array option;
+      (** warm-start amplitudes from a near-miss of the persistent store *)
+  mutable computed : (float * float * Epoc_qoc.Grape.pulse option) option;
+      (** phase-2 result (duration, fidelity, amplitudes), reps only *)
+}
+
+(** A regroup candidate: every group paired with its pulse job, or [None]
+    for virtual (diagonal single-qubit) groups that cost nothing. *)
+type grouping = (Partition.block * pulse_job option) list
+
+type t = {
+  name : string;
+  n : int;  (** qubit count *)
+  input : Circuit.t;  (** the untouched input circuit *)
+  input_depth : int;
+  circuit : Circuit.t;  (** current gate-level circuit *)
+  zx_used_graph : bool;  (** this candidate came from ZX extraction *)
+  opt_depth : int;  (** depth after graph optimization, before reorder *)
+  blocks : Partition.block list;  (** partition stage output *)
+  synth : (Partition.block * Synthesis.block_result) list;
+  vug_circuit : Circuit.t;  (** synthesis stage output, reassembled *)
+  groupings : grouping list;  (** regroup sweep candidates *)
+  pulse_jobs : int;  (** jobs resolved by the pulse stage *)
+  pulse_computed : int;  (** jobs that needed a fresh computation *)
+  instructions : Schedule.instruction list;  (** gate-based flow only *)
+  schedule : Schedule.t option;  (** scheduling stage output *)
+}
+
+(** A fresh IR over [circuit] with every stage field at its empty
+    default. *)
+val of_circuit : name:string -> Circuit.t -> t
+
+(** Candidate entry point: a graph-stage output adopted as the current
+    circuit, with the pre-reorder depth recorded for the stage stats. *)
+val with_candidate : t -> Circuit.t -> zx_used_graph:bool -> t
+
+(** The schedule, or [Invalid_argument] when no scheduling pass ran. *)
+val schedule_exn : t -> Schedule.t
+
+(** Blocks where the search beat the direct VUG form. *)
+val synthesized_blocks : t -> int

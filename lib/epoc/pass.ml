@@ -16,17 +16,19 @@ type ctx = {
   config : Config.t;
   pool : Pool.t;
   library : Library.t;
+  cache : Epoc_cache.Store.t option; (* persistent pulse store, when enabled *)
   trace : Trace.t;
   metrics : Metrics.t; (* per-run registry (lib/obs), deterministic values *)
   hardware : int -> Hardware.t; (* memoized per (dt, t_coherence, k) *)
 }
 
-let make_ctx ?(pool = Pool.sequential) ?trace ?metrics (config : Config.t)
-    library =
+let make_ctx ?(pool = Pool.sequential) ?cache ?trace ?metrics
+    (config : Config.t) library =
   {
     config;
     pool;
     library;
+    cache;
     trace = (match trace with Some t -> t | None -> Trace.create ());
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     hardware =

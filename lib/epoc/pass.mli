@@ -1,0 +1,68 @@
+(** The pass manager: a pipeline is a declarative list of named passes
+    run in order over an {!Ir.t}, every pass wrapped in a {!Trace} span
+    that records its wall-clock window and stage counters.
+
+    A pass must obey the pipeline's determinism contract: identical
+    output for any pool size (see lib/epoc/pipeline.ml). *)
+
+open Epoc_parallel
+open Epoc_pulse
+open Epoc_qoc
+module Metrics = Epoc_obs.Metrics
+
+(** Everything shared across stages.  Concrete because the driver builds
+    per-candidate variants with functional update ({!fork_ctx} plus a
+    forked library). *)
+type ctx = {
+  config : Config.t;
+  pool : Pool.t;
+  library : Library.t;
+  cache : Epoc_cache.Store.t option;
+      (** persistent pulse store, when enabled *)
+  trace : Trace.t;
+  metrics : Metrics.t;
+      (** per-run registry (lib/obs), deterministic values *)
+  hardware : int -> Hardware.t;  (** memoized per (dt, t_coherence, k) *)
+}
+
+(** Fresh trace/metrics sinks are created when not supplied; [pool]
+    defaults to the sequential pool. *)
+val make_ctx :
+  ?pool:Pool.t ->
+  ?cache:Epoc_cache.Store.t ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  Config.t ->
+  Library.t ->
+  ctx
+
+(** A ctx with private trace and metrics shards, for candidate fan-out:
+    the caller absorbs both after the parallel region, in candidate
+    order. *)
+val fork_ctx : ctx -> ctx * Trace.t * Metrics.t
+
+module type PASS = sig
+  val name : string
+  val run : ctx -> Ir.t -> Ir.t
+
+  val counters : ctx -> Ir.t -> (string * int) list
+  (** Stage counters reported into the trace, computed on the pass
+      output. *)
+end
+
+type t = (module PASS)
+
+(** Build a pass from a name and a transform; [counters] defaults to
+    none. *)
+val make :
+  ?counters:(ctx -> Ir.t -> (string * int) list) ->
+  string ->
+  (ctx -> Ir.t -> Ir.t) ->
+  t
+
+val name : t -> string
+
+(** Run one pass inside a trace span. *)
+val run_one : ctx -> t -> Ir.t -> Ir.t
+
+val run_list : ctx -> t list -> Ir.t -> Ir.t

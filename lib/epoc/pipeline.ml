@@ -31,6 +31,7 @@ open Epoc_qoc
 open Epoc_pulse
 open Epoc_parallel
 module Metrics = Epoc_obs.Metrics
+module Store = Epoc_cache.Store
 
 type stage_stats = {
   input_depth : int;
@@ -79,10 +80,10 @@ let pulse_for (config : Config.t) (library : Library.t) (hw_block : Hardware.t)
   match Library.find library u with
   | Some e -> (e.Library.duration, e.Library.fidelity)
   | None ->
-      let duration, fidelity =
+      let duration, fidelity, pulse =
         Stages.compute_pulse config hw_block ~vug_circuit u
       in
-      Library.add library u ~duration ~fidelity ();
+      Library.add library u ~duration ~fidelity ?pulse ();
       (duration, fidelity)
 
 (* The EPOC per-candidate pipeline, declaratively derived from the
@@ -142,8 +143,8 @@ let compile_candidate (ctx : Pass.ctx) passes ir0 ((optimized : Circuit.t), zx_u
 (* Run a flow on [circuit]: graph stage, candidate fan-out — each
    candidate against a fork of the library and a private trace sink,
    merged back in candidate order — and best-schedule selection. *)
-let run_flow ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
-    flow (circuit : Circuit.t) =
+let run_flow ?(config = Config.default) ?library ?cache ?pool ?trace ?metrics
+    ~name flow (circuit : Circuit.t) =
   let t0 = Unix.gettimeofday () in
   let pool = match pool with Some p -> p | None -> Pool.create () in
   let library =
@@ -151,7 +152,19 @@ let run_flow ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
     | Some l -> l
     | None -> Library.create ~match_global_phase:config.Config.match_global_phase ()
   in
-  let ctx = Pass.make_ctx ~pool ?trace ?metrics config library in
+  (* A caller-supplied store wins; otherwise [config.cache_dir] opens one
+     for this run (loading is cheap relative to a single GRAPE search). *)
+  let cache =
+    match cache with
+    | Some _ as c -> c
+    | None ->
+        Option.map
+          (fun dir ->
+            Store.open_dir ~match_global_phase:config.Config.match_global_phase
+              dir)
+          config.Config.cache_dir
+  in
+  let ctx = Pass.make_ctx ~pool ?cache ?trace ?metrics config library in
   let trace = ctx.Pass.trace in
   let metrics = ctx.Pass.metrics in
   let candidates =
@@ -221,6 +234,15 @@ let run_flow ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
   Metrics.set metrics "pipeline.latency_ns" latency;
   Metrics.set metrics "pipeline.esp" esp;
   Metrics.incr metrics "pipeline.runs";
+  (* persist the run's new pulses: sweep the merged library into the
+     store and flush once, after all candidates were absorbed *)
+  Option.iter
+    (fun store ->
+      Store.absorb_library store library;
+      Store.flush store;
+      Metrics.set metrics "cache.entries"
+        (float_of_int (Store.entry_count store)))
+    cache;
   {
     name;
     latency;
@@ -235,5 +257,7 @@ let run_flow ?(config = Config.default) ?library ?pool ?trace ?metrics ~name
   }
 
 (* Run the full EPOC pipeline on [circuit]. *)
-let run ?config ?library ?pool ?trace ?metrics ~name (circuit : Circuit.t) =
-  run_flow ?config ?library ?pool ?trace ?metrics ~name epoc_flow circuit
+let run ?config ?library ?cache ?pool ?trace ?metrics ~name
+    (circuit : Circuit.t) =
+  run_flow ?config ?library ?cache ?pool ?trace ?metrics ~name epoc_flow
+    circuit

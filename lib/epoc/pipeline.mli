@@ -1,0 +1,96 @@
+(** The EPOC pipeline (paper Figure 3, right column) as a pass pipeline:
+    graph-stage candidates, a config-derived pass list per candidate,
+    best-schedule selection.
+
+    Determinism contract: every parallel region is either pure or works
+    on forked state absorbed in a fixed order, so results are
+    bit-identical for any domain count.  The trace (wall clock) is the
+    only non-deterministic part of a result. *)
+
+open Epoc_linalg
+open Epoc_circuit
+open Epoc_qoc
+open Epoc_pulse
+open Epoc_parallel
+module Metrics = Epoc_obs.Metrics
+
+type stage_stats = {
+  input_depth : int;
+  zx_depth : int;  (** depth after graph optimization, before reordering *)
+  zx_used_graph : bool;
+  blocks : int;
+  synthesized_blocks : int;
+      (** blocks where search beat the direct form *)
+  vug_count : int;
+  cx_count : int;
+  pulse_count : int;
+}
+
+type result = {
+  name : string;
+  latency : float;  (** ns *)
+  esp : float;
+  compile_time : float;  (** s *)
+  schedule : Schedule.t;
+  stats : stage_stats;
+  library_stats : Library.stats;
+  qoc_mode : Config.qoc_mode;
+  trace : Trace.t;  (** per-stage wall-clock + counters *)
+  metrics : Metrics.t;
+      (** per-run registry: solver telemetry, stage counts *)
+}
+
+(** A compilation flow: a graph stage producing equivalent candidate
+    representations (with trace counters), and a config-derived pass
+    list each candidate runs through.  Concrete so the baselines build
+    their own flows over the shared driver. *)
+type flow = {
+  graph :
+    Pass.ctx -> Circuit.t -> (Circuit.t * bool) list * (string * int) list;
+  passes : Config.t -> Pass.t list;
+}
+
+(** Hardware model for [k] qubits under the config's physical
+    parameters, memoized process-wide. *)
+val hardware_for : Config.t -> int -> Hardware.t
+
+(** Library-backed resolution of a single unitary, for callers outside
+    the batched pipeline path. *)
+val pulse_for :
+  Config.t ->
+  Library.t ->
+  Hardware.t ->
+  vug_circuit:Circuit.t ->
+  Mat.t ->
+  float * float
+
+(** Run a flow on a circuit: graph stage, candidate fan-out — each
+    candidate against a fork of the library and private trace/metrics
+    sinks, merged back in candidate order — and best-schedule selection.
+    [cache] (or [config.cache_dir], opened on demand) attaches the
+    persistent pulse store; its new entries are flushed to disk before
+    returning. *)
+val run_flow :
+  ?config:Config.t ->
+  ?library:Library.t ->
+  ?cache:Epoc_cache.Store.t ->
+  ?pool:Pool.t ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  name:string ->
+  flow ->
+  Circuit.t ->
+  result
+
+(** Run the full EPOC pipeline on a circuit ({!run_flow} over the EPOC
+    flow). *)
+val run :
+  ?config:Config.t ->
+  ?library:Library.t ->
+  ?cache:Epoc_cache.Store.t ->
+  ?pool:Pool.t ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  name:string ->
+  Circuit.t ->
+  result

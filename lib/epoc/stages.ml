@@ -22,6 +22,7 @@ open Epoc_qoc
 open Epoc_pulse
 open Epoc_parallel
 module Metrics = Epoc_obs.Metrics
+module Store = Epoc_cache.Store
 
 let log_src = Logs.Src.create "epoc.pipeline" ~doc:"EPOC pipeline"
 
@@ -44,27 +45,33 @@ let record_search metrics (s : Latency.search_result) =
   Metrics.observe metrics "grape.final_infidelity"
     (Float.max 0.0 (1.0 -. s.Latency.fidelity))
 
-(* Pulse duration + fidelity for one regrouped unitary, without touching
-   the library: the pure, parallelizable half of pulse generation.
-   [metrics] collects solver telemetry when provided. *)
-let compute_pulse ?metrics (config : Config.t) (hw_block : Hardware.t)
+(* Pulse duration + fidelity (+ control amplitudes, in Grape mode) for
+   one regrouped unitary, without touching the library: the pure,
+   parallelizable half of pulse generation.  [metrics] collects solver
+   telemetry when provided; [init] seeds the GRAPE ascent with cached
+   near-neighbor amplitudes (a persistent-store warm start). *)
+let compute_pulse ?metrics ?init (config : Config.t) (hw_block : Hardware.t)
     ~(vug_circuit : Circuit.t) (u : Mat.t) =
   let record f = Option.iter f metrics in
-  let duration, fidelity =
+  let duration, fidelity, pulse =
     match config.Config.qoc_mode with
     | Config.Estimate ->
         let e = Latency.estimate ~unitary:u hw_block vug_circuit in
         record (fun m -> Metrics.incr m "qoc.estimates");
-        (e.Latency.est_duration, e.Latency.est_fidelity)
+        (e.Latency.est_duration, e.Latency.est_fidelity, None)
     | Config.Grape -> (
         let guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
         match
           Latency.find_min_duration ~options:config.Config.latency
-            ~initial_guess:guess hw_block u
+            ~initial_guess:guess ?init hw_block u
         with
         | Some s ->
-            record (fun m -> record_search m s);
-            (s.Latency.duration, s.Latency.fidelity)
+            record (fun m ->
+                record_search m s;
+                if s.Latency.result.Grape.warm_start then
+                  Metrics.incr m "grape.warm_start");
+            (s.Latency.duration, s.Latency.fidelity,
+             Some s.Latency.result.Grape.pulse)
         | None ->
             (* duration search exhausted: fall back to the estimate so the
                pipeline still emits a (pessimistic) pulse *)
@@ -73,10 +80,10 @@ let compute_pulse ?metrics (config : Config.t) (hw_block : Hardware.t)
                 m "GRAPE duration search failed on a %d-qubit block"
                   hw_block.Hardware.n);
             record (fun m -> Metrics.incr m "grape.search_failed");
-            (2.0 *. e.Latency.est_duration, 0.99))
+            (2.0 *. e.Latency.est_duration, 0.99, None))
   in
   record (fun m -> Metrics.observe m "pulse.duration_ns" duration);
-  (duration, fidelity)
+  (duration, fidelity, pulse)
 
 (* Two pulse instructions commute when every pair of their constituent
    gates sharing a qubit commutes syntactically (conservative). *)
@@ -144,24 +151,59 @@ let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
 (* Resolve every job against the library in three phases whose library
    interaction order is independent of the domain count:
 
-   1. sequentially, in job order: probe the library; misses become
-      compute representatives unless an earlier representative already
-      covers an equivalent unitary (then the job aliases it — the
-      sequential pipeline would have hit the entry that representative
-      was about to add);
+   1. sequentially, in job order: probe the library; misses consult the
+      persistent store (when one is attached) — an exact store hit skips
+      GRAPE entirely and lands in the library like a computed pulse would
+      have, a near hit seeds the job's warm start ([jinit]); remaining
+      misses become compute representatives unless an earlier
+      representative already covers an equivalent unitary (then the job
+      aliases it — the sequential pipeline would have hit the entry that
+      representative was about to add);
    2. in parallel: run the pure pulse computation for each representative;
    3. sequentially, in job order: representatives add their entry (and
       count nothing — their miss was counted in phase 1), aliases re-probe
       and register the hit their sequential counterpart would have had.
 
    The counter totals and the stored entries are exactly those of a fully
-   sequential run.  Phase 1 finds the covering representative through a
-   fingerprint-keyed table (a bucket holds pairwise non-matching
-   representatives, so at most one bucket entry can match a probe),
-   keeping the scan O(jobs) instead of O(jobs^2).
+   sequential run: store probes and the cache.* counters live entirely in
+   the sequential phase 1, and warm starts only change GRAPE's starting
+   point, which phase 2 computes from per-job state.  Phase 1 finds the
+   covering representative through a fingerprint-keyed table (a bucket
+   holds pairwise non-matching representatives, so at most one bucket
+   entry can match a probe), keeping the scan O(jobs) instead of
+   O(jobs^2).
 
    Returns (jobs, representatives) counts for the stage report. *)
-let resolve_pulses ?metrics (config : Config.t) pool library ~hardware jobs =
+let resolve_pulses ?metrics ?cache (config : Config.t) pool library ~hardware
+    jobs =
+  let record f = Option.iter f metrics in
+  (* Library miss: try the persistent store.  [true] = the store resolved
+     the job (entry copied into the library), so it is not a rep. *)
+  let consult_cache (j : Ir.pulse_job) =
+    match cache with
+    | None -> false
+    | Some store -> (
+        match Store.find store j.Ir.ju with
+        | Some e ->
+            record (fun m -> Metrics.incr m "cache.hits");
+            Library.note_cache_hit library;
+            Library.add library j.Ir.ju ~duration:e.Store.duration
+              ~fidelity:e.Store.fidelity ?pulse:e.Store.pulse ();
+            j.Ir.resolved <- Some (e.Store.duration, e.Store.fidelity);
+            true
+        | None ->
+            record (fun m -> Metrics.incr m "cache.misses");
+            (if config.Config.qoc_mode = Config.Grape then
+               match Store.nearest store j.Ir.ju with
+               | Some (e, _) ->
+                   record (fun m -> Metrics.incr m "cache.near_hits");
+                   j.Ir.jinit <-
+                     Option.map
+                       (fun (p : Grape.pulse) -> p.Grape.amplitudes)
+                       e.Store.pulse
+               | None -> ());
+            false)
+  in
   let rep_tbl : (string, (Mat.t * Ir.pulse_job) list) Hashtbl.t =
     Hashtbl.create 64
   in
@@ -179,8 +221,10 @@ let resolve_pulses ?metrics (config : Config.t) pool library ~hardware jobs =
           match Library.find library j.Ir.ju with
           | Some e -> j.Ir.resolved <- Some (e.Library.duration, e.Library.fidelity)
           | None ->
-              Hashtbl.replace rep_tbl key ((cu, j) :: bucket);
-              reps := j :: !reps))
+              if not (consult_cache j) then begin
+                Hashtbl.replace rep_tbl key ((cu, j) :: bucket);
+                reps := j :: !reps
+              end))
     jobs;
   let reps = List.rev !reps in
   (* warm the hardware memo before fanning out: phase 2 only reads it *)
@@ -191,7 +235,7 @@ let resolve_pulses ?metrics (config : Config.t) pool library ~hardware jobs =
         (* telemetry recording is commutative (counters + histogram
            observations), so sharing the registry across workers keeps
            the determinism contract *)
-        compute_pulse ?metrics config (hardware j.Ir.jk)
+        compute_pulse ?metrics ?init:j.Ir.jinit config (hardware j.Ir.jk)
           ~vug_circuit:j.Ir.jlocal j.Ir.ju)
       reps
   in
@@ -206,8 +250,8 @@ let resolve_pulses ?metrics (config : Config.t) pool library ~hardware jobs =
                 j.Ir.resolved <- Some (e.Library.duration, e.Library.fidelity)
             | None -> j.Ir.resolved <- r.Ir.resolved)
         | None ->
-            let duration, fidelity = Option.get j.Ir.computed in
-            Library.add library j.Ir.ju ~duration ~fidelity ();
+            let duration, fidelity, pulse = Option.get j.Ir.computed in
+            Library.add library j.Ir.ju ~duration ~fidelity ?pulse ();
             j.Ir.resolved <- Some (duration, fidelity))
     jobs;
   (List.length jobs, List.length reps)
@@ -391,6 +435,7 @@ let pulses =
                         jlocal = local;
                         resolved = None;
                         batch_rep = None;
+                        jinit = None;
                         computed = None;
                       } ))
               grouping)
@@ -398,8 +443,9 @@ let pulses =
       in
       let jobs = List.concat_map (List.filter_map snd) annotated in
       let n_jobs, n_computed =
-        resolve_pulses ~metrics:ctx.Pass.metrics ctx.Pass.config ctx.Pass.pool
-          ctx.Pass.library ~hardware:ctx.Pass.hardware jobs
+        resolve_pulses ~metrics:ctx.Pass.metrics ?cache:ctx.Pass.cache
+          ctx.Pass.config ctx.Pass.pool ctx.Pass.library
+          ~hardware:ctx.Pass.hardware jobs
       in
       Metrics.incr ~by:n_jobs ctx.Pass.metrics "pulse.jobs";
       Metrics.incr ~by:n_computed ctx.Pass.metrics "pulse.computed";

@@ -29,15 +29,6 @@ type gc_delta = {
   major_collections : int;
 }
 
-let gc_zero =
-  {
-    minor_words = 0.0;
-    major_words = 0.0;
-    promoted_words = 0.0;
-    minor_collections = 0;
-    major_collections = 0;
-  }
-
 let gc_add a b =
   {
     minor_words = a.minor_words +. b.minor_words;

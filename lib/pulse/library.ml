@@ -29,6 +29,7 @@ type t = {
   lock : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable cache_hits : int; (* misses resolved from the persistent store *)
 }
 
 let create ?(match_global_phase = true) () =
@@ -38,6 +39,7 @@ let create ?(match_global_phase = true) () =
     lock = Mutex.create ();
     hits = 0;
     misses = 0;
+    cache_hits = 0;
   }
 
 let locked lib f =
@@ -90,6 +92,11 @@ let add lib (u : Mat.t) ~duration ~fidelity ?pulse () =
       Hashtbl.replace lib.table key
         ({ unitary = cu; duration; fidelity; pulse } :: bucket))
 
+(* A miss that the persistent on-disk store (lib/cache) resolved instead
+   of GRAPE.  Kept next to hits/misses so [stats] shows how much of the
+   miss traffic the cross-run cache absorbed. *)
+let note_cache_hit lib = locked lib (fun () -> lib.cache_hits <- lib.cache_hits + 1)
+
 (* Private copy sharing no mutable state with [lib]; counters start at
    zero so [absorb] can add the fork's traffic back without double
    counting.  Entry lists are immutable, sharing them is fine. *)
@@ -101,6 +108,7 @@ let fork lib =
         lock = Mutex.create ();
         hits = 0;
         misses = 0;
+        cache_hits = 0;
       })
 
 (* Merge a fork's traffic and new entries back into [lib].  Entries whose
@@ -115,6 +123,7 @@ let absorb lib forked =
   locked lib (fun () ->
       lib.hits <- lib.hits + forked.hits;
       lib.misses <- lib.misses + forked.misses;
+      lib.cache_hits <- lib.cache_hits + forked.cache_hits;
       List.iter
         (fun (key, bucket) ->
           let existing =
@@ -132,14 +141,14 @@ let absorb lib forked =
           if fresh <> [] then Hashtbl.replace lib.table key (fresh @ existing))
         new_entries)
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; cache_hits : int; entries : int }
 
 let stats lib =
   locked lib (fun () ->
       let entries =
         Hashtbl.fold (fun _ b acc -> acc + List.length b) lib.table 0
       in
-      { hits = lib.hits; misses = lib.misses; entries })
+      { hits = lib.hits; misses = lib.misses; cache_hits = lib.cache_hits; entries })
 
 let hit_rate lib =
   let s = stats lib in
@@ -149,4 +158,17 @@ let hit_rate lib =
 (* Structured counters of the library traffic, for the pass pipeline's
    trace sink (lib/epoc). *)
 let counters (s : stats) =
-  [ ("hits", s.hits); ("misses", s.misses); ("entries", s.entries) ]
+  [
+    ("hits", s.hits);
+    ("misses", s.misses);
+    ("cache_hits", s.cache_hits);
+    ("entries", s.entries);
+  ]
+
+(* Fold over every stored entry, in unspecified order.  Used by the
+   persistent store to sweep a finished run's library onto disk. *)
+let fold_entries lib ~init f =
+  locked lib (fun () ->
+      Hashtbl.fold
+        (fun _ bucket acc -> List.fold_left (fun acc e -> f e acc) acc bucket)
+        lib.table init)

@@ -1,0 +1,91 @@
+(** Pulse library: the unitary -> pulse lookup table of AccQOC/PAQOC/EPOC.
+
+    Keys are canonical fingerprints of unitary matrices.  EPOC's
+    refinement over the earlier frameworks is global-phase-aware
+    matching: matrices are rotated to a canonical global phase before
+    fingerprinting, so [e^{i phi} U] hits the same entry as [U].
+    Phase-sensitive matching is kept as an option to reproduce the
+    AccQOC/PAQOC behaviour in the ablation benchmark.
+
+    All operations are thread-safe.  For coarse-grain parallelism the
+    pipeline uses {!fork}/{!absorb}: each candidate works on a private
+    copy and the results are merged back in a deterministic order. *)
+
+open Epoc_linalg
+
+type entry = {
+  unitary : Mat.t;  (** canonical-phase representative *)
+  duration : float;  (** ns *)
+  fidelity : float;
+  pulse : Epoc_qoc.Grape.pulse option;
+}
+
+type t
+
+(** [create ()] makes an empty library.  [match_global_phase] (default
+    [true]) selects EPOC's phase-invariant matching; [false] reproduces
+    the phase-sensitive AccQOC/PAQOC behaviour. *)
+val create : ?match_global_phase:bool -> unit -> t
+
+(** Stable content key of a unitary: a digest of the 5-decimal-quantized
+    matrix.  Callers must canonicalize the global phase first when they
+    want phase-invariant keys (the library does this internally). *)
+val fingerprint : Mat.t -> Digest.t
+
+(** [u] under the library's matching convention: rotated to the canonical
+    global phase when the library matches phases, unchanged otherwise.
+    Probe keys for external fingerprint-keyed indexes (the pipeline's
+    batched resolution, the persistent store) must canonicalize the same
+    way. *)
+val canonicalize : t -> Mat.t -> Mat.t
+
+(** Whether two unitaries are the same pulse under the library's matching
+    convention ([Mat.equal_up_to_phase] or [Mat.approx_equal], eps 1e-6).
+    Both arguments are expected already {!canonicalize}d. *)
+val matches : t -> Mat.t -> Mat.t -> bool
+
+(** Lookup, counting a hit or a miss.  The probe is phase-canonicalized
+    when the library matches phases. *)
+val find : t -> Mat.t -> entry option
+
+(** Insert a pulse for [u] (stored under its canonical phase). *)
+val add :
+  t ->
+  Mat.t ->
+  duration:float ->
+  fidelity:float ->
+  ?pulse:Epoc_qoc.Grape.pulse ->
+  unit ->
+  unit
+
+(** Count a miss that the persistent on-disk store resolved instead of
+    a fresh GRAPE run; shows up as [cache_hits] in {!stats}. *)
+val note_cache_hit : t -> unit
+
+(** Private copy sharing no mutable state with the original; traffic
+    counters start at zero so {!absorb} adds them back without double
+    counting. *)
+val fork : t -> t
+
+(** Merge a fork's traffic counters and new entries back.  Entries whose
+    unitary is already matched are dropped, mirroring what a sequential
+    run against the shared table would have stored. *)
+val absorb : t -> t -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  cache_hits : int;  (** misses resolved from the persistent store *)
+  entries : int;
+}
+
+val stats : t -> stats
+
+(** Hits over total lookups; 0.0 when there was no traffic. *)
+val hit_rate : t -> float
+
+(** [stats] as labelled counters for the pass pipeline's trace sink. *)
+val counters : stats -> (string * int) list
+
+(** Fold over every stored entry, in unspecified order. *)
+val fold_entries : t -> init:'a -> (entry -> 'a -> 'a) -> 'a

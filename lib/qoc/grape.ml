@@ -55,10 +55,20 @@ type options = {
   learning_rate : float;
   fidelity_target : float;
   patience : int;
+  init : float array array option;
+      (* warm-start amplitudes [control][slot] from a cached near-neighbor
+         pulse; resampled to the requested slot count and clipped to the
+         drive limit.  [None] = random cold start. *)
 }
 
 let default_options =
-  { iterations = 300; learning_rate = 0.08; fidelity_target = 0.999; patience = 50 }
+  {
+    iterations = 300;
+    learning_rate = 0.08;
+    fidelity_target = 0.999;
+    patience = 50;
+    init = None;
+  }
 
 (* Why the ascent loop ended. *)
 type stop_reason =
@@ -85,6 +95,7 @@ type result = {
   achieved : Mat.t; (* realized total propagator *)
   iterations : int;
   stop : stop_reason;
+  warm_start : bool; (* ascent was seeded from cached amplitudes *)
   series : sample list; (* convergence telemetry, oldest first *)
 }
 
@@ -130,10 +141,35 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
   let nc = Array.length ctrls in
   let limit = hw.Hardware.drive_limit in
   let dt = hw.Hardware.dt in
-  (* start from small random pulses to break symmetry *)
+  (* A cached near-neighbor pulse seeds the ascent when its control count
+     matches this hardware; its slot axis is nearest-neighbor-resampled to
+     the requested count (duration search probes different slot counts
+     than the cached pulse was solved at) and clipped to the drive limit.
+     Otherwise start from small random pulses to break symmetry. *)
+  let warm_init =
+    match options.init with
+    | Some rows
+      when Array.length rows = nc
+           && Array.for_all (fun r -> Array.length r > 0) rows
+           && nc > 0 ->
+        Some
+          (Array.map
+             (fun row ->
+               let len = Array.length row in
+               Array.init slots (fun k ->
+                   let v = row.(k * len / slots) in
+                   Float.max (-.limit) (Float.min limit v)))
+             rows)
+    | _ -> None
+  in
+  let warm_start = warm_init <> None in
   let u_amp =
-    Array.init nc (fun _ ->
-        Array.init slots (fun _ -> 0.2 *. limit *. (Random.State.float rng 2.0 -. 1.0)))
+    match warm_init with
+    | Some amps -> amps
+    | None ->
+        Array.init nc (fun _ ->
+            Array.init slots (fun _ ->
+                0.2 *. limit *. (Random.State.float rng 2.0 -. 1.0)))
   in
   let target_dag = Mat.adjoint target in
   (* preallocated workspace, reused across all iterations *)
@@ -235,13 +271,15 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
   let achieved = propagate hw pulse in
   let fidelity = fidelity_of target achieved in
   Log.debug (fun m ->
-      m "grape: %d qubits, %d slots, %d iters, F=%.6f, stop=%s" hw.Hardware.n
-        slots !iters fidelity (stop_reason_name !stop));
+      m "grape: %d qubits, %d slots, %d iters, F=%.6f, stop=%s%s" hw.Hardware.n
+        slots !iters fidelity (stop_reason_name !stop)
+        (if warm_start then " (warm start)" else ""));
   {
     pulse;
     fidelity;
     achieved;
     iterations = !iters;
     stop = !stop;
+    warm_start;
     series = List.rev !series;
   }

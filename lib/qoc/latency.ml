@@ -44,14 +44,22 @@ type options = {
 let default_options =
   { grape = Grape.default_options; granularity = 4; max_slots = 1024; min_slots = 2 }
 
-let find_min_duration ?(options = default_options) ?initial_guess ?rng
+let find_min_duration ?(options = default_options) ?initial_guess ?init ?rng
     (hw : Hardware.t) (target : Mat.t) =
   let runs = ref 0 in
   let attempts = ref [] in
+  (* [?init] (cached near-neighbor amplitudes) takes precedence over any
+     [init] in the provided grape options; Grape resamples it to each
+     attempt's slot count. *)
+  let grape_options =
+    match init with
+    | None -> options.grape
+    | Some amps -> { options.grape with Grape.init = Some amps }
+  in
   let attempt slots =
     incr runs;
     let rng = match rng with Some r -> r | None -> Random.State.make [| 29; slots |] in
-    let r = Grape.optimize ~options:options.grape ~rng hw ~target ~slots in
+    let r = Grape.optimize ~options:grape_options ~rng hw ~target ~slots in
     attempts :=
       {
         att_slots = slots;

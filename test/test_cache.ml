@@ -1,0 +1,299 @@
+(* Persistent pulse cache tests: on-disk round-trip, corruption and
+   header-mismatch tolerance, concurrent-writer flush merging, GRAPE
+   warm starts from cached near-neighbors, and the cached pipeline's
+   domain-count determinism. *)
+
+open Epoc
+open Epoc_linalg
+open Epoc_circuit
+open Epoc_qoc
+module Store = Epoc_cache.Store
+module M = Epoc_obs.Metrics
+
+let tmp_dir name =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "epoc-test-cache-%d-%s" (Unix.getpid ()) name)
+  in
+  if Sys.file_exists dir then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+  dir
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let records_path dir = Filename.concat dir "pulses.jsonl"
+
+let x_pulse =
+  {
+    Grape.dt = 0.5;
+    labels = [| "x0"; "y0" |];
+    amplitudes = [| [| 0.1; 0.2; 0.3 |]; [| -0.1; 0.0; 0.25 |] |];
+  }
+
+(* --- round-trip ----------------------------------------------------------- *)
+
+let test_roundtrip () =
+  let dir = tmp_dir "roundtrip" in
+  let x = Gate.matrix Gate.X in
+  let s = Store.open_dir dir in
+  Store.record s x ~duration:12.5 ~fidelity:0.9991 ~pulse:x_pulse ();
+  Alcotest.(check int) "pending before flush" 1 (Store.pending_count s);
+  Store.flush s;
+  Alcotest.(check int) "pending after flush" 0 (Store.pending_count s);
+  let s2 = Store.open_dir dir in
+  Alcotest.(check int) "reloaded" 1 (Store.loaded_count s2);
+  (match Store.find s2 x with
+  | None -> Alcotest.fail "exact hit missing after reopen"
+  | Some e ->
+      Alcotest.(check (float 1e-12)) "duration" 12.5 e.Store.duration;
+      Alcotest.(check (float 1e-12)) "fidelity" 0.9991 e.Store.fidelity;
+      match e.Store.pulse with
+      | None -> Alcotest.fail "pulse lost"
+      | Some p ->
+          Alcotest.(check bool) "amplitudes survive" true
+            (p.Grape.amplitudes = x_pulse.Grape.amplitudes);
+          Alcotest.(check bool) "labels survive" true
+            (p.Grape.labels = x_pulse.Grape.labels));
+  (* global-phase-invariant match: i*X hits the X entry *)
+  let ix = Mat.scale (Cx.make 0.0 1.0) x in
+  Alcotest.(check bool) "phase-rotated probe hits" true
+    (Store.find s2 ix <> None);
+  rm_rf dir
+
+(* --- corruption tolerance -------------------------------------------------- *)
+
+let test_corrupt_trailing () =
+  let dir = tmp_dir "corrupt" in
+  let s = Store.open_dir dir in
+  Store.record s (Gate.matrix Gate.X) ~duration:10.0 ~fidelity:0.999 ();
+  Store.record s (Gate.matrix Gate.H) ~duration:11.0 ~fidelity:0.998 ();
+  Store.flush s;
+  (* a torn trailing write: half a JSON record *)
+  let oc = open_out_gen [ Open_append ] 0o644 (records_path dir) in
+  output_string oc "{\"key\": \"dead\", \"dim\": 2, \"dura";
+  close_out oc;
+  let s2 = Store.open_dir dir in
+  Alcotest.(check int) "valid records load" 2 (Store.loaded_count s2);
+  Alcotest.(check int) "torn record skipped" 1 (Store.skipped_count s2);
+  Alcotest.(check bool) "entries still found" true
+    (Store.find s2 (Gate.matrix Gate.H) <> None);
+  (* the next flush drops the torn line from disk *)
+  Store.record s2 (Gate.matrix Gate.Y) ~duration:12.0 ~fidelity:0.997 ();
+  Store.flush s2;
+  let s3 = Store.open_dir dir in
+  Alcotest.(check int) "flush rewrote cleanly" 3 (Store.loaded_count s3);
+  Alcotest.(check int) "no skips after rewrite" 0 (Store.skipped_count s3);
+  rm_rf dir
+
+let test_header_mismatch () =
+  let dir = tmp_dir "header" in
+  let s = Store.open_dir dir in
+  Store.record s (Gate.matrix Gate.X) ~duration:10.0 ~fidelity:0.999 ();
+  Store.flush s;
+  (* rewrite the header as a future schema version: the records must be
+     ignored, not mis-parsed *)
+  let lines =
+    String.split_on_char '\n'
+      (In_channel.with_open_bin (records_path dir) In_channel.input_all)
+  in
+  let oc = open_out (records_path dir) in
+  output_string oc
+    "{\"format\": \"epoc-pulse-cache\",\"schema_version\": 99,\
+     \"match_global_phase\": true}\n";
+  List.iter
+    (fun l -> if String.trim l <> "" then (output_string oc l; output_char oc '\n'))
+    (List.tl lines);
+  close_out oc;
+  let s2 = Store.open_dir dir in
+  Alcotest.(check int) "foreign store starts empty" 0 (Store.loaded_count s2);
+  Alcotest.(check bool) "no hit from foreign records" true
+    (Store.find s2 (Gate.matrix Gate.X) = None);
+  (* recording + flushing rewrites the store under the current header *)
+  Store.record s2 (Gate.matrix Gate.H) ~duration:11.0 ~fidelity:0.998 ();
+  Store.flush s2;
+  let s3 = Store.open_dir dir in
+  Alcotest.(check int) "rewritten store loads" 1 (Store.loaded_count s3);
+  rm_rf dir
+
+(* --- concurrent writers ---------------------------------------------------- *)
+
+let test_lock_contention () =
+  let dir = tmp_dir "lock" in
+  ignore (Store.open_dir dir);
+  (* two writers (separate Store handles, as two concurrent `epoc`
+     invocations would hold) record disjoint entries and flush
+     concurrently; the merged file must hold the union *)
+  let angles_a = [ 0.3; 0.6; 0.9; 1.2 ] in
+  let angles_b = [ 1.5; 1.8; 2.1; 2.4 ] in
+  let writer angles =
+    Domain.spawn (fun () ->
+        let s = Store.open_dir dir in
+        List.iter
+          (fun a ->
+            Store.record s
+              (Gate.matrix (Gate.RX a))
+              ~duration:(10.0 +. a) ~fidelity:0.999 ();
+            Store.flush s)
+          angles)
+  in
+  let da = writer angles_a and db = writer angles_b in
+  Domain.join da;
+  Domain.join db;
+  let s = Store.open_dir dir in
+  Alcotest.(check int) "union of both writers" 8 (Store.loaded_count s);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rx(%.1f) present" a)
+        true
+        (Store.find s (Gate.matrix (Gate.RX a)) <> None))
+    (angles_a @ angles_b);
+  rm_rf dir
+
+(* --- near-hit matching ------------------------------------------------------ *)
+
+let test_nearest () =
+  let dir = tmp_dir "nearest" in
+  let s = Store.open_dir dir in
+  Store.record s (Gate.matrix Gate.X) ~duration:12.5 ~fidelity:0.999
+    ~pulse:x_pulse ();
+  (* RX(2.8) is close to X = RX(pi) up to global phase (hs distance ~0.015) *)
+  let probe = Gate.matrix (Gate.RX 2.8) in
+  (match Store.nearest s probe with
+  | None -> Alcotest.fail "near neighbor not found"
+  | Some (e, d) ->
+      Alcotest.(check bool) "distance small" true (d < 0.05);
+      Alcotest.(check bool) "neighbor carries the pulse" true
+        (e.Store.pulse <> None));
+  Alcotest.(check bool) "tight bound rejects" true
+    (Store.nearest ~max_distance:1e-4 s probe = None);
+  (* entries without amplitudes never qualify as warm starts *)
+  Store.record s (Gate.matrix Gate.H) ~duration:9.0 ~fidelity:0.999 ();
+  Alcotest.(check bool) "pulse-less entry skipped" true
+    (Store.nearest s (Gate.matrix Gate.H) = None);
+  rm_rf dir
+
+(* --- GRAPE warm start ------------------------------------------------------- *)
+
+let test_grape_warm_start () =
+  let hw = Hardware.make 1 in
+  (* converge a pulse for X, then reuse its amplitudes as the starting
+     point for the nearby RX(2.8) under a small iteration budget: the
+     warm start must do at least as well as the random cold start *)
+  let solved_x = Grape.optimize hw ~target:(Gate.matrix Gate.X) ~slots:24 in
+  Alcotest.(check bool) "x converged" true (solved_x.Grape.fidelity > 0.99);
+  Alcotest.(check bool) "cold start reported" false solved_x.Grape.warm_start;
+  let target = Gate.matrix (Gate.RX 2.8) in
+  (* a budget small enough that a random start cannot converge, so the
+     head start is what decides the outcome *)
+  let budget =
+    { Grape.default_options with Grape.iterations = 4; patience = 4 }
+  in
+  let cold = Grape.optimize ~options:budget hw ~target ~slots:24 in
+  let warm =
+    Grape.optimize
+      ~options:
+        {
+          budget with
+          Grape.init = Some solved_x.Grape.pulse.Grape.amplitudes;
+        }
+      hw ~target ~slots:24
+  in
+  Alcotest.(check bool) "warm start reported" true warm.Grape.warm_start;
+  Alcotest.(check bool) "warm >= cold under the same budget" true
+    (warm.Grape.fidelity +. 1e-9 >= cold.Grape.fidelity);
+  Alcotest.(check bool) "warm start is already close" true
+    (warm.Grape.fidelity > 0.95);
+  (* a control-count mismatch falls back to the cold start *)
+  let bad_init = [| [| 0.1; 0.2 |] |] in
+  let fallback =
+    Grape.optimize
+      ~options:{ budget with Grape.init = Some bad_init }
+      hw ~target ~slots:24
+  in
+  Alcotest.(check bool) "mismatched init ignored" false
+    fallback.Grape.warm_start
+
+(* --- cached pipeline -------------------------------------------------------- *)
+
+(* Second run against the same store resolves every distinct unitary from
+   disk: cache.hits > 0 and the reported schedule is identical. *)
+let test_pipeline_warm_run () =
+  let dir = tmp_dir "pipeline" in
+  let circuit = Epoc_benchmarks.Benchmarks.find "qaoa" in
+  let cfg = { Config.default with Config.cache_dir = Some dir } in
+  let run () =
+    let metrics = M.create () in
+    let r = Pipeline.run ~config:cfg ~metrics ~name:"qaoa" circuit in
+    (r, metrics)
+  in
+  let cold, cold_m = run () in
+  Alcotest.(check int) "cold run has no hits" 0
+    (M.counter_value cold_m "cache.hits");
+  Alcotest.(check bool) "cold run misses" true
+    (M.counter_value cold_m "cache.misses" > 0);
+  let warm, warm_m = run () in
+  Alcotest.(check bool) "warm run hits" true
+    (M.counter_value warm_m "cache.hits" > 0);
+  Alcotest.(check int) "warm run fully cached" 0
+    (M.counter_value warm_m "cache.misses");
+  Alcotest.(check bool) "latency identical" true
+    (cold.Pipeline.latency = warm.Pipeline.latency);
+  Alcotest.(check bool) "esp identical" true
+    (cold.Pipeline.esp = warm.Pipeline.esp);
+  Alcotest.(check bool) "library saw the cache" true
+    (warm.Pipeline.library_stats.Epoc_pulse.Library.cache_hits > 0);
+  rm_rf dir
+
+(* The cached (warm) pipeline obeys the pipeline determinism contract:
+   bit-identical results for any domain count.  GRAPE mode, so store
+   probes, warm starts and pulse reuse are all on the hot path. *)
+let test_warm_run_domain_determinism () =
+  let dir = tmp_dir "determinism" in
+  let circuit = Epoc_benchmarks.Benchmarks.find "bb84" in
+  let cfg = { Config.grape with Config.cache_dir = Some dir } in
+  ignore (Pipeline.run ~config:cfg ~name:"bb84" circuit);
+  let run domains =
+    let pool = Epoc_parallel.Pool.create ~domains () in
+    let metrics = M.create () in
+    let r = Pipeline.run ~config:cfg ~pool ~metrics ~name:"bb84" circuit in
+    Alcotest.(check bool)
+      (Printf.sprintf "%d-domain warm run hits" domains)
+      true
+      (M.counter_value metrics "cache.hits" > 0);
+    ( r.Pipeline.latency,
+      r.Pipeline.esp,
+      r.Pipeline.stats,
+      r.Pipeline.library_stats,
+      M.counter_value metrics "cache.hits" )
+  in
+  Alcotest.(check bool) "1 vs 4 domains identical" true (run 1 = run 4);
+  rm_rf dir
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "round-trip" `Quick test_roundtrip;
+          Alcotest.test_case "corrupted trailing record" `Quick
+            test_corrupt_trailing;
+          Alcotest.test_case "header mismatch" `Quick test_header_mismatch;
+          Alcotest.test_case "concurrent writers" `Quick test_lock_contention;
+          Alcotest.test_case "nearest neighbor" `Quick test_nearest;
+        ] );
+      ( "warm-start",
+        [
+          Alcotest.test_case "grape init" `Quick test_grape_warm_start;
+          Alcotest.test_case "pipeline warm run" `Quick test_pipeline_warm_run;
+          Alcotest.test_case "warm-run domain determinism" `Quick
+            test_warm_run_domain_determinism;
+        ] );
+    ]

@@ -35,6 +35,26 @@ let load path =
   | Ok v -> v
   | Error m -> die "bench_compare: %s: %s" path m
 
+(* The bench JSON shape this build understands (bench/main.ml writes the
+   same number).  Both inputs must carry it: silently mis-parsing a file
+   produced by a different shape is worse than failing. *)
+let supported_schema_version = 1
+
+let check_schema path json =
+  match Option.bind (J.member "schema_version" json) J.to_int with
+  | Some v when v = supported_schema_version -> ()
+  | Some v ->
+      die
+        "bench_compare: %s: schema_version %d not supported (this build \
+         speaks %d); regenerate the file with the matching bench harness"
+        path v supported_schema_version
+  | None ->
+      die
+        "bench_compare: %s: missing schema_version — the file predates the \
+         versioned bench format; regenerate it with `dune exec bench/main.exe \
+         -- json`"
+        path
+
 (* --- accessors over the bench JSON shape --------------------------------- *)
 
 let benchmarks json =
@@ -170,6 +190,8 @@ let () =
   | [ baseline_file; candidate_file ] ->
       let baseline = load baseline_file in
       let candidate = load candidate_file in
+      check_schema baseline_file baseline;
+      check_schema candidate_file candidate;
       let gate =
         {
           threshold = !threshold;
