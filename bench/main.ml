@@ -356,8 +356,9 @@ let micro () =
 let json_file = "BENCH_pipeline.json"
 
 (* Version of the bench JSON shape; tools/bench_compare.exe refuses files
-   whose version it does not speak. *)
-let bench_schema_version = 1
+   whose version it does not speak.  v2 adds per-benchmark
+   degraded_blocks/retries (the resilience counters). *)
+let bench_schema_version = 2
 
 (* --- persistent-cache cold/warm sweep ------------------------------------- *)
 
@@ -473,12 +474,15 @@ let bench_json () =
         (Printf.sprintf
            "    {\"name\": \"%s\", \"qubits\": %d, \"gates\": %d, \
             \"compile_s\": %.6f, \"latency_ns\": %.3f, \"esp\": %.6f, \
-            \"pulses\": %d, \"blocks\": %d, \"library\": {\"hits\": %d, \
+            \"pulses\": %d, \"blocks\": %d, \"degraded_blocks\": %d, \
+            \"retries\": %d, \"library\": {\"hits\": %d, \
             \"misses\": %d, \"entries\": %d}, \"stages\": [%s], \
             \"metrics\": %s}%s\n"
            name (Circuit.n_qubits c) (Circuit.gate_count c)
            r.Pipeline.compile_time r.Pipeline.latency r.Pipeline.esp
            r.Pipeline.stats.Pipeline.pulse_count r.Pipeline.stats.Pipeline.blocks
+           r.Pipeline.stats.Pipeline.degraded_blocks
+           r.Pipeline.stats.Pipeline.retries
            s.Epoc_pulse.Library.hits s.Epoc_pulse.Library.misses
            s.Epoc_pulse.Library.entries
            (stage_rows r.Pipeline.trace)

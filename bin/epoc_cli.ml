@@ -56,6 +56,73 @@ let partition_width =
   Arg.(value & opt int 3 & info [ "partition-width" ] ~docv:"N"
          ~doc:"Partition qubit budget (default 3).")
 
+(* --- resilience flags ------------------------------------------------------ *)
+
+let deadline_arg =
+  let doc =
+    "Total compile deadline in seconds (wall clock, best effort): solver \
+     loops abort with a typed deadline error once it passes, and affected \
+     blocks retry or degrade to gate pulses."
+  in
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SEC" ~env:(Cmd.Env.info "EPOC_DEADLINE") ~doc)
+
+let block_deadline_arg =
+  let doc = "Per-block-attempt compute deadline in seconds." in
+  Arg.(value & opt (some float) None
+       & info [ "block-deadline" ] ~docv:"SEC" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry attempts per block on a recoverable solver failure before \
+     degrading to per-gate pulse playback."
+  in
+  Arg.(value & opt int Epoc.Config.default.Epoc.Config.max_retries
+       & info [ "retries" ] ~docv:"N" ~doc)
+
+let strict_arg =
+  let doc =
+    "Fail (exit 1) when any block degraded to gate-pulse playback instead \
+     of exiting 3 with the fallback schedule."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let fault_conv =
+  let parse s =
+    let seed =
+      match Sys.getenv_opt "EPOC_FAULT_SEED" with
+      | None -> 0
+      | Some v -> ( match int_of_string_opt v with Some i -> i | None -> 0)
+    in
+    match Epoc_fault.parse ~seed s with
+    | Ok spec -> Ok spec
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Epoc_fault.to_string s))
+
+let fault_arg =
+  let doc =
+    "Deterministic fault injection spec, e.g. \
+     grape_nan:0.1,deadline:block3 (testing only; seeded by \
+     EPOC_FAULT_SEED)."
+  in
+  Arg.(value & opt (some fault_conv) None
+       & info [ "fault" ] ~docv:"SPEC" ~env:(Cmd.Env.info "EPOC_FAULT") ~doc)
+
+(* Exit status of a compile: 0 = clean, 3 = valid schedule but some
+   blocks degraded to gate pulses (1 instead under --strict), 1 = hard
+   error. *)
+let exit_status ~strict (r : Epoc.Pipeline.result) =
+  let degraded = r.Epoc.Pipeline.stats.Epoc.Pipeline.degraded_blocks in
+  if degraded = 0 then 0
+  else if strict then begin
+    Printf.eprintf
+      "error: %d block(s) degraded to gate-pulse playback (--strict)\n"
+      degraded;
+    1
+  end
+  else 3
+
 let cache_arg =
   let doc =
     "Persistent pulse cache directory: pulses synthesized by this run are \
@@ -97,7 +164,8 @@ let write_file path contents =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc contents)
 
-let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir =
+let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir ~deadline
+    ~block_deadline ~retries ~fault =
   let base = Epoc.Config.default in
   {
     base with
@@ -112,6 +180,10 @@ let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir =
         Epoc_partition.Partition.qubit_limit = width;
       };
     cache_dir;
+    total_deadline = deadline;
+    block_deadline;
+    max_retries = retries;
+    fault;
   }
 
 let run_flow_named flow ~config ~trace ~metrics ~name circuit =
@@ -144,12 +216,18 @@ let report (r : Epoc.Pipeline.result) show =
     (match r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.cache_hits with
     | 0 -> ""
     | c -> Printf.sprintf " (%d from persistent cache)" c);
+  (match r.Epoc.Pipeline.stats.Epoc.Pipeline.degraded_blocks with
+  | 0 -> ()
+  | d ->
+      Printf.printf "degraded         : %d block(s) on gate pulses (%d retries)\n"
+        d r.Epoc.Pipeline.stats.Epoc.Pipeline.retries);
   Printf.printf "compile time     : %.3f s\n" r.Epoc.Pipeline.compile_time;
   if show then Format.printf "@.%a@." Epoc_pulse.Schedule.pp r.Epoc.Pipeline.schedule
 
 let compile_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width cache_dir verbosity
-      schedule trace trace_json gc chrome =
+  let run spec flow grape no_zx no_synth no_regroup width cache_dir deadline
+      block_deadline retries strict fault verbosity schedule trace trace_json
+      gc chrome =
     setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -161,6 +239,7 @@ let compile_cmd =
     | circuit ->
         let config =
           config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
+            ~deadline ~block_deadline ~retries ~fault
         in
         let sink = T.create ~gc () in
         let metrics = M.create () in
@@ -179,13 +258,14 @@ let compile_cmd =
           if trace then
             Format.printf "@.%a@." T.pp result.Epoc.Pipeline.trace
         end;
-        0
+        exit_status ~strict result
   in
   let term =
     Term.(
       const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ cache_arg $ verbose $ show_schedule
-      $ show_trace $ show_trace_json $ trace_gc $ trace_chrome)
+      $ no_regroup $ partition_width $ cache_arg $ deadline_arg
+      $ block_deadline_arg $ retries_arg $ strict_arg $ fault_arg $ verbose
+      $ show_schedule $ show_trace $ show_trace_json $ trace_gc $ trace_chrome)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit to a pulse schedule.") term
 
@@ -223,6 +303,9 @@ let report_json (r : Epoc.Pipeline.result) metrics =
       ("latency_ns", J.Num r.Epoc.Pipeline.latency);
       ("esp", J.Num r.Epoc.Pipeline.esp);
       ("compile_s", J.Num r.Epoc.Pipeline.compile_time);
+      ( "degraded_blocks",
+        J.of_int r.Epoc.Pipeline.stats.Epoc.Pipeline.degraded_blocks );
+      ("retries", J.of_int r.Epoc.Pipeline.stats.Epoc.Pipeline.retries);
       ( "stages",
         J.Arr (List.map agg_row_json (T.aggregate r.Epoc.Pipeline.trace)) );
       ("metrics", M.to_json metrics);
@@ -301,8 +384,8 @@ let report_text (r : Epoc.Pipeline.result) metrics =
   dump "metrics (process)" M.global
 
 let report_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width cache_dir verbosity
-      json chrome =
+  let run spec flow grape no_zx no_synth no_regroup width cache_dir deadline
+      block_deadline retries strict fault verbosity json chrome =
     setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -314,6 +397,7 @@ let report_cmd =
     | circuit ->
         let config =
           config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
+            ~deadline ~block_deadline ~retries ~fault
         in
         let sink = T.create ~gc:true () in
         let metrics = M.create () in
@@ -328,7 +412,7 @@ let report_cmd =
         if json then
           print_endline (J.to_string ~indent:true (report_json result metrics))
         else report_text result metrics;
-        0
+        exit_status ~strict result
   in
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
@@ -336,8 +420,9 @@ let report_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ cache_arg $ verbose $ json_flag
-      $ trace_chrome)
+      $ no_regroup $ partition_width $ cache_arg $ deadline_arg
+      $ block_deadline_arg $ retries_arg $ strict_arg $ fault_arg $ verbose
+      $ json_flag $ trace_chrome)
   in
   Cmd.v
     (Cmd.info "report"

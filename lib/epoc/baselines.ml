@@ -22,25 +22,12 @@
 open Epoc_circuit
 open Epoc_partition
 open Epoc_pulse
-open Epoc_qoc
 
 (* --- gate-based ----------------------------------------------------------- *)
 
-(* Calibrated per-gate pulse table (fidelities are typical transmon
-   values; durations follow the hardware model's reference times). *)
-let gate_pulse (hw : Hardware.t) (g : Gate.t) =
-  let t1 = Hardware.single_qubit_gate_time hw in
-  let t2 = Hardware.entangling_gate_time hw in
-  match g with
-  | Gate.RZ _ | Gate.Phase _ | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg
-  | Gate.I ->
-      (0.0, 1.0) (* virtual Z: frame update *)
-  | Gate.SX | Gate.SXdg -> (t1 /. 2.0, 0.9997)
-  | g when Gate.arity g = 1 -> (t1, 0.9995)
-  | Gate.CX | Gate.CZ -> (t2, 0.994)
-  | g ->
-      (* multi-qubit natives are not calibrated: count their CX content *)
-      (t2 *. float_of_int (2 * (Gate.arity g - 1)), 0.99)
+(* Calibrated per-gate pulse table, shared with the graceful-degradation
+   fallback of the pulse stage (one table, one pricing). *)
+let gate_pulse = Stages.gate_pulse
 
 (* Lower exotic gates to the calibrated basis.  The lowered circuit is
    also recorded as the flow's "VUG circuit" so the generic stage stats

@@ -31,6 +31,16 @@ type t = {
   cache_dir : string option;
   dt : float;
   t_coherence : float;
+  (* resilience: wall-clock budgets for the whole run and for each
+     block-level solve (seconds; [None] = unbounded), how many times a
+     failed block solve is retried with a perturbed restart before the
+     block degrades to gate pulses, and the optional fault-injection
+     spec (off by default; the library never reads EPOC_FAULT itself —
+     the CLI and the fault tests wire the environment through here) *)
+  total_deadline : float option;
+  block_deadline : float option;
+  max_retries : int;
+  fault : Epoc_fault.spec option;
 }
 
 let default =
@@ -65,6 +75,10 @@ let default =
     cache_dir = None;
     dt = 0.5;
     t_coherence = 100_000.0;
+    total_deadline = None;
+    block_deadline = None;
+    max_retries = 2;
+    fault = None;
   }
 
 (* Reference EPOC configuration with real GRAPE pulses. *)

@@ -34,6 +34,21 @@ type t = {
           keeps the library purely in-memory, as in the original paper *)
   dt : float;
   t_coherence : float;
+  total_deadline : float option;
+      (** wall-clock budget for the whole run, seconds ([None] =
+          unbounded); checked inside GRAPE iterations and QSearch
+          expansions via {!Epoc_budget} *)
+  block_deadline : float option;
+      (** wall-clock budget per block-level solve attempt, seconds;
+          capped by the remaining [total_deadline] *)
+  max_retries : int;
+      (** how many times a failed block pulse solve is retried (with a
+          perturbed restart and widened duration window) before the
+          block degrades to per-gate pulse playback *)
+  fault : Epoc_fault.spec option;
+      (** deterministic fault injection, off by default.  The library
+          never reads [EPOC_FAULT] itself; the CLI and the fault tests
+          wire the environment through this field. *)
 }
 
 (** Paper defaults with the analytic latency model ([Estimate]). *)

@@ -19,10 +19,22 @@ open Epoc_partition
 open Epoc_synthesis
 open Epoc_pulse
 
+(** Outcome of one fresh pulse computation (a phase-2 representative):
+    the solved (or degraded) values plus the resilience bookkeeping. *)
+type job_result = {
+  jr_duration : float;  (** ns *)
+  jr_fidelity : float;
+  jr_pulse : Epoc_qoc.Grape.pulse option;
+  jr_retries : int;  (** retry attempts used (0 = first try worked) *)
+  jr_fallback : bool;  (** true = degraded to per-gate pulse playback *)
+  jr_error : string option;  (** the terminal error when degraded *)
+}
+
 (** One pulse to generate: a non-virtual group of the regrouped circuit.
     Jobs are shared between the grouping that owns them and the flat
     batch that resolves them, so resolution is recorded in place. *)
 type pulse_job = {
+  jid : int;  (** batch-order id, names the solve site ([block<jid>]) *)
   ju : Mat.t;  (** group unitary *)
   jk : int;  (** group qubit count *)
   jlocal : Circuit.t;  (** group circuit on local qubits *)
@@ -30,8 +42,13 @@ type pulse_job = {
   mutable batch_rep : pulse_job option;  (** earlier in-batch equivalent *)
   mutable jinit : float array array option;
       (** warm-start amplitudes from a near-miss of the persistent store *)
-  mutable computed : (float * float * Epoc_qoc.Grape.pulse option) option;
-      (** phase-2 result (duration, fidelity, amplitudes), reps only *)
+  mutable computed : job_result option;  (** phase-2 result, reps only *)
+  mutable jfallback : bool;
+      (** this job plays gate pulses (its own computation degraded, or
+          it aliases a representative that did) *)
+  mutable jretries : int;
+      (** retry attempts burned by this job's own computation (reps
+          only) *)
 }
 
 (** A regroup candidate: every group paired with its pulse job, or [None]
@@ -54,6 +71,12 @@ type t = {
   pulse_computed : int;  (** jobs that needed a fresh computation *)
   instructions : Schedule.instruction list;  (** gate-based flow only *)
   schedule : Schedule.t option;  (** scheduling stage output *)
+  degraded_blocks : int;
+      (** distinct pulse computations in the chosen schedule that
+          exhausted their retries and play gate pulses instead of an
+          optimized pulse *)
+  pulse_retries : int;
+      (** retry attempts burned by the chosen schedule's computations *)
 }
 
 (** A fresh IR over [circuit] with every stage field at its empty

@@ -20,6 +20,11 @@ type ctx = {
   trace : Trace.t;
   metrics : Metrics.t; (* per-run registry (lib/obs), deterministic values *)
   hardware : int -> Hardware.t; (* memoized per (dt, t_coherence, k) *)
+  budget : Epoc_budget.t;
+      (* run-level deadline from [config.total_deadline]; block solves
+         derive per-attempt children capped by it *)
+  fault : Epoc_fault.spec option;
+      (* deterministic fault injection from [config.fault]; off = None *)
 }
 
 let make_ctx ?(pool = Pool.sequential) ?cache ?trace ?metrics
@@ -35,6 +40,10 @@ let make_ctx ?(pool = Pool.sequential) ?cache ?trace ?metrics
       (fun k ->
         Hardware.shared ~dt:config.Config.dt
           ~t_coherence:config.Config.t_coherence k);
+    budget =
+      Epoc_budget.sub ?seconds:config.Config.total_deadline
+        Epoc_budget.unlimited;
+    fault = config.Config.fault;
   }
 
 (* A ctx with private trace and metrics shards, for candidate fan-out:

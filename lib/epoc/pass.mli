@@ -23,6 +23,12 @@ type ctx = {
   metrics : Metrics.t;
       (** per-run registry (lib/obs), deterministic values *)
   hardware : int -> Hardware.t;  (** memoized per (dt, t_coherence, k) *)
+  budget : Epoc_budget.t;
+      (** run-level deadline from [Config.total_deadline] (unlimited
+          when unset), started when the ctx is built; block solves
+          derive per-attempt children capped by it *)
+  fault : Epoc_fault.spec option;
+      (** deterministic fault injection from [Config.fault] *)
 }
 
 (** Fresh trace/metrics sinks are created when not supplied; [pool]

@@ -42,6 +42,8 @@ type stage_stats = {
   vug_count : int;
   cx_count : int;
   pulse_count : int;
+  degraded_blocks : int; (* chosen-schedule computations degraded to gate pulses *)
+  retries : int; (* retry attempts burned by the chosen schedule *)
 }
 
 type result = {
@@ -80,11 +82,12 @@ let pulse_for (config : Config.t) (library : Library.t) (hw_block : Hardware.t)
   match Library.find library u with
   | Some e -> (e.Library.duration, e.Library.fidelity)
   | None ->
-      let duration, fidelity, pulse =
-        Stages.compute_pulse config hw_block ~vug_circuit u
-      in
-      Library.add library u ~duration ~fidelity ?pulse ();
-      (duration, fidelity)
+      let r = Stages.compute_pulse config hw_block ~vug_circuit u in
+      (* degraded results are block-local prices, never library entries *)
+      if not r.Ir.jr_fallback then
+        Library.add library u ~duration:r.Ir.jr_duration
+          ~fidelity:r.Ir.jr_fidelity ?pulse:r.Ir.jr_pulse ();
+      (r.Ir.jr_duration, r.Ir.jr_fidelity)
 
 (* The EPOC per-candidate pipeline, declaratively derived from the
    config: which passes run (reorder, regroup sweep vs trivial grouping)
@@ -131,6 +134,8 @@ let stats_of_ir (ir : Ir.t) =
     vug_count = Circuit.single_qubit_count ir.Ir.vug_circuit;
     cx_count = Circuit.count_gate "cx" ir.Ir.vug_circuit;
     pulse_count = Schedule.instruction_count (Ir.schedule_exn ir);
+    degraded_blocks = ir.Ir.degraded_blocks;
+    retries = ir.Ir.pulse_retries;
   }
 
 (* Compile one candidate representation down to a schedule by running the
@@ -234,6 +239,13 @@ let run_flow ?(config = Config.default) ?library ?cache ?pool ?trace ?metrics
   Metrics.set metrics "pipeline.latency_ns" latency;
   Metrics.set metrics "pipeline.esp" esp;
   Metrics.incr metrics "pipeline.runs";
+  Metrics.set metrics "pipeline.degraded_blocks"
+    (float_of_int stats.degraded_blocks);
+  Metrics.set metrics "pipeline.retries" (float_of_int stats.retries);
+  if stats.degraded_blocks > 0 then
+    Stages.Log.warn (fun m ->
+        m "%s: %d block(s) degraded to gate-pulse playback" name
+          stats.degraded_blocks);
   (* persist the run's new pulses: sweep the merged library into the
      store and flush once, after all candidates were absorbed *)
   Option.iter

@@ -24,6 +24,10 @@ type stage_stats = {
   vug_count : int;
   cx_count : int;
   pulse_count : int;
+  degraded_blocks : int;
+      (** chosen-schedule computations that exhausted their retries and
+          play gate pulses instead of an optimized pulse *)
+  retries : int;  (** retry attempts burned by the chosen schedule *)
 }
 
 type result = {

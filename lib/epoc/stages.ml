@@ -28,6 +28,49 @@ let log_src = Logs.Src.create "epoc.pipeline" ~doc:"EPOC pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Calibrated per-gate pulse table (fidelities are typical transmon
+   values; durations follow the hardware model's reference times).
+   Shared by the gate-based baseline flow and by the graceful-
+   degradation fallback below. *)
+let gate_pulse (hw : Hardware.t) (g : Gate.t) =
+  let t1 = Hardware.single_qubit_gate_time hw in
+  let t2 = Hardware.entangling_gate_time hw in
+  match g with
+  | Gate.RZ _ | Gate.Phase _ | Gate.Z | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg
+  | Gate.I ->
+      (0.0, 1.0) (* virtual Z: frame update *)
+  | Gate.SX | Gate.SXdg -> (t1 /. 2.0, 0.9997)
+  | g when Gate.arity g = 1 -> (t1, 0.9995)
+  | Gate.CX | Gate.CZ -> (t2, 0.994)
+  | g ->
+      (* multi-qubit natives are not calibrated: count their CX content *)
+      (t2 *. float_of_int (2 * (Gate.arity g - 1)), 0.99)
+
+(* Per-gate pulse playback for one block: the graceful-degradation
+   target when a block's GRAPE retries are exhausted.  The block's
+   local circuit is lowered to the calibrated basis (the gate-based
+   flow's lowering), the duration is the block-local ASAP critical
+   path of the per-gate pulses and the fidelity their product — the
+   same pricing the gate-based baseline would give this block. *)
+let gate_fallback (hw : Hardware.t) (local : Circuit.t) =
+  let lowered = Lower.to_zx_basis local in
+  let line = Array.make (max 1 (Circuit.n_qubits lowered)) 0.0 in
+  let fidelity = ref 1.0 in
+  List.iter
+    (fun (op : Circuit.op) ->
+      let duration, f = gate_pulse hw op.Circuit.gate in
+      fidelity := !fidelity *. f;
+      if duration > 0.0 then begin
+        let start =
+          List.fold_left
+            (fun acc q -> Float.max acc line.(q))
+            0.0 op.Circuit.qubits
+        in
+        List.iter (fun q -> line.(q) <- start +. duration) op.Circuit.qubits
+      end)
+    (Circuit.ops lowered);
+  (Array.fold_left Float.max 0.0 line, !fidelity)
+
 (* Solver telemetry of one GRAPE duration search, recorded into the
    run's metrics registry.  Every recording is a counter increment or a
    histogram observation — commutative — so concurrent workers produce
@@ -49,41 +92,136 @@ let record_search metrics (s : Latency.search_result) =
    one regrouped unitary, without touching the library: the pure,
    parallelizable half of pulse generation.  [metrics] collects solver
    telemetry when provided; [init] seeds the GRAPE ascent with cached
-   near-neighbor amplitudes (a persistent-store warm start). *)
-let compute_pulse ?metrics ?init (config : Config.t) (hw_block : Hardware.t)
-    ~(vug_circuit : Circuit.t) (u : Mat.t) =
+   near-neighbor amplitudes (a persistent-store warm start).
+
+   This is also where the resilience policy lives.  A recoverable solver
+   failure ([Solver_diverged], [Deadline_exceeded]) is retried up to
+   [config.max_retries] times, each retry with a jittered warm start and
+   a widened duration window; exhausted retries degrade the block to
+   per-gate pulse playback ([gate_fallback]) so the pipeline still emits
+   a complete, valid schedule.  Attempt 0 takes exactly the legacy code
+   path (same rng, same init, same guess), so a fault-free run is
+   bit-identical to the pre-resilience pipeline.  [seed] keys the retry
+   jitter and must be stable per job (the batch-order id), never derived
+   from wall clock or global RNG state. *)
+let compute_pulse ?metrics ?init ?fault ?(budget = Epoc_budget.unlimited)
+    ?(site = "block") ?(seed = 0) (config : Config.t) (hw_block : Hardware.t)
+    ~(vug_circuit : Circuit.t) (u : Mat.t) : Ir.job_result =
   let record f = Option.iter f metrics in
-  let duration, fidelity, pulse =
+  let result =
     match config.Config.qoc_mode with
     | Config.Estimate ->
         let e = Latency.estimate ~unitary:u hw_block vug_circuit in
         record (fun m -> Metrics.incr m "qoc.estimates");
-        (e.Latency.est_duration, e.Latency.est_fidelity, None)
-    | Config.Grape -> (
-        let guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
-        match
-          Latency.find_min_duration ~options:config.Config.latency
-            ~initial_guess:guess ?init hw_block u
-        with
-        | Some s ->
-            record (fun m ->
-                record_search m s;
-                if s.Latency.result.Grape.warm_start then
-                  Metrics.incr m "grape.warm_start");
-            (s.Latency.duration, s.Latency.fidelity,
-             Some s.Latency.result.Grape.pulse)
-        | None ->
-            (* duration search exhausted: fall back to the estimate so the
-               pipeline still emits a (pessimistic) pulse *)
-            let e = Latency.estimate ~unitary:u hw_block vug_circuit in
-            Log.warn (fun m ->
-                m "GRAPE duration search failed on a %d-qubit block"
-                  hw_block.Hardware.n);
-            record (fun m -> Metrics.incr m "grape.search_failed");
-            (2.0 *. e.Latency.est_duration, 0.99, None))
+        {
+          Ir.jr_duration = e.Latency.est_duration;
+          jr_fidelity = e.Latency.est_fidelity;
+          jr_pulse = None;
+          jr_retries = 0;
+          jr_fallback = false;
+          jr_error = None;
+        }
+    | Config.Grape ->
+        let max_retries = max 0 config.Config.max_retries in
+        let base_guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
+        let limit = hw_block.Hardware.drive_limit in
+        (* jittered restart: perturb the warm start within the drive
+           limit so the ascent leaves the basin that diverged *)
+        let perturb rng amps =
+          Array.map
+            (Array.map (fun v ->
+                 let j = 0.1 *. limit *. (Random.State.float rng 2.0 -. 1.0) in
+                 Float.max (-.limit) (Float.min limit (v +. j))))
+            amps
+        in
+        let estimate = lazy (Latency.estimate ~unitary:u hw_block vug_circuit) in
+        let fallback attempt err =
+          let fb_duration, fb_fidelity = gate_fallback hw_block vug_circuit in
+          let e = Lazy.force estimate in
+          record (fun m ->
+              Metrics.incr m "pulse.fallback";
+              Metrics.observe m "degraded.latency_delta_ns"
+                (fb_duration -. e.Latency.est_duration);
+              Metrics.observe m "degraded.fidelity_delta"
+                (Float.max 0.0 (e.Latency.est_fidelity -. fb_fidelity)));
+          Log.warn (fun m ->
+              m "%s degraded to gate-pulse playback after %d attempt(s): %s"
+                site (attempt + 1) (Epoc_error.to_string err));
+          {
+            Ir.jr_duration = fb_duration;
+            jr_fidelity = fb_fidelity;
+            jr_pulse = None;
+            jr_retries = attempt;
+            jr_fallback = true;
+            jr_error = Some (Epoc_error.to_string err);
+          }
+        in
+        let rec solve attempt =
+          let attempt_budget =
+            Epoc_budget.sub ?seconds:config.Config.block_deadline budget
+          in
+          let rng, init_a, guess =
+            if attempt = 0 then (None, init, base_guess)
+            else
+              let r = Random.State.make [| 41; seed; attempt |] in
+              (Some r, Option.map (perturb r) init, base_guess * (attempt + 1))
+          in
+          match
+            Latency.find_min_duration_r ~options:config.Config.latency
+              ~initial_guess:guess ?init:init_a ?rng ~budget:attempt_budget
+              ?fault ~site ~attempt hw_block u
+          with
+          | Ok s ->
+              record (fun m ->
+                  record_search m s;
+                  if s.Latency.result.Grape.warm_start then
+                    Metrics.incr m "grape.warm_start";
+                  if attempt > 0 then Metrics.incr m "pulse.retry_success");
+              {
+                Ir.jr_duration = s.Latency.duration;
+                jr_fidelity = s.Latency.fidelity;
+                jr_pulse = Some s.Latency.result.Grape.pulse;
+                jr_retries = attempt;
+                jr_fallback = false;
+                jr_error = None;
+              }
+          | Error (Epoc_error.Duration_unreachable _) ->
+              (* duration search exhausted its slot bracket: keep the
+                 legacy degradation — a pessimistic estimate, not a
+                 gate-pulse fallback *)
+              let e = Lazy.force estimate in
+              Log.warn (fun m ->
+                  m "GRAPE duration search failed on a %d-qubit block"
+                    hw_block.Hardware.n);
+              record (fun m -> Metrics.incr m "grape.search_failed");
+              {
+                Ir.jr_duration = 2.0 *. e.Latency.est_duration;
+                jr_fidelity = 0.99;
+                jr_pulse = None;
+                jr_retries = attempt;
+                jr_fallback = false;
+                jr_error = None;
+              }
+          | Error ((Epoc_error.Solver_diverged _ | Epoc_error.Deadline_exceeded _) as e)
+            ->
+              record (fun m -> Metrics.incr m ("grape." ^ Epoc_error.label e));
+              if attempt < max_retries then begin
+                record (fun m -> Metrics.incr m "pulse.retries");
+                Log.info (fun m ->
+                    m "%s attempt %d failed (%s), retrying" site attempt
+                      (Epoc_error.label e));
+                solve (attempt + 1)
+              end
+              else fallback attempt e
+          | Error e ->
+              (* non-retryable (numerical, synthesis): degrade directly *)
+              record (fun m -> Metrics.incr m ("grape." ^ Epoc_error.label e));
+              fallback attempt e
+        in
+        solve 0
   in
-  record (fun m -> Metrics.observe m "pulse.duration_ns" duration);
-  (duration, fidelity, pulse)
+  record (fun m -> Metrics.observe m "pulse.duration_ns" result.Ir.jr_duration);
+  result
 
 (* Two pulse instructions commute when every pair of their constituent
    gates sharing a qubit commutes syntactically (conservative). *)
@@ -173,9 +311,16 @@ let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
    entry can match a probe), keeping the scan O(jobs) instead of
    O(jobs^2).
 
+   Degraded representatives (gate-pulse fallback) never enter the
+   library: the fallback values are block-local prices, not reusable
+   pulses, and keeping them out also keeps them out of the persistent
+   store (Store.absorb_library walks the library) so a later run
+   re-attempts the solve.  Aliases of a degraded representative inherit
+   its resolved values — and its degraded flag — directly.
+
    Returns (jobs, representatives) counts for the stage report. *)
-let resolve_pulses ?metrics ?cache (config : Config.t) pool library ~hardware
-    jobs =
+let resolve_pulses ?metrics ?cache ?fault ?(budget = Epoc_budget.unlimited)
+    (config : Config.t) pool library ~hardware jobs =
   let record f = Option.iter f metrics in
   (* Library miss: try the persistent store.  [true] = the store resolved
      the job (entry copied into the library), so it is not a rep. *)
@@ -235,8 +380,10 @@ let resolve_pulses ?metrics ?cache (config : Config.t) pool library ~hardware
         (* telemetry recording is commutative (counters + histogram
            observations), so sharing the registry across workers keeps
            the determinism contract *)
-        compute_pulse ?metrics ?init:j.Ir.jinit config (hardware j.Ir.jk)
-          ~vug_circuit:j.Ir.jlocal j.Ir.ju)
+        compute_pulse ?metrics ?init:j.Ir.jinit ?fault ~budget
+          ~site:(Printf.sprintf "block%d" j.Ir.jid)
+          ~seed:j.Ir.jid config (hardware j.Ir.jk) ~vug_circuit:j.Ir.jlocal
+          j.Ir.ju)
       reps
   in
   List.iter2 (fun (j : Ir.pulse_job) v -> j.Ir.computed <- Some v) reps computed;
@@ -248,11 +395,19 @@ let resolve_pulses ?metrics ?cache (config : Config.t) pool library ~hardware
             match Library.find library j.Ir.ju with
             | Some e ->
                 j.Ir.resolved <- Some (e.Library.duration, e.Library.fidelity)
-            | None -> j.Ir.resolved <- r.Ir.resolved)
+            | None ->
+                (* the representative degraded (nothing was added to the
+                   library), so this alias plays gate pulses too *)
+                j.Ir.resolved <- r.Ir.resolved;
+                j.Ir.jfallback <- r.Ir.jfallback)
         | None ->
-            let duration, fidelity, pulse = Option.get j.Ir.computed in
-            Library.add library j.Ir.ju ~duration ~fidelity ?pulse ();
-            j.Ir.resolved <- Some (duration, fidelity))
+            let r = Option.get j.Ir.computed in
+            j.Ir.jretries <- r.Ir.jr_retries;
+            if r.Ir.jr_fallback then j.Ir.jfallback <- true
+            else
+              Library.add library j.Ir.ju ~duration:r.Ir.jr_duration
+                ~fidelity:r.Ir.jr_fidelity ?pulse:r.Ir.jr_pulse ();
+            j.Ir.resolved <- Some (r.Ir.jr_duration, r.Ir.jr_fidelity))
     jobs;
   (List.length jobs, List.length reps)
 
@@ -303,13 +458,22 @@ let synthesis =
       Synthesis.counters (Synthesis.stage_report (List.map snd ir.Ir.synth)))
     (fun ctx ir ->
       let config = ctx.Pass.config in
+      (* index before the fan-out: the block's position names its solve
+         site ("synth<i>") for fault matching and deadline reports *)
+      let indexed = List.mapi (fun i b -> (i, b)) ir.Ir.blocks in
       let synth =
         Pool.map ctx.Pass.pool
-          (fun b ->
+          (fun (i, b) ->
             let local = Partition.block_circuit b in
             let r =
               if config.Config.use_synthesis then
-                Synthesis.synthesize_block ~options:config.Config.synthesis local
+                let budget =
+                  Epoc_budget.sub ?seconds:config.Config.block_deadline
+                    ctx.Pass.budget
+                in
+                Synthesis.synthesize_block ~options:config.Config.synthesis
+                  ~budget ?fault:ctx.Pass.fault
+                  ~site:(Printf.sprintf "synth%d" i) local
               else
                 {
                   Synthesis.circuit = Synthesis.vug_form local;
@@ -318,10 +482,11 @@ let synthesis =
                   expansions = 0;
                   prunes = 0;
                   open_max = 0;
+                  failure = None;
                 }
             in
             (b, r))
-          ir.Ir.blocks
+          indexed
       in
       let vug_circuit =
         List.fold_left
@@ -346,6 +511,11 @@ let synthesis =
             Metrics.peak m "qsearch.open_high_water"
               (float_of_int r.Synthesis.open_max)
           end;
+          Option.iter
+            (fun err ->
+              Metrics.incr m "synth.failures";
+              Log.warn (fun l -> l "synthesis fell back: %s" err))
+            r.Synthesis.failure;
           Metrics.observe m "synth.cnots_per_block"
             (float_of_int (Circuit.count_gate "cx" r.Synthesis.circuit)))
         synth;
@@ -417,6 +587,9 @@ let pulses =
            (resolved_durations ir))
       @ Library.counters (Library.stats ctx.Pass.library))
     (fun ctx ir ->
+      (* batch-order job ids name the solve sites ("block<jid>"); the
+         annotation scan is sequential, so ids are deterministic *)
+      let next_jid = ref 0 in
       let annotated =
         List.map
           (fun grouping ->
@@ -426,26 +599,32 @@ let pulses =
                 let u = Circuit.unitary local in
                 let k = Circuit.n_qubits local in
                 if k = 1 && Mat.is_diagonal ~eps:1e-9 u then (g, None)
-                else
+                else begin
+                  let jid = !next_jid in
+                  incr next_jid;
                   ( g,
                     Some
                       {
-                        Ir.ju = u;
+                        Ir.jid;
+                        ju = u;
                         jk = k;
                         jlocal = local;
                         resolved = None;
                         batch_rep = None;
                         jinit = None;
                         computed = None;
-                      } ))
+                        jfallback = false;
+                        jretries = 0;
+                      } )
+                end)
               grouping)
           ir.Ir.groupings
       in
       let jobs = List.concat_map (List.filter_map snd) annotated in
       let n_jobs, n_computed =
         resolve_pulses ~metrics:ctx.Pass.metrics ?cache:ctx.Pass.cache
-          ctx.Pass.config ctx.Pass.pool ctx.Pass.library
-          ~hardware:ctx.Pass.hardware jobs
+          ?fault:ctx.Pass.fault ~budget:ctx.Pass.budget ctx.Pass.config
+          ctx.Pass.pool ctx.Pass.library ~hardware:ctx.Pass.hardware jobs
       in
       Metrics.incr ~by:n_jobs ctx.Pass.metrics "pulse.jobs";
       Metrics.incr ~by:n_computed ctx.Pass.metrics "pulse.computed";
@@ -479,7 +658,9 @@ let schedule =
                           Schedule.qubits = g.Partition.qubits;
                           duration;
                           fidelity;
-                          label = Fmt.str "g%d" j.Ir.jk;
+                          label =
+                            (if j.Ir.jfallback then Fmt.str "fb%d" j.Ir.jk
+                             else Fmt.str "g%d" j.Ir.jk);
                         },
                         g.Partition.ops ))
                     job)
@@ -492,5 +673,28 @@ let schedule =
             Schedule.schedule ~n:ir.Ir.n ordered)
           ir.Ir.groupings
       in
-      let best, _ = best_by_latency (List.combine schedules ir.Ir.groupings) in
-      { ir with Ir.schedule = Some best })
+      let best, best_grouping =
+        best_by_latency (List.combine schedules ir.Ir.groupings)
+      in
+      (* resilience accounting over the winning grouping only: count
+         each degraded computation once (aliases share their
+         representative, compared by physical identity) *)
+      let reps =
+        List.fold_left
+          (fun acc (_, job) ->
+            match job with
+            | None -> acc
+            | Some (j : Ir.pulse_job) ->
+                let r =
+                  match j.Ir.batch_rep with Some r -> r | None -> j
+                in
+                if List.memq r acc then acc else r :: acc)
+          [] best_grouping
+      in
+      let degraded_blocks =
+        List.length (List.filter (fun (j : Ir.pulse_job) -> j.Ir.jfallback) reps)
+      in
+      let pulse_retries =
+        List.fold_left (fun acc (j : Ir.pulse_job) -> acc + j.Ir.jretries) 0 reps
+      in
+      { ir with Ir.schedule = Some best; degraded_blocks; pulse_retries })

@@ -13,7 +13,15 @@
     ([add_into], [sub_into], [scale_re_into], [scale_into],
     [add_scaled_re_into]) allow [dst] to alias any input; [mul_into] and
     [adjoint_into] require [dst] distinct from every input and raise
-    [Invalid_argument] when it is not. *)
+    [Invalid_argument] when it is not.
+
+    Error contract (repo-wide taxonomy, see lib/resilience/epoc_error.mli):
+    every raise in this library is [Invalid_argument] for a violated
+    precondition — dimension mismatch, non-square input, aliased
+    destination — i.e. a programmer error, never a recoverable runtime
+    condition.  Recoverable numerical failures (solver divergence,
+    deadline) are the domain of [Epoc_error] in the layers above; no
+    bare [Failure] escapes any library boundary. *)
 
 type t
 

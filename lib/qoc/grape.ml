@@ -127,11 +127,8 @@ let propagate hw (p : pulse) =
 
 let fidelity_of target u = Mat.hs_fidelity target u
 
-(* tr(A * H) for square A, H; kept as a named wrapper because the GRAPE
-   gradient literature writes it this way. *)
-let trace_product (a : Mat.t) (h : Mat.t) = Mat.trace_mul a h
-
 let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
+    ?(budget = Epoc_budget.unlimited) ?fault ?(site = "grape") ?(attempt = 0)
     (hw : Hardware.t) ~(target : Mat.t) ~(slots : int) =
   let dim = 1 lsl hw.Hardware.n in
   if Mat.rows target <> dim then invalid_arg "Grape.optimize: dimension mismatch";
@@ -197,9 +194,26 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
       { it; s_fidelity = fnow; s_grad_norm = grad_norm; s_step = step }
       :: !series
   in
+  (* Injected faults are resolved once, before the loop: the decision is
+     a pure function of (seed, kind, site, attempt), so the fault
+     pattern is identical for any domain count. *)
+  let inject_nan =
+    Epoc_fault.fires_opt fault ~kind:"grape_nan" ~site ~attempt
+  in
+  let inject_deadline =
+    Epoc_fault.fires_opt fault ~kind:"deadline" ~site ~attempt
+  in
   (try
      for it = 1 to options.iterations do
        iters := it;
+       Epoc_budget.check ~site budget;
+       if inject_deadline then
+         Epoc_error.raise_
+           (Epoc_error.Deadline_exceeded
+              { site; elapsed_s = Epoc_budget.elapsed_s budget });
+       if inject_nan then
+         Epoc_error.raise_
+           (Epoc_error.Solver_diverged { site; detail = "injected grape_nan" });
        (* build slot propagators and forward products *)
        for k = 0 to slots - 1 do
          assemble_hamiltonian ~h0 ~ctrls u_amp k ~h;
@@ -209,6 +223,14 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
        let u_total = forward.(slots) in
        let z = Mat.trace_mul target_dag u_total in
        let fnow = Cx.norm z /. float_of_int dim in
+       if not (Float.is_finite fnow) then
+         Epoc_error.raise_
+           (Epoc_error.Solver_diverged
+              {
+                site;
+                detail =
+                  Printf.sprintf "non-finite fidelity at iteration %d" it;
+              });
        if fnow > !best_f then begin
          best_f := fnow;
          best_amp := Array.map Array.copy u_amp;
@@ -283,3 +305,9 @@ let optimize ?(options = default_options) ?(rng = Random.State.make [| 23 |])
     warm_start;
     series = List.rev !series;
   }
+
+(* Result-returning entry point: the supported API.  [optimize] raising
+   [Epoc_error.Error] is kept for internal loop-abort plumbing. *)
+let optimize_r ?options ?rng ?budget ?fault ?site ?attempt hw ~target ~slots =
+  Epoc_error.wrap (fun () ->
+      optimize ?options ?rng ?budget ?fault ?site ?attempt hw ~target ~slots)

@@ -1,0 +1,118 @@
+(** GRAPE: gradient ascent pulse engineering (Khaneja et al. 2005).
+
+    Piecewise-constant controls [u.(j).(k)] over [slots] intervals of
+    length [dt]; the figure of merit is the global-phase-invariant gate
+    fidelity [F = |tr(U_target^dag U)| / d], ascended with Adam under
+    amplitude clipping.
+
+    {!optimize_r} is the supported entry point: it returns a [result]
+    and maps divergence (non-finite fidelity), expired
+    {!Epoc_budget.t} deadlines and injected {!Epoc_fault} faults to
+    typed {!Epoc_error.t} values.  {!optimize} is the legacy wrapper
+    that lets {!Epoc_error.Error} escape as an exception. *)
+
+open Epoc_linalg
+
+(** Shared log source for the QOC layer (GRAPE + the duration search). *)
+val log_src : Logs.src
+
+(** A piecewise-constant pulse: [amplitudes.(control).(slot)] in
+    rad/ns, [labels] parallel to the control axis. *)
+type pulse = {
+  dt : float;
+  labels : string array;
+  amplitudes : float array array;
+}
+
+(** Total pulse duration in ns. *)
+val duration : pulse -> float
+
+val slot_count : pulse -> int
+
+(** CSV export of the pulse envelopes: one row per slot, one column per
+    control channel. *)
+val pulse_to_csv : pulse -> string
+
+type options = {
+  iterations : int;
+  learning_rate : float;
+  fidelity_target : float;
+  patience : int;  (** stop after this many non-improving iterations *)
+  init : float array array option;
+      (** warm-start amplitudes [control][slot] from a cached
+          near-neighbor pulse; resampled to the requested slot count
+          and clipped to the drive limit.  [None] = random cold
+          start. *)
+}
+
+val default_options : options
+
+(** Why the ascent loop ended. *)
+type stop_reason = Target_hit | Patience | Budget
+
+val stop_reason_name : stop_reason -> string
+
+(** One point of the convergence series, recorded every iteration. *)
+type sample = {
+  it : int;  (** 1-based iteration *)
+  s_fidelity : float;
+  s_grad_norm : float;  (** L2 norm over all (control, slot) gradients *)
+  s_step : float;  (** mean |amplitude update| this iteration, rad/ns *)
+}
+
+type result = {
+  pulse : pulse;
+  fidelity : float;
+  achieved : Mat.t;  (** realized total propagator *)
+  iterations : int;
+  stop : stop_reason;
+  warm_start : bool;  (** ascent was seeded from cached amplitudes *)
+  series : sample list;  (** convergence telemetry, oldest first *)
+}
+
+(** Total propagator for a pulse under the hardware model. *)
+val propagate : Hardware.t -> pulse -> Mat.t
+
+(** [fidelity_of target u]: global-phase-invariant gate fidelity. *)
+val fidelity_of : Mat.t -> Mat.t -> float
+
+(** Result-returning optimization — the supported API.
+
+    [budget] is checked every iteration and yields
+    [Error (Deadline_exceeded _)]; a non-finite fidelity (or an
+    injected [grape_nan] fault from [fault]) yields
+    [Error (Solver_diverged _)].  [site] names this solve in errors,
+    fault matching and logs (e.g. [block3]); [attempt] is the 0-based
+    retry attempt the caller is on, part of the deterministic fault
+    derivation.
+
+    @raise Invalid_argument on dimension mismatch or [slots < 1]. *)
+val optimize_r :
+  ?options:options ->
+  ?rng:Random.State.t ->
+  ?budget:Epoc_budget.t ->
+  ?fault:Epoc_fault.spec ->
+  ?site:string ->
+  ?attempt:int ->
+  Hardware.t ->
+  target:Mat.t ->
+  slots:int ->
+  (result, Epoc_error.t) Result.t
+
+(** Legacy exception-raising wrapper around the same optimization: lets
+    {!Epoc_error.Error} escape instead of returning it.  Kept for
+    callers predating the typed error channel.
+
+    @raise Epoc_error.Error on divergence or an expired deadline.
+    @raise Invalid_argument on dimension mismatch or [slots < 1]. *)
+val optimize :
+  ?options:options ->
+  ?rng:Random.State.t ->
+  ?budget:Epoc_budget.t ->
+  ?fault:Epoc_fault.spec ->
+  ?site:string ->
+  ?attempt:int ->
+  Hardware.t ->
+  target:Mat.t ->
+  slots:int ->
+  result

@@ -1,0 +1,61 @@
+(** Transmon-style hardware model for quantum optimal control.
+
+    Rotating-frame model on the qubit subspace:
+    [H(t) = H0 + sum_j u_j(t) H_j] with an always-on ZZ coupling drift
+    on coupled pairs and amplitude-limited X/Y drives per qubit.
+    Units: time in ns, energies in rad/ns.
+
+    The drift and control Hamiltonians are built eagerly in {!make}
+    and stored on the (immutable) record: GRAPE reads them once per
+    optimize call and {!shared} memoizes models process-wide, so the
+    Pauli embeddings are not rebuilt per block. *)
+
+open Epoc_linalg
+
+type control = { label : string; matrix : Mat.t }
+
+type t = {
+  n : int;
+  dt : float;  (** GRAPE slot duration, ns *)
+  drive_limit : float;  (** max |u_j|, rad/ns *)
+  coupling : (int * int) list;  (** coupled qubit pairs *)
+  coupling_strength : float;  (** J, rad/ns *)
+  t_coherence : float;  (** effective coherence time, ns (for ESP) *)
+  drift_h : Mat.t;  (** precomputed H0 (2^n x 2^n) *)
+  controls_h : control list;  (** precomputed H_j *)
+}
+
+(** Build a model for [n] qubits; [coupling] defaults to a linear
+    chain.  Default parameters give the usual superconducting scales
+    (pi rotation at full drive ~10 ns, CZ-equivalent interaction
+    ~pi/J = 50 ns).
+
+    @raise Invalid_argument when [n < 1]. *)
+val make :
+  ?dt:float ->
+  ?drive_ghz:float ->
+  ?coupling_ghz:float ->
+  ?t_coherence:float ->
+  ?coupling:(int * int) list ->
+  int ->
+  t
+
+(** Drift Hamiltonian H0 (2^n x 2^n). *)
+val drift : t -> Mat.t
+
+(** Control Hamiltonians H_j (X/2 and Y/2 per qubit). *)
+val controls : t -> control list
+
+(** Restrict the device to a contiguous sub-block of [k] qubits, with a
+    chain coupling fallback (pulse-level routing abstraction). *)
+val sub_block : t -> int -> t
+
+(** Calibrated reference durations (ns) for the latency estimator and
+    the gate-based baseline. *)
+val single_qubit_gate_time : t -> float
+
+val entangling_gate_time : t -> float
+
+(** Default-topology model memoized process-wide per
+    (dt, t_coherence, n); thread-safe. *)
+val shared : ?dt:float -> ?t_coherence:float -> int -> t

@@ -45,9 +45,11 @@ let default_options =
   { grape = Grape.default_options; granularity = 4; max_slots = 1024; min_slots = 2 }
 
 let find_min_duration ?(options = default_options) ?initial_guess ?init ?rng
+    ?(budget = Epoc_budget.unlimited) ?fault ?(site = "grape") ?(attempt = 0)
     (hw : Hardware.t) (target : Mat.t) =
   let runs = ref 0 in
   let attempts = ref [] in
+  let retry_attempt = attempt in
   (* [?init] (cached near-neighbor amplitudes) takes precedence over any
      [init] in the provided grape options; Grape resamples it to each
      attempt's slot count. *)
@@ -59,7 +61,10 @@ let find_min_duration ?(options = default_options) ?initial_guess ?init ?rng
   let attempt slots =
     incr runs;
     let rng = match rng with Some r -> r | None -> Random.State.make [| 29; slots |] in
-    let r = Grape.optimize ~options:grape_options ~rng hw ~target ~slots in
+    let r =
+      Grape.optimize ~options:grape_options ~rng ~budget ?fault ~site
+        ~attempt:retry_attempt hw ~target ~slots
+    in
     attempts :=
       {
         att_slots = slots;
@@ -130,6 +135,24 @@ let find_min_duration ?(options = default_options) ?initial_guess ?init ?rng
           grape_runs = !runs;
           attempts = List.rev !attempts;
         }
+
+(* Result-returning entry point: the supported API.  A search that
+   brackets up to [max_slots] without reaching the fidelity target maps
+   to [Duration_unreachable]; solver and deadline failures pass through
+   typed. *)
+let find_min_duration_r ?(options = default_options) ?initial_guess ?init ?rng
+    ?budget ?fault ?(site = "grape") ?attempt hw target =
+  match
+    Epoc_error.wrap (fun () ->
+        find_min_duration ~options ?initial_guess ?init ?rng ?budget ?fault
+          ~site ?attempt hw target)
+  with
+  | Ok (Some s) -> Ok s
+  | Ok None ->
+      Error
+        (Epoc_error.Duration_unreachable
+           { site; max_slots = options.max_slots })
+  | Error e -> Error e
 
 (* --- analytic estimator -------------------------------------------------- *)
 

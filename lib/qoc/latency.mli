@@ -1,0 +1,100 @@
+(** Minimal pulse duration search (the paper's binary search on
+    latency) and the calibrated analytic estimator.
+
+    {!find_min_duration_r} is the supported entry point: bracket then
+    bisect the smallest GRAPE slot count reaching the fidelity target,
+    returning typed {!Epoc_error.t} failures ([Duration_unreachable]
+    when the bracket runs out, [Solver_diverged] / [Deadline_exceeded]
+    passed through from GRAPE).  {!find_min_duration} is the legacy
+    option-returning wrapper. *)
+
+open Epoc_linalg
+open Epoc_circuit
+
+(** Telemetry of one GRAPE optimization inside the duration search. *)
+type attempt = {
+  att_slots : int;
+  att_iterations : int;
+  att_fidelity : float;
+  att_stop : Grape.stop_reason;
+}
+
+type search_result = {
+  slots : int;
+  duration : float;  (** ns *)
+  fidelity : float;
+  result : Grape.result;
+  grape_runs : int;  (** GRAPE optimizations the search used *)
+  attempts : attempt list;  (** per-run telemetry, in run order *)
+}
+
+type options = {
+  grape : Grape.options;
+  granularity : int;  (** slot quantum for bisection *)
+  max_slots : int;
+  min_slots : int;
+}
+
+val default_options : options
+
+(** Result-returning duration search — the supported API.  [init]
+    warm-starts every GRAPE attempt from cached amplitudes;
+    [budget]/[fault]/[site]/[attempt] are threaded into each attempt
+    (see {!Grape.optimize_r}). *)
+val find_min_duration_r :
+  ?options:options ->
+  ?initial_guess:int ->
+  ?init:float array array ->
+  ?rng:Random.State.t ->
+  ?budget:Epoc_budget.t ->
+  ?fault:Epoc_fault.spec ->
+  ?site:string ->
+  ?attempt:int ->
+  Hardware.t ->
+  Mat.t ->
+  (search_result, Epoc_error.t) Result.t
+
+(** Legacy wrapper: [None] when no slot count up to
+    [options.max_slots] reaches the target.
+
+    @raise Epoc_error.Error on solver divergence or expired deadline. *)
+val find_min_duration :
+  ?options:options ->
+  ?initial_guess:int ->
+  ?init:float array array ->
+  ?rng:Random.State.t ->
+  ?budget:Epoc_budget.t ->
+  ?fault:Epoc_fault.spec ->
+  ?site:string ->
+  ?attempt:int ->
+  Hardware.t ->
+  Mat.t ->
+  search_result option
+
+(** {1 Analytic estimator} *)
+
+type estimate = { est_duration : float; est_fidelity : float }
+
+(** Price a unitary via its VUG+CNOT realization under the hardware's
+    reference gate times (virtual-Z free, speed-limit single-qubit
+    pulses, Weyl interaction content for two-qubit blocks, packed
+    critical path for wider ones); calibrated against GRAPE duration
+    searches on the default hardware model. *)
+val estimate : ?unitary:Mat.t -> Hardware.t -> Circuit.t -> estimate
+
+(** Slot-count seed for {!find_min_duration_r} derived from the
+    estimate. *)
+val guess_slots : ?unitary:Mat.t -> Hardware.t -> Circuit.t -> int
+
+(** {1 Stage report} *)
+
+(** Structured summary of a batch of resolved pulses (QOC stage) for
+    the pass pipeline's trace sink. *)
+type stage_report = {
+  pulses : int;
+  computed : int;
+  total_duration_ns : float;
+}
+
+val stage_report : computed:int -> (float * float) list -> stage_report
+val counters : stage_report -> (string * int) list

@@ -1,0 +1,60 @@
+(* Monotonic-clock compute budgets.
+
+   A budget is a deadline on the monotonic clock (bechamel's
+   Monotonic_clock, CLOCK_MONOTONIC in nanoseconds).  [unlimited]
+   never reads the clock on the check path, so threading budgets
+   through the solver loops is free when no deadline is configured. *)
+
+type t = { started_ns : int64; deadline_ns : int64 option }
+
+let now_ns () = Monotonic_clock.now ()
+let unlimited = { started_ns = 0L; deadline_ns = None }
+
+let start seconds =
+  if not (Float.is_finite seconds && seconds >= 0.0) then
+    invalid_arg "Epoc_budget.start: seconds must be finite and non-negative";
+  let now = now_ns () in
+  let delta = Int64.of_float (seconds *. 1e9) in
+  { started_ns = now; deadline_ns = Some (Int64.add now delta) }
+
+let sub ?seconds parent =
+  match (seconds, parent.deadline_ns) with
+  | None, _ -> parent
+  | Some s, None -> start s
+  | Some s, Some parent_deadline ->
+      let child = start s in
+      let deadline =
+        match child.deadline_ns with
+        | Some d when Int64.compare d parent_deadline < 0 -> d
+        | _ -> parent_deadline
+      in
+      { child with deadline_ns = Some deadline }
+
+let is_unlimited b = b.deadline_ns = None
+
+let elapsed_s b =
+  if is_unlimited b then 0.0
+  else Int64.to_float (Int64.sub (now_ns ()) b.started_ns) /. 1e9
+
+let remaining_s b =
+  match b.deadline_ns with
+  | None -> Float.infinity
+  | Some d -> Int64.to_float (Int64.sub d (now_ns ())) /. 1e9
+
+let expired b =
+  match b.deadline_ns with
+  | None -> false
+  | Some d -> Int64.compare (now_ns ()) d >= 0
+
+let check ~site b =
+  match b.deadline_ns with
+  | None -> ()
+  | Some d ->
+      let now = now_ns () in
+      if Int64.compare now d >= 0 then
+        Epoc_error.raise_
+          (Epoc_error.Deadline_exceeded
+             {
+               site;
+               elapsed_s = Int64.to_float (Int64.sub now b.started_ns) /. 1e9;
+             })

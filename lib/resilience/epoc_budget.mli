@@ -1,0 +1,47 @@
+(** Monotonic-clock compute budgets for solver loops.
+
+    A budget is a deadline on the monotonic clock.  The pipeline builds
+    one per run from [Config.total_deadline] and derives per-block
+    children from [Config.block_deadline] with {!sub}; GRAPE iterations
+    and QSearch expansions call {!check}, which raises a typed
+    {!Epoc_error.Deadline_exceeded} when the deadline has passed.
+
+    {!unlimited} budgets never read the clock on the check path, so
+    threading them through hot loops costs nothing when no deadline is
+    configured.
+
+    Wall-clock deadlines are inherently best-effort: when a deadline
+    actually fires depends on machine load, so runs with real deadlines
+    are not covered by the bit-determinism contract.  Injected
+    deadlines (see {!Epoc_fault}) are deterministic and are what the
+    tests pin down. *)
+
+type t
+
+(** Never expires; checks are free (no clock read). *)
+val unlimited : t
+
+(** [start seconds] is a budget expiring [seconds] from now.
+
+    @raise Invalid_argument if [seconds] is negative or not finite. *)
+val start : float -> t
+
+(** [sub ?seconds parent] is a child budget expiring [seconds] from
+    now, capped by [parent]'s deadline.  Without [seconds] it is
+    [parent] itself. *)
+val sub : ?seconds:float -> t -> t
+
+val is_unlimited : t -> bool
+
+(** Whether the deadline has passed.  Always [false] for {!unlimited}. *)
+val expired : t -> bool
+
+(** Seconds until the deadline (negative once expired); [infinity] for
+    {!unlimited}. *)
+val remaining_s : t -> float
+
+(** Seconds since the budget was created; [0.] for {!unlimited}. *)
+val elapsed_s : t -> float
+
+(** Raise {!Epoc_error.Deadline_exceeded} at [site] if expired. *)
+val check : site:string -> t -> unit

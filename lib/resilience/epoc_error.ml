@@ -1,0 +1,54 @@
+(* Typed error channel shared by the solver-facing libraries.
+
+   Internally the solvers abort deep loops by raising [Error]; the
+   [_r] entry points ([Grape.optimize_r], [Qsearch.synthesize_r],
+   [Latency.find_min_duration_r]) catch it at the library boundary and
+   return a [result].  Nothing outside this variant is a supported
+   failure mode of those entry points: [Invalid_argument] remains the
+   channel for programmer errors (violated preconditions), and plain
+   [Failure] must never escape a library boundary. *)
+
+type t =
+  | Solver_diverged of { site : string; detail : string }
+  | Deadline_exceeded of { site : string; elapsed_s : float }
+  | Synthesis_exhausted of {
+      site : string;
+      expansions : int;
+      prunes : int;
+      open_max : int;
+    }
+  | Duration_unreachable of { site : string; max_slots : int }
+  | Numerical of string
+
+exception Error of t
+
+let label = function
+  | Solver_diverged _ -> "solver_diverged"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Synthesis_exhausted _ -> "synthesis_exhausted"
+  | Duration_unreachable _ -> "duration_unreachable"
+  | Numerical _ -> "numerical"
+
+let to_string = function
+  | Solver_diverged { site; detail } ->
+      Printf.sprintf "solver diverged at %s: %s" site detail
+  | Deadline_exceeded { site; elapsed_s } ->
+      Printf.sprintf "deadline exceeded at %s after %.3f s" site elapsed_s
+  | Synthesis_exhausted { site; expansions; prunes; open_max } ->
+      Printf.sprintf
+        "synthesis exhausted at %s (%d expansions, %d prunes, open max %d)"
+        site expansions prunes open_max
+  | Duration_unreachable { site; max_slots } ->
+      Printf.sprintf "no viable pulse duration at %s (searched up to %d slots)"
+        site max_slots
+  | Numerical msg -> Printf.sprintf "numerical failure: %s" msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Epoc_error.Error(%s)" (to_string e))
+    | _ -> None)
+
+let raise_ e = raise (Error e)
+let wrap f = match f () with v -> Ok v | exception Error e -> Result.Error e

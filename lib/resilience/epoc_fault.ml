@@ -1,0 +1,136 @@
+(* Deterministic fault injection.
+
+   A spec is a comma-separated list of [kind:matcher[:count]] entries:
+
+     grape_nan:0.1            every GRAPE solve diverges with p = 0.1
+     grape_nan:1.0            every GRAPE solve diverges
+     deadline:block3          the solver for block 3 hits an injected
+                              deadline on every attempt
+     grape_nan:block0:1       block 0 diverges on its first attempt
+                              only (retry then succeeds)
+     qsearch_exhaust:synth2   synthesis search for block 2 exhausts
+
+   Probabilistic entries are resolved by hashing (seed, kind, site,
+   attempt) — no RNG state, no wall clock — so a given spec produces
+   the identical fault pattern on every run and for every EPOC_JOBS
+   domain count.  The seed comes from [EPOC_FAULT_SEED] (default 0) or
+   [~seed] on [parse]. *)
+
+type matcher = Prob of float | Site of string
+
+type entry = {
+  kind : string;
+  matcher : matcher;
+  count : int option;  (* fire only on attempts < count *)
+}
+
+type spec = { seed : int; entries : entry list }
+
+let known_kinds = [ "grape_nan"; "deadline"; "qsearch_exhaust" ]
+
+(* FNV-1a over a derivation string: stable across runs, OCaml versions
+   and domain counts. *)
+let hash01 ~seed ~kind ~site ~attempt =
+  let s = Printf.sprintf "%d|%s|%s|%d" seed kind site attempt in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  (* 24 low bits -> [0, 1) *)
+  Int64.to_float (Int64.logand !h 0xFFFFFFL) /. 16777216.0
+
+let parse_entry s =
+  match String.split_on_char ':' (String.trim s) with
+  | [] | [ "" ] -> Error "empty fault entry"
+  | kind :: rest -> (
+      if not (List.mem kind known_kinds) then
+        Error
+          (Printf.sprintf "unknown fault kind %S (known: %s)" kind
+             (String.concat ", " known_kinds))
+      else
+        let matcher_of m =
+          match float_of_string_opt m with
+          | Some p when p >= 0.0 && p <= 1.0 -> Ok (Prob p)
+          | Some _ -> Error (Printf.sprintf "probability %S not in [0,1]" m)
+          | None -> if m = "" then Error "empty matcher" else Ok (Site m)
+        in
+        match rest with
+        | [ m ] -> (
+            match matcher_of m with
+            | Ok matcher -> Ok { kind; matcher; count = None }
+            | Error _ as e -> e)
+        | [ m; n ] -> (
+            match (matcher_of m, int_of_string_opt n) with
+            | Ok matcher, Some c when c > 0 ->
+                Ok { kind; matcher; count = Some c }
+            | Ok _, _ -> Error (Printf.sprintf "bad attempt count %S" n)
+            | (Error _ as e), _ -> e)
+        | _ -> Error (Printf.sprintf "malformed fault entry %S" s))
+
+let parse ?(seed = 0) s =
+  let parts =
+    List.filter
+      (fun p -> String.trim p <> "")
+      (String.split_on_char ',' s)
+  in
+  if parts = [] then Error "empty fault spec"
+  else
+    let rec go acc = function
+      | [] -> Ok { seed; entries = List.rev acc }
+      | p :: rest -> (
+          match parse_entry p with
+          | Ok e -> go (e :: acc) rest
+          | Error m -> Error (Printf.sprintf "%s (in %S)" m s))
+    in
+    go [] parts
+
+let parse_exn ?seed s =
+  match parse ?seed s with
+  | Ok spec -> spec
+  | Error m -> invalid_arg (Printf.sprintf "Epoc_fault.parse_exn: %s" m)
+
+let of_env () =
+  match Sys.getenv_opt "EPOC_FAULT" with
+  | None | Some "" -> None
+  | Some s ->
+      let seed =
+        match Sys.getenv_opt "EPOC_FAULT_SEED" with
+        | None -> 0
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some n -> n
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "EPOC_FAULT_SEED: not an integer: %S" v))
+      in
+      Some (parse_exn ~seed s)
+
+let to_string spec =
+  String.concat ","
+    (List.map
+       (fun e ->
+         let m =
+           match e.matcher with
+           | Prob p -> Printf.sprintf "%g" p
+           | Site s -> s
+         in
+         match e.count with
+         | None -> Printf.sprintf "%s:%s" e.kind m
+         | Some c -> Printf.sprintf "%s:%s:%d" e.kind m c)
+       spec.entries)
+
+let fires spec ~kind ~site ~attempt =
+  List.exists
+    (fun e ->
+      e.kind = kind
+      && (match e.count with None -> true | Some c -> attempt < c)
+      &&
+      match e.matcher with
+      | Site s -> s = site
+      | Prob p -> hash01 ~seed:spec.seed ~kind ~site ~attempt < p)
+    spec.entries
+
+let fires_opt spec ~kind ~site ~attempt =
+  match spec with None -> false | Some s -> fires s ~kind ~site ~attempt

@@ -1,0 +1,45 @@
+(** Deterministic fault injection for the resilience paths.
+
+    Off by default: the pipeline only consults a spec when one is
+    configured ([Config.fault], [--fault], or [EPOC_FAULT] via the CLI
+    and the fault-injection tests — the library itself never reads the
+    environment implicitly on the compile path).
+
+    Spec grammar (comma-separated entries):
+    {[ kind:matcher[:count] ]}
+    - [kind]: [grape_nan] (GRAPE solve diverges), [deadline] (solver
+      hits an injected deadline), [qsearch_exhaust] (synthesis search
+      exhausts without converging);
+    - [matcher]: a probability in [0,1] ([grape_nan:0.1]) or a site
+      name ([deadline:block3], [qsearch_exhaust:synth2]);
+    - [count]: optional; the entry fires only on attempts [< count]
+      ([grape_nan:block0:1] — first attempt fails, the retry runs
+      clean).
+
+    Probabilistic decisions hash (seed, kind, site, attempt) — no RNG
+    state, no wall clock — so a spec yields the identical fault pattern
+    on every run and for every [EPOC_JOBS] domain count. *)
+
+type spec
+
+(** Parse a spec.  [seed] defaults to 0. *)
+val parse : ?seed:int -> string -> (spec, string) result
+
+(** @raise Invalid_argument on a malformed spec. *)
+val parse_exn : ?seed:int -> string -> spec
+
+(** Spec from [EPOC_FAULT] / [EPOC_FAULT_SEED]; [None] when unset.
+
+    @raise Invalid_argument on a malformed value. *)
+val of_env : unit -> spec option
+
+(** Round-trips through {!parse}. *)
+val to_string : spec -> string
+
+(** Whether a fault of [kind] fires at [site] on this [attempt]
+    (0-based retry attempt). *)
+val fires : spec -> kind:string -> site:string -> attempt:int -> bool
+
+(** [fires] lifted over the optional spec threaded through the
+    solvers; [None] never fires. *)
+val fires_opt : spec option -> kind:string -> site:string -> attempt:int -> bool

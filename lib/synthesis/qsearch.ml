@@ -69,6 +69,7 @@ let node_of options target rng ?seed template =
   }
 
 let synthesize ?(options = default_options) ?(rng = Random.State.make [| 11 |])
+    ?(budget = Epoc_budget.unlimited) ?fault ?(site = "qsearch") ?(attempt = 0)
     (target : Mat.t) =
   if not (Mat.is_square target) then invalid_arg "Qsearch: non-square target";
   let dim = Mat.rows target in
@@ -95,7 +96,22 @@ let synthesize ?(options = default_options) ?(rng = Random.State.make [| 11 |])
       trajectory = List.rev !trajectory;
     }
   in
-  if n = 1 || root.result.Instantiate.distance < options.threshold then
+  (* Injected faults, resolved once per call: pure function of
+     (seed, kind, site, attempt), identical for any domain count. *)
+  let inject_exhaust =
+    Epoc_fault.fires_opt fault ~kind:"qsearch_exhaust" ~site ~attempt
+  in
+  let inject_deadline =
+    Epoc_fault.fires_opt fault ~kind:"deadline" ~site ~attempt
+  in
+  if inject_deadline then
+    Epoc_error.raise_
+      (Epoc_error.Deadline_exceeded
+         { site; elapsed_s = Epoc_budget.elapsed_s budget });
+  if inject_exhaust then
+    (* simulate a search that burned its budget without converging *)
+    finish root false
+  else if n = 1 || root.result.Instantiate.distance < options.threshold then
     (* single-qubit targets are exactly a U3; no search needed *)
     finish root (root.result.Instantiate.distance < options.threshold)
   else begin
@@ -107,6 +123,7 @@ let synthesize ?(options = default_options) ?(rng = Random.State.make [| 11 |])
       | current :: rest ->
           open_set := rest;
           incr expansions;
+          Epoc_budget.check ~site budget;
           if Template.cnot_count current.template < options.max_cnots then
             List.iter
               (fun succ_template ->
@@ -133,3 +150,24 @@ let synthesize ?(options = default_options) ?(rng = Random.State.make [| 11 |])
     | Some node -> finish node true
     | None -> finish !best (!best.result.Instantiate.distance < options.threshold)
   end
+
+(* Result-returning entry point: the supported API.  A search that runs
+   out of its expansion budget maps to [Synthesis_exhausted] carrying
+   the telemetry; deadline aborts pass through typed. *)
+let synthesize_r ?options ?rng ?budget ?fault ?(site = "qsearch") ?attempt
+    target =
+  match
+    Epoc_error.wrap (fun () ->
+        synthesize ?options ?rng ?budget ?fault ~site ?attempt target)
+  with
+  | Ok o when o.converged -> Ok o
+  | Ok o ->
+      Error
+        (Epoc_error.Synthesis_exhausted
+           {
+             site;
+             expansions = o.expansions;
+             prunes = o.prunes;
+             open_max = o.open_max;
+           })
+  | Error e -> Error e

@@ -17,6 +17,9 @@ type block_result = {
   expansions : int;
   prunes : int; (* QSearch nodes dropped at the CNOT cap *)
   open_max : int; (* QSearch open-set high-water mark (0 = no search) *)
+  failure : string option;
+      (* why the search fell back when it did so abnormally (deadline,
+         injected fault); [None] for a clean search or width cutoff *)
 }
 
 (* Lower every entangling gate to CX and fuse single-qubit runs. *)
@@ -45,8 +48,8 @@ let cx_count c = Circuit.count_gate "cx" c
    its instantiation converged below threshold *and* it improves on the
    direct VUG form (fewer CNOTs, or equal CNOTs and lower depth). *)
 let synthesize_block ?(options = Qsearch.default_options)
-    ?(max_search_qubits = 2) ?(rng = Random.State.make [| 17 |])
-    (block : Circuit.t) =
+    ?(max_search_qubits = 2) ?(rng = Random.State.make [| 17 |]) ?budget ?fault
+    ?site (block : Circuit.t) =
   let fallback = vug_form block in
   let n = Circuit.n_qubits block in
   if n > max_search_qubits then
@@ -54,30 +57,44 @@ let synthesize_block ?(options = Qsearch.default_options)
        (generic 3-qubit unitaries need ~14 CNOT layers); the direct VUG
        form is used instead *)
     { circuit = fallback; source = Fallback; distance = 0.0; expansions = 0;
-      prunes = 0; open_max = 0 }
+      prunes = 0; open_max = 0; failure = None }
   else
     let target = Circuit.unitary block in
-    let outcome = Qsearch.synthesize ~options ~rng target in
-    let better =
-      outcome.Qsearch.converged
-      && (cx_count outcome.Qsearch.circuit < cx_count fallback
-         || (cx_count outcome.Qsearch.circuit = cx_count fallback
-            && Circuit.depth outcome.Qsearch.circuit < Circuit.depth fallback))
-    in
-    if better then
-      {
-        circuit = outcome.Qsearch.circuit;
-        source = Synthesized;
-        distance = outcome.Qsearch.distance;
-        expansions = outcome.Qsearch.expansions;
-        prunes = outcome.Qsearch.prunes;
-        open_max = outcome.Qsearch.open_max;
-      }
-    else
-      { circuit = fallback; source = Fallback; distance = 0.0;
-        expansions = outcome.Qsearch.expansions;
-        prunes = outcome.Qsearch.prunes;
-        open_max = outcome.Qsearch.open_max }
+    match Qsearch.synthesize_r ~options ~rng ?budget ?fault ?site target with
+    | Ok outcome ->
+        let better =
+          cx_count outcome.Qsearch.circuit < cx_count fallback
+          || (cx_count outcome.Qsearch.circuit = cx_count fallback
+             && Circuit.depth outcome.Qsearch.circuit < Circuit.depth fallback)
+        in
+        if better then
+          {
+            circuit = outcome.Qsearch.circuit;
+            source = Synthesized;
+            distance = outcome.Qsearch.distance;
+            expansions = outcome.Qsearch.expansions;
+            prunes = outcome.Qsearch.prunes;
+            open_max = outcome.Qsearch.open_max;
+            failure = None;
+          }
+        else
+          { circuit = fallback; source = Fallback; distance = 0.0;
+            expansions = outcome.Qsearch.expansions;
+            prunes = outcome.Qsearch.prunes;
+            open_max = outcome.Qsearch.open_max;
+            failure = None }
+    | Error (Epoc_error.Synthesis_exhausted { expansions; prunes; open_max; _ })
+      ->
+        (* budget ran dry: same degradation as before the typed channel
+           (direct VUG form), telemetry preserved from the error payload *)
+        { circuit = fallback; source = Fallback; distance = 0.0; expansions;
+          prunes; open_max; failure = None }
+    | Error e ->
+        (* deadline or injected fault: fall back to the direct VUG form —
+           always available, needs no search — and record why *)
+        { circuit = fallback; source = Fallback; distance = 0.0;
+          expansions = 0; prunes = 0; open_max = 0;
+          failure = Some (Epoc_error.to_string e) }
 
 (* Hilbert-Schmidt verification helper for callers and tests. *)
 let verify ~eps (block : Circuit.t) (result : block_result) =

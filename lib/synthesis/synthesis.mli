@@ -1,0 +1,62 @@
+(** Synthesis facade used by the EPOC pipeline.
+
+    {!vug_form} rewrites any circuit into VUG+CNOT form directly; it is
+    both the fallback when the search does not converge and the
+    baseline the synthesized candidate must beat, so
+    {!synthesize_block} always returns a circuit equivalent to its
+    input — typed solver failures degrade to the direct form rather
+    than aborting the block. *)
+
+open Epoc_circuit
+
+type source = Synthesized | Fallback
+
+type block_result = {
+  circuit : Circuit.t;  (** VUG + CNOT form, equivalent to the input *)
+  source : source;
+  distance : float;  (** instantiation distance (0 for fallback) *)
+  expansions : int;
+  prunes : int;  (** QSearch nodes dropped at the CNOT cap *)
+  open_max : int;  (** QSearch open-set high-water mark (0 = no search) *)
+  failure : string option;
+      (** why the search fell back when it did so abnormally (deadline,
+          injected fault); [None] for a clean search or width cutoff *)
+}
+
+(** Lower every entangling gate to CX and fuse single-qubit runs. *)
+val vug_form : Circuit.t -> Circuit.t
+
+val cx_count : Circuit.t -> int
+
+(** Synthesize one partition block (local indices).  The synthesized
+    candidate is only accepted when the search converged below
+    threshold {e and} it improves on the direct VUG form (fewer CNOTs,
+    or equal CNOTs and lower depth); every other path — width cutoff,
+    exhausted search, expired [budget], injected [fault] — degrades to
+    the direct form, never raises. *)
+val synthesize_block :
+  ?options:Qsearch.options ->
+  ?max_search_qubits:int ->
+  ?rng:Random.State.t ->
+  ?budget:Epoc_budget.t ->
+  ?fault:Epoc_fault.spec ->
+  ?site:string ->
+  Circuit.t ->
+  block_result
+
+(** Hilbert-Schmidt verification helper for callers and tests. *)
+val verify : eps:float -> Circuit.t -> block_result -> bool
+
+(** {1 Stage report} *)
+
+type stage_report = {
+  block_count : int;
+  synthesized : int;  (** blocks where the search beat the direct form *)
+  fallback : int;
+  total_expansions : int;
+  total_prunes : int;
+  max_open : int;  (** largest open-set high-water mark over the batch *)
+}
+
+val stage_report : block_result list -> stage_report
+val counters : stage_report -> (string * int) list

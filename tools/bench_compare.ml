@@ -37,8 +37,9 @@ let load path =
 
 (* The bench JSON shape this build understands (bench/main.ml writes the
    same number).  Both inputs must carry it: silently mis-parsing a file
-   produced by a different shape is worse than failing. *)
-let supported_schema_version = 1
+   produced by a different shape is worse than failing.  v2 added
+   per-benchmark degraded_blocks/retries. *)
+let supported_schema_version = 2
 
 let check_schema path json =
   match Option.bind (J.member "schema_version" json) J.to_int with
@@ -143,7 +144,15 @@ let compare_benchmark gate base cand =
             ~cand:c
       | None -> ())
     (stage_walls base);
-  check_counters gate ~bench:name ~base:(counters base) ~cand:(counters cand)
+  check_counters gate ~bench:name ~base:(counters base) ~cand:(counters cand);
+  (* bench runs are fault-free: any degraded block in the candidate means
+     a solver actually broke, which is a regression regardless of time *)
+  (match num_field "degraded_blocks" cand with
+  | Some d when d > 0.0 ->
+      Printf.printf "REGRESSION %-40s %d block(s) degraded to gate pulses\n"
+        (name ^ "/degraded") (int_of_float d);
+      gate.regressions <- gate.regressions + 1
+  | _ -> ())
 
 (* GRAPE throughput: higher is better, so the check is inverted and has
    no absolute floor (the micro-benchmark always runs long enough). *)
