@@ -352,6 +352,14 @@ let report_text (r : Epoc.Pipeline.result) metrics =
   Option.iter
     (pp_hist_row "grape.final_infidelity")
     (M.hist_value metrics "grape.final_infidelity");
+  (* batched-solver telemetry: group widths are per-run (deterministic),
+     throughput is process-global (wall clock) *)
+  Option.iter
+    (pp_hist_row "grape.batch_size")
+    (M.hist_value metrics "grape.batch_size");
+  Option.iter
+    (fun v -> Printf.printf "  GRAPE throughput: %.0f iters/s (batched)\n" v)
+    (M.gauge_value M.global "grape.iters_per_s");
   Printf.printf
     "  QSearch: %d blocks, %d synthesized, %d prunes, open-set high water %s\n"
     (M.counter_value metrics "synth.blocks")

@@ -88,11 +88,35 @@ let record_search metrics (s : Latency.search_result) =
   Metrics.observe metrics "grape.final_infidelity"
     (Float.max 0.0 (1.0 -. s.Latency.fidelity))
 
-(* Pulse duration + fidelity (+ control amplitudes, in Grape mode) for
-   one regrouped unitary, without touching the library: the pure,
-   parallelizable half of pulse generation.  [metrics] collects solver
-   telemetry when provided; [init] seeds the GRAPE ascent with cached
-   near-neighbor amplitudes (a persistent-store warm start).
+(* One Grape-mode pulse request: the per-block inputs of the batched
+   computation below.  [pr_site] names the solve in errors, fault
+   matching and logs; [pr_seed] keys the retry jitter and must be
+   stable per job (the batch-order id), never derived from wall clock
+   or global RNG state. *)
+type pulse_req = {
+  pr_u : Mat.t;
+  pr_vug : Circuit.t;
+  pr_init : float array array option;
+  pr_site : string;
+  pr_seed : int;
+}
+
+(* Per-request retry state of the batched computation. *)
+type pulse_pending = {
+  pp_req : pulse_req;
+  pp_base_guess : int;
+  pp_estimate : Latency.estimate Lazy.t;
+  mutable pp_attempt : int;
+  mutable pp_done : Ir.job_result option;
+}
+
+(* Pulse duration + fidelity + control amplitudes for a batch of
+   equal-width (same Hilbert-space dimension) unitaries in Grape mode,
+   without touching the library: the pure half of pulse generation.
+   Every retry round takes one duration-search attempt per still-open
+   request and runs them as a single {!Latency.find_min_duration_batch}
+   call, so equal-sized GRAPE solves share contiguous batched kernels
+   and one reusable workspace.  Results are in request order.
 
    This is also where the resilience policy lives.  A recoverable solver
    failure ([Solver_diverged], [Deadline_exceeded]) is retried up to
@@ -101,18 +125,172 @@ let record_search metrics (s : Latency.search_result) =
    per-gate pulse playback ([gate_fallback]) so the pipeline still emits
    a complete, valid schedule.  Attempt 0 takes exactly the legacy code
    path (same rng, same init, same guess), so a fault-free run is
-   bit-identical to the pre-resilience pipeline.  [seed] keys the retry
-   jitter and must be stable per job (the batch-order id), never derived
-   from wall clock or global RNG state. *)
+   bit-identical to the pre-resilience pipeline; each request's attempt
+   sequence is private to it, so batching never changes a block's
+   result, only co-schedules the solves. *)
+let compute_pulse_batch ?metrics ?fault ?(budget = Epoc_budget.unlimited)
+    ?pool ?workspace (config : Config.t) (hw_block : Hardware.t)
+    (reqs : pulse_req list) : Ir.job_result list =
+  let record f = Option.iter f metrics in
+  let max_retries = max 0 config.Config.max_retries in
+  let limit = hw_block.Hardware.drive_limit in
+  (* jittered restart: perturb the warm start within the drive limit so
+     the ascent leaves the basin that diverged *)
+  let perturb rng amps =
+    Array.map
+      (Array.map (fun v ->
+           let j = 0.1 *. limit *. (Random.State.float rng 2.0 -. 1.0) in
+           Float.max (-.limit) (Float.min limit (v +. j))))
+      amps
+  in
+  let fallback (p : pulse_pending) err =
+    let site = p.pp_req.pr_site and attempt = p.pp_attempt in
+    let fb_duration, fb_fidelity = gate_fallback hw_block p.pp_req.pr_vug in
+    let e = Lazy.force p.pp_estimate in
+    record (fun m ->
+        Metrics.incr m "pulse.fallback";
+        Metrics.observe m "degraded.latency_delta_ns"
+          (fb_duration -. e.Latency.est_duration);
+        Metrics.observe m "degraded.fidelity_delta"
+          (Float.max 0.0 (e.Latency.est_fidelity -. fb_fidelity)));
+    Log.warn (fun m ->
+        m "%s degraded to gate-pulse playback after %d attempt(s): %s" site
+          (attempt + 1) (Epoc_error.to_string err));
+    {
+      Ir.jr_duration = fb_duration;
+      jr_fidelity = fb_fidelity;
+      jr_pulse = None;
+      jr_retries = attempt;
+      jr_fallback = true;
+      jr_error = Some (Epoc_error.to_string err);
+    }
+  in
+  let states =
+    List.map
+      (fun (r : pulse_req) ->
+        {
+          pp_req = r;
+          pp_base_guess = Latency.guess_slots ~unitary:r.pr_u hw_block r.pr_vug;
+          pp_estimate = lazy (Latency.estimate ~unitary:r.pr_u hw_block r.pr_vug);
+          pp_attempt = 0;
+          pp_done = None;
+        })
+      reqs
+  in
+  record (fun m ->
+      Metrics.observe m "grape.batch_size"
+        (float_of_int (List.length states)));
+  let ws = match workspace with Some w -> w | None -> Grape.workspace () in
+  let continue_ = ref (states <> []) in
+  while !continue_ do
+    let open_ =
+      Array.of_list (List.filter (fun p -> p.pp_done = None) states)
+    in
+    if Array.length open_ = 0 then continue_ := false
+    else begin
+      let sjs =
+        Array.map
+          (fun (p : pulse_pending) ->
+            let attempt = p.pp_attempt in
+            let attempt_budget =
+              Epoc_budget.sub ?seconds:config.Config.block_deadline budget
+            in
+            let rng, init_a, guess =
+              if attempt = 0 then (None, p.pp_req.pr_init, p.pp_base_guess)
+              else
+                let r =
+                  Random.State.make [| 41; p.pp_req.pr_seed; attempt |]
+                in
+                ( Some r,
+                  Option.map (perturb r) p.pp_req.pr_init,
+                  p.pp_base_guess * (attempt + 1) )
+            in
+            Latency.search_job ~options:config.Config.latency
+              ~initial_guess:guess ?init:init_a ?rng ~budget:attempt_budget
+              ?fault ~site:p.pp_req.pr_site ~attempt hw_block p.pp_req.pr_u)
+          open_
+      in
+      let results = Latency.find_min_duration_batch ?pool ~workspace:ws sjs in
+      Array.iteri
+        (fun i (p : pulse_pending) ->
+          let site = p.pp_req.pr_site and attempt = p.pp_attempt in
+          match results.(i) with
+          | Ok s ->
+              record (fun m ->
+                  record_search m s;
+                  if s.Latency.result.Grape.warm_start then
+                    Metrics.incr m "grape.warm_start";
+                  if attempt > 0 then Metrics.incr m "pulse.retry_success");
+              p.pp_done <-
+                Some
+                  {
+                    Ir.jr_duration = s.Latency.duration;
+                    jr_fidelity = s.Latency.fidelity;
+                    jr_pulse = Some s.Latency.result.Grape.pulse;
+                    jr_retries = attempt;
+                    jr_fallback = false;
+                    jr_error = None;
+                  }
+          | Error (Epoc_error.Duration_unreachable _) ->
+              (* duration search exhausted its slot bracket: keep the
+                 legacy degradation — a pessimistic estimate, not a
+                 gate-pulse fallback *)
+              let e = Lazy.force p.pp_estimate in
+              Log.warn (fun m ->
+                  m "GRAPE duration search failed on a %d-qubit block"
+                    hw_block.Hardware.n);
+              record (fun m -> Metrics.incr m "grape.search_failed");
+              p.pp_done <-
+                Some
+                  {
+                    Ir.jr_duration = 2.0 *. e.Latency.est_duration;
+                    jr_fidelity = 0.99;
+                    jr_pulse = None;
+                    jr_retries = attempt;
+                    jr_fallback = false;
+                    jr_error = None;
+                  }
+          | Error
+              ((Epoc_error.Solver_diverged _ | Epoc_error.Deadline_exceeded _)
+               as e) ->
+              record (fun m -> Metrics.incr m ("grape." ^ Epoc_error.label e));
+              if attempt < max_retries then begin
+                record (fun m -> Metrics.incr m "pulse.retries");
+                Log.info (fun m ->
+                    m "%s attempt %d failed (%s), retrying" site attempt
+                      (Epoc_error.label e));
+                p.pp_attempt <- attempt + 1
+              end
+              else p.pp_done <- Some (fallback p e)
+          | Error e ->
+              (* non-retryable (numerical, synthesis): degrade directly *)
+              record (fun m -> Metrics.incr m ("grape." ^ Epoc_error.label e));
+              p.pp_done <- Some (fallback p e))
+        open_
+    end
+  done;
+  List.map
+    (fun p ->
+      let result = Option.get p.pp_done in
+      record (fun m ->
+          Metrics.observe m "pulse.duration_ns" result.Ir.jr_duration);
+      result)
+    states
+
+(* Pulse duration + fidelity (+ control amplitudes, in Grape mode) for
+   one regrouped unitary: a batch of one (see {!compute_pulse_batch}
+   for the Grape-mode resilience policy).  [init] seeds the GRAPE
+   ascent with cached near-neighbor amplitudes (a persistent-store warm
+   start). *)
 let compute_pulse ?metrics ?init ?fault ?(budget = Epoc_budget.unlimited)
     ?(site = "block") ?(seed = 0) (config : Config.t) (hw_block : Hardware.t)
     ~(vug_circuit : Circuit.t) (u : Mat.t) : Ir.job_result =
-  let record f = Option.iter f metrics in
-  let result =
-    match config.Config.qoc_mode with
-    | Config.Estimate ->
-        let e = Latency.estimate ~unitary:u hw_block vug_circuit in
-        record (fun m -> Metrics.incr m "qoc.estimates");
+  match config.Config.qoc_mode with
+  | Config.Estimate ->
+      let record f = Option.iter f metrics in
+      let e = Latency.estimate ~unitary:u hw_block vug_circuit in
+      record (fun m -> Metrics.incr m "qoc.estimates");
+      let result =
         {
           Ir.jr_duration = e.Latency.est_duration;
           jr_fidelity = e.Latency.est_fidelity;
@@ -121,107 +299,15 @@ let compute_pulse ?metrics ?init ?fault ?(budget = Epoc_budget.unlimited)
           jr_fallback = false;
           jr_error = None;
         }
-    | Config.Grape ->
-        let max_retries = max 0 config.Config.max_retries in
-        let base_guess = Latency.guess_slots ~unitary:u hw_block vug_circuit in
-        let limit = hw_block.Hardware.drive_limit in
-        (* jittered restart: perturb the warm start within the drive
-           limit so the ascent leaves the basin that diverged *)
-        let perturb rng amps =
-          Array.map
-            (Array.map (fun v ->
-                 let j = 0.1 *. limit *. (Random.State.float rng 2.0 -. 1.0) in
-                 Float.max (-.limit) (Float.min limit (v +. j))))
-            amps
-        in
-        let estimate = lazy (Latency.estimate ~unitary:u hw_block vug_circuit) in
-        let fallback attempt err =
-          let fb_duration, fb_fidelity = gate_fallback hw_block vug_circuit in
-          let e = Lazy.force estimate in
-          record (fun m ->
-              Metrics.incr m "pulse.fallback";
-              Metrics.observe m "degraded.latency_delta_ns"
-                (fb_duration -. e.Latency.est_duration);
-              Metrics.observe m "degraded.fidelity_delta"
-                (Float.max 0.0 (e.Latency.est_fidelity -. fb_fidelity)));
-          Log.warn (fun m ->
-              m "%s degraded to gate-pulse playback after %d attempt(s): %s"
-                site (attempt + 1) (Epoc_error.to_string err));
-          {
-            Ir.jr_duration = fb_duration;
-            jr_fidelity = fb_fidelity;
-            jr_pulse = None;
-            jr_retries = attempt;
-            jr_fallback = true;
-            jr_error = Some (Epoc_error.to_string err);
-          }
-        in
-        let rec solve attempt =
-          let attempt_budget =
-            Epoc_budget.sub ?seconds:config.Config.block_deadline budget
-          in
-          let rng, init_a, guess =
-            if attempt = 0 then (None, init, base_guess)
-            else
-              let r = Random.State.make [| 41; seed; attempt |] in
-              (Some r, Option.map (perturb r) init, base_guess * (attempt + 1))
-          in
-          match
-            Latency.find_min_duration_r ~options:config.Config.latency
-              ~initial_guess:guess ?init:init_a ?rng ~budget:attempt_budget
-              ?fault ~site ~attempt hw_block u
-          with
-          | Ok s ->
-              record (fun m ->
-                  record_search m s;
-                  if s.Latency.result.Grape.warm_start then
-                    Metrics.incr m "grape.warm_start";
-                  if attempt > 0 then Metrics.incr m "pulse.retry_success");
-              {
-                Ir.jr_duration = s.Latency.duration;
-                jr_fidelity = s.Latency.fidelity;
-                jr_pulse = Some s.Latency.result.Grape.pulse;
-                jr_retries = attempt;
-                jr_fallback = false;
-                jr_error = None;
-              }
-          | Error (Epoc_error.Duration_unreachable _) ->
-              (* duration search exhausted its slot bracket: keep the
-                 legacy degradation — a pessimistic estimate, not a
-                 gate-pulse fallback *)
-              let e = Lazy.force estimate in
-              Log.warn (fun m ->
-                  m "GRAPE duration search failed on a %d-qubit block"
-                    hw_block.Hardware.n);
-              record (fun m -> Metrics.incr m "grape.search_failed");
-              {
-                Ir.jr_duration = 2.0 *. e.Latency.est_duration;
-                jr_fidelity = 0.99;
-                jr_pulse = None;
-                jr_retries = attempt;
-                jr_fallback = false;
-                jr_error = None;
-              }
-          | Error ((Epoc_error.Solver_diverged _ | Epoc_error.Deadline_exceeded _) as e)
-            ->
-              record (fun m -> Metrics.incr m ("grape." ^ Epoc_error.label e));
-              if attempt < max_retries then begin
-                record (fun m -> Metrics.incr m "pulse.retries");
-                Log.info (fun m ->
-                    m "%s attempt %d failed (%s), retrying" site attempt
-                      (Epoc_error.label e));
-                solve (attempt + 1)
-              end
-              else fallback attempt e
-          | Error e ->
-              (* non-retryable (numerical, synthesis): degrade directly *)
-              record (fun m -> Metrics.incr m ("grape." ^ Epoc_error.label e));
-              fallback attempt e
-        in
-        solve 0
-  in
-  record (fun m -> Metrics.observe m "pulse.duration_ns" result.Ir.jr_duration);
-  result
+      in
+      record (fun m ->
+          Metrics.observe m "pulse.duration_ns" result.Ir.jr_duration);
+      result
+  | Config.Grape ->
+      List.hd
+        (compute_pulse_batch ?metrics ?fault ~budget config hw_block
+           [ { pr_u = u; pr_vug = vug_circuit; pr_init = init;
+               pr_site = site; pr_seed = seed } ])
 
 (* Two pulse instructions commute when every pair of their constituent
    gates sharing a qubit commutes syntactically (conservative). *)
@@ -374,19 +460,64 @@ let resolve_pulses ?metrics ?cache ?fault ?(budget = Epoc_budget.unlimited)
   let reps = List.rev !reps in
   (* warm the hardware memo before fanning out: phase 2 only reads it *)
   List.iter (fun (j : Ir.pulse_job) -> ignore (hardware j.Ir.jk)) reps;
-  let computed =
-    Pool.map pool
-      (fun (j : Ir.pulse_job) ->
-        (* telemetry recording is commutative (counters + histogram
-           observations), so sharing the registry across workers keeps
-           the determinism contract *)
-        compute_pulse ?metrics ?init:j.Ir.jinit ?fault ~budget
-          ~site:(Printf.sprintf "block%d" j.Ir.jid)
-          ~seed:j.Ir.jid config (hardware j.Ir.jk) ~vug_circuit:j.Ir.jlocal
-          j.Ir.ju)
-      reps
-  in
-  List.iter2 (fun (j : Ir.pulse_job) v -> j.Ir.computed <- Some v) reps computed;
+  (match config.Config.qoc_mode with
+  | Config.Grape ->
+      (* group the representatives by block width (equal widths share a
+         Hilbert-space dimension) in first-occurrence order, and resolve
+         each group as one batched computation: every retry round runs
+         one lockstep GRAPE batch over the group, chunked across [pool]
+         inside the solver.  Grouping and batching are value-transparent
+         (each job's solve is bit-identical to a solo run), so results
+         and telemetry match the per-job fan-out this replaces. *)
+      let order = ref [] in
+      let by_width : (int, Ir.pulse_job list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      List.iter
+        (fun (j : Ir.pulse_job) ->
+          match Hashtbl.find_opt by_width j.Ir.jk with
+          | Some l -> l := j :: !l
+          | None ->
+              Hashtbl.add by_width j.Ir.jk (ref [ j ]);
+              order := j.Ir.jk :: !order)
+        reps;
+      List.iter
+        (fun k ->
+          let group = List.rev !(Hashtbl.find by_width k) in
+          let results =
+            compute_pulse_batch ?metrics ?fault ~budget ~pool config
+              (hardware k)
+              (List.map
+                 (fun (j : Ir.pulse_job) ->
+                   {
+                     pr_u = j.Ir.ju;
+                     pr_vug = j.Ir.jlocal;
+                     pr_init = j.Ir.jinit;
+                     pr_site = Printf.sprintf "block%d" j.Ir.jid;
+                     pr_seed = j.Ir.jid;
+                   })
+                 group)
+          in
+          List.iter2
+            (fun (j : Ir.pulse_job) v -> j.Ir.computed <- Some v)
+            group results)
+        (List.rev !order)
+  | Config.Estimate ->
+      let computed =
+        Pool.map pool
+          (fun (j : Ir.pulse_job) ->
+            (* telemetry recording is commutative (counters + histogram
+               observations), so sharing the registry across workers
+               keeps the determinism contract *)
+            compute_pulse ?metrics ?init:j.Ir.jinit ?fault ~budget
+              ~site:(Printf.sprintf "block%d" j.Ir.jid)
+              ~seed:j.Ir.jid config (hardware j.Ir.jk)
+              ~vug_circuit:j.Ir.jlocal j.Ir.ju)
+          reps
+      in
+      List.iter2
+        (fun (j : Ir.pulse_job) v -> j.Ir.computed <- Some v)
+        reps computed);
   List.iter
     (fun (j : Ir.pulse_job) ->
       if j.Ir.resolved = None then

@@ -1,0 +1,25 @@
+(** Hermitian eigendecomposition by the classical complex Jacobi method.
+
+    Robust for the small (at most 2^4 x 2^4) matrices this repository
+    optimizes over; serves as the independent reference for {!Expm} in
+    the test suite.
+
+    Error contract: raises [Invalid_argument] on non-square input,
+    never a recoverable runtime condition. *)
+
+type decomposition = {
+  eigenvalues : float array;  (** real; ascending order not guaranteed *)
+  eigenvectors : Mat.t;  (** columns: H = V diag(eigenvalues) V^dag *)
+}
+
+val hermitian : ?eps:float -> ?max_sweeps:int -> Mat.t -> decomposition
+(** Decompose a Hermitian matrix; iterates Jacobi sweeps until the
+    off-diagonal Frobenius mass falls below [eps] (default 1e-24) or
+    [max_sweeps] (default 100) is reached. *)
+
+val apply_function : decomposition -> (float -> Cx.t) -> Mat.t
+(** [apply_function d f] reconstructs [V diag(f l) V^dag]. *)
+
+val expi_hermitian : Mat.t -> float -> Mat.t
+(** [expi_hermitian h t] is [exp(-i * t * h)] via diagonalization; the
+    reference implementation for {!Expm.expi_hermitian}. *)

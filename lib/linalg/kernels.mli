@@ -1,0 +1,79 @@
+(** Raw offset-based kernels over interleaved (re, im) float arrays.
+
+    This is the single implementation point for the dense complex
+    arithmetic in this library: {!Mat}'s destination-passing ops,
+    {!Expm}'s Taylor core and {!Batch}'s multi-matrix ops all call these
+    kernels on their flat storage.  Because a batched op on matrix slice
+    [i] runs the exact floating-point operation sequence of the
+    single-matrix op, batched and unbatched GRAPE solves are bit-identical
+    by construction.
+
+    Unsafe layer: these functions perform {e no} bounds or shape checks —
+    callers ([Mat], [Batch], [Expm]) validate and raise
+    [Invalid_argument] before descending here.  A matrix of [r] rows and
+    [c] cols occupies [2 * r * c] consecutive floats at its offset,
+    row-major, (re, im) interleaved. *)
+
+(** [mul ~m ~n ~p a aoff b boff dst doff] writes the [m x n] times
+    [n x p] product into [dst] at [doff].  [dst] must not overlap either
+    input range. *)
+val mul :
+  m:int ->
+  n:int ->
+  p:int ->
+  float array ->
+  int ->
+  float array ->
+  int ->
+  float array ->
+  int ->
+  unit
+
+(** [trace_mul ~d a aoff b boff out oidx] writes tr(A·B) for square
+    [d x d] operands into [out.(oidx)] (re), [out.(oidx + 1)] (im)
+    without materializing the product or allocating a [Complex.t]. *)
+val trace_mul :
+  d:int ->
+  float array ->
+  int ->
+  float array ->
+  int ->
+  float array ->
+  int ->
+  unit
+
+(** [trace ~d a aoff out oidx] writes tr(A) into [out.(oidx)],
+    [out.(oidx + 1)]. *)
+val trace : d:int -> float array -> int -> float array -> int -> unit
+
+(** Frobenius norm of [len] complex entries starting at the offset. *)
+val frobenius : len:int -> float array -> int -> float
+
+(** [axpy_re ~len s src soff dst doff]: dst += s·src over [len] complex
+    entries, real scalar [s].  Full aliasing allowed. *)
+val axpy_re : len:int -> float -> float array -> int -> float array -> int -> unit
+
+(** [axpy_re_at ~len ss si src soff dst doff]: as {!axpy_re} with the
+    scalar read from [ss.(si)].  Hot-loop variant: without flambda every
+    float argument of a non-inlined call is boxed, so per-call scalars
+    travel through unboxed float-array slots instead. *)
+val axpy_re_at :
+  len:int -> float array -> int -> float array -> int -> float array -> int -> unit
+
+(** [scale_re ~len s src soff dst doff]: dst <- s·src over [len] complex
+    entries, real scalar [s].  Full aliasing allowed. *)
+val scale_re : len:int -> float -> float array -> int -> float array -> int -> unit
+
+(** Write the [d x d] identity at the offset. *)
+val set_identity : d:int -> float array -> int -> unit
+
+(** [expi2 h hoff t dst doff] writes exp(-i·t·H) for a Hermitian 2x2 [H]
+    in closed form (Pauli decomposition; exact up to rounding).  Only the
+    Hermitian part of the input is read: the real diagonal and [H01].
+    [dst] may alias [h]. *)
+val expi2 : float array -> int -> float -> float array -> int -> unit
+
+(** [expi2_at h hoff ts ti dst doff]: as {!expi2} with the time step read
+    from [ts.(ti)] (same no-float-args rationale as {!axpy_re_at}). *)
+val expi2_at :
+  float array -> int -> float array -> int -> float array -> int -> unit

@@ -29,6 +29,11 @@ type t = { rows : int; cols : int; data : float array }
 let rows m = m.rows
 let cols m = m.cols
 
+(* Raw storage view; see the .mli for the (re, im) interleaving contract.
+   [Batch] and [Expm] use it to run fused [Kernels] ops across [Mat] and
+   batch-slice operands without copies. *)
+let data m = m.data
+
 let create rows cols =
   if rows <= 0 || cols <= 0 then invalid_arg "Mat.create: non-positive dims";
   { rows; cols; data = Array.make (2 * rows * cols) 0.0 }
@@ -170,23 +175,7 @@ let mul_into a b ~dst =
     invalid_arg "Mat.mul_into: bad destination dims";
   if dst.data == a.data || dst.data == b.data then
     invalid_arg "Mat.mul_into: dst aliases an input";
-  fill_zero dst;
-  let n = a.cols and bc = b.cols in
-  for r = 0 to a.rows - 1 do
-    let abase = 2 * r * n and obase = 2 * r * bc in
-    for k = 0 to n - 1 do
-      let are = a.data.(abase + (2 * k)) and aim = a.data.(abase + (2 * k) + 1) in
-      if are <> 0.0 || aim <> 0.0 then begin
-        let bbase = 2 * k * bc in
-        for c = 0 to bc - 1 do
-          let bre = b.data.(bbase + (2 * c)) and bim = b.data.(bbase + (2 * c) + 1) in
-          let oi = obase + (2 * c) in
-          dst.data.(oi) <- dst.data.(oi) +. ((are *. bre) -. (aim *. bim));
-          dst.data.(oi + 1) <- dst.data.(oi + 1) +. ((are *. bim) +. (aim *. bre))
-        done
-      end
-    done
-  done
+  Kernels.mul ~m:a.rows ~n:a.cols ~p:b.cols a.data 0 b.data 0 dst.data 0
 
 (* dst <- conjugate transpose of m; dst must not alias m (checked). *)
 let adjoint_into m ~dst =
@@ -352,19 +341,9 @@ let trace m =
 let trace_mul a b =
   if a.rows <> a.cols || not (dims_equal a b) then
     invalid_arg "Mat.trace_mul: need equal square dims";
-  let d = a.rows in
-  let racc = ref 0.0 and iacc = ref 0.0 in
-  for r = 0 to d - 1 do
-    let abase = 2 * r * d in
-    for c = 0 to d - 1 do
-      let are = a.data.(abase + (2 * c)) and aim = a.data.(abase + (2 * c) + 1) in
-      let bi = 2 * ((c * d) + r) in
-      let bre = b.data.(bi) and bim = b.data.(bi + 1) in
-      racc := !racc +. ((are *. bre) -. (aim *. bim));
-      iacc := !iacc +. ((are *. bim) +. (aim *. bre))
-    done
-  done;
-  { Complex.re = !racc; im = !iacc }
+  let out = [| 0.0; 0.0 |] in
+  Kernels.trace_mul ~d:a.rows a.data 0 b.data 0 out 0;
+  { Complex.re = out.(0); im = out.(1) }
 
 (* One-norm (max column sum); used by [Expm] to pick the scaling power. *)
 let one_norm m =

@@ -9,7 +9,16 @@
     and maps divergence (non-finite fidelity), expired
     {!Epoc_budget.t} deadlines and injected {!Epoc_fault} faults to
     typed {!Epoc_error.t} values.  {!optimize} is the legacy wrapper
-    that lets {!Epoc_error.Error} escape as an exception. *)
+    that lets {!Epoc_error.Error} escape as an exception.
+
+    {!optimize_batch} advances many independent equal-dimension solves
+    in lockstep over one contiguous {!Epoc_linalg.Batch} per time
+    slice, and routes large solves (see {!segments}) to a
+    checkpoint-parallel core that splits the slot chain over a
+    {!Epoc_parallel.Pool}.  Both paths are bit-identical to the
+    single-job solver for any pool size: a job's result depends only on
+    the job, never on which batch it rides in or how many domains run
+    it. *)
 
 open Epoc_linalg
 
@@ -76,6 +85,55 @@ val propagate : Hardware.t -> pulse -> Mat.t
 (** [fidelity_of target u]: global-phase-invariant gate fidelity. *)
 val fidelity_of : Mat.t -> Mat.t -> float
 
+(** {1 Batched solving} *)
+
+(** One solve request for {!optimize_batch}: the same inputs
+    {!optimize} takes, packaged as a value. *)
+type batch_job
+
+(** [batch_job hw ~target ~slots] with the same optional arguments (and
+    defaults) as {!optimize}. *)
+val batch_job :
+  ?options:options ->
+  ?rng:Random.State.t ->
+  ?budget:Epoc_budget.t ->
+  ?fault:Epoc_fault.spec ->
+  ?site:string ->
+  ?attempt:int ->
+  Hardware.t ->
+  target:Mat.t ->
+  slots:int ->
+  batch_job
+
+(** Reusable matrix scratch for batched solves.  Buffers grow on demand
+    and are kept across calls, so threading one workspace through a
+    whole duration search (many attempts at varying slot counts) makes
+    the solver inner loop allocation-free. *)
+type workspace
+
+val workspace : unit -> workspace
+
+(** Number of checkpoint segments a [(dim, slots)] solve would split
+    into; [1] means it takes the lockstep core.  A pure function of its
+    arguments — never of pool size — so the floating-point reduction
+    order is pinned for any [EPOC_JOBS].  Exposed for tests. *)
+val segments : dim:int -> slots:int -> int
+
+(** Solve every job, batching equal-sized work into contiguous
+    multi-matrix kernel calls and fanning both batch chunks and
+    intra-solve segment sweeps out over [pool] (omitted = sequential).
+    Results are positionally parallel to [jobs]; each is exactly what
+    {!optimize_r} would have returned for that job alone — per-job
+    errors land in their slot instead of aborting the batch.
+
+    @raise Invalid_argument on mixed dimensions across jobs, a
+    target/hardware dimension mismatch, or [slots < 1]. *)
+val optimize_batch :
+  ?pool:Epoc_parallel.Pool.t ->
+  ?workspace:workspace ->
+  batch_job array ->
+  (result, Epoc_error.t) Result.t array
+
 (** Result-returning optimization — the supported API.
 
     [budget] is checked every iteration and yields
@@ -86,6 +144,9 @@ val fidelity_of : Mat.t -> Mat.t -> float
     retry attempt the caller is on, part of the deterministic fault
     derivation.
 
+    [pool] and [workspace] tune execution only (see
+    {!optimize_batch}); they never change the result.
+
     @raise Invalid_argument on dimension mismatch or [slots < 1]. *)
 val optimize_r :
   ?options:options ->
@@ -94,6 +155,8 @@ val optimize_r :
   ?fault:Epoc_fault.spec ->
   ?site:string ->
   ?attempt:int ->
+  ?pool:Epoc_parallel.Pool.t ->
+  ?workspace:workspace ->
   Hardware.t ->
   target:Mat.t ->
   slots:int ->
@@ -112,7 +175,10 @@ val optimize :
   ?fault:Epoc_fault.spec ->
   ?site:string ->
   ?attempt:int ->
+  ?pool:Epoc_parallel.Pool.t ->
+  ?workspace:workspace ->
   Hardware.t ->
   target:Mat.t ->
   slots:int ->
   result
+

@@ -37,10 +37,47 @@ type options = {
 
 val default_options : options
 
-(** Result-returning duration search — the supported API.  [init]
-    warm-starts every GRAPE attempt from cached amplitudes;
-    [budget]/[fault]/[site]/[attempt] are threaded into each attempt
-    (see {!Grape.optimize_r}). *)
+(** {1 Batched search}
+
+    Many duration searches advance together: each round takes exactly
+    one GRAPE attempt per still-searching job and all of a round's
+    attempts run as one {!Grape.optimize_batch} call, so equal-sized
+    solves share contiguous batched kernels.  Each job's attempt
+    sequence is exactly the solo search's — results are bit-identical
+    to running the searches one by one. *)
+
+(** One duration-search request: the same inputs
+    {!find_min_duration_r} takes, packaged as a value. *)
+type search_job
+
+val search_job :
+  ?options:options ->
+  ?initial_guess:int ->
+  ?init:float array array ->
+  ?rng:Random.State.t ->
+  ?budget:Epoc_budget.t ->
+  ?fault:Epoc_fault.spec ->
+  ?site:string ->
+  ?attempt:int ->
+  Hardware.t ->
+  Mat.t ->
+  search_job
+
+(** Run every search to completion.  Results are positionally parallel
+    to the input; per-job failures land in their slot.  All jobs must
+    share a Hilbert-space dimension (callers group by hardware; mixed
+    dimensions raise [Invalid_argument]).  [pool] and [workspace] are
+    execution-only knobs threaded into every batched solve. *)
+val find_min_duration_batch :
+  ?pool:Epoc_parallel.Pool.t ->
+  ?workspace:Grape.workspace ->
+  search_job array ->
+  (search_result, Epoc_error.t) Result.t array
+
+(** Result-returning duration search — the supported API; a batch of
+    one.  [init] warm-starts every GRAPE attempt from cached
+    amplitudes; [budget]/[fault]/[site]/[attempt] are threaded into
+    each attempt (see {!Grape.optimize_r}). *)
 val find_min_duration_r :
   ?options:options ->
   ?initial_guess:int ->
@@ -50,6 +87,8 @@ val find_min_duration_r :
   ?fault:Epoc_fault.spec ->
   ?site:string ->
   ?attempt:int ->
+  ?pool:Epoc_parallel.Pool.t ->
+  ?workspace:Grape.workspace ->
   Hardware.t ->
   Mat.t ->
   (search_result, Epoc_error.t) Result.t
@@ -67,6 +106,8 @@ val find_min_duration :
   ?fault:Epoc_fault.spec ->
   ?site:string ->
   ?attempt:int ->
+  ?pool:Epoc_parallel.Pool.t ->
+  ?workspace:Grape.workspace ->
   Hardware.t ->
   Mat.t ->
   search_result option

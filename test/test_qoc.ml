@@ -99,6 +99,110 @@ let test_grape_too_short_fails () =
     true
     (r.Grape.fidelity < 0.99)
 
+(* --- batched grape -------------------------------------------------------- *)
+
+(* The batching contract is exact: a job's result must be bit-identical
+   to what the single-job solver returns — same amplitudes, fidelity,
+   propagator, convergence series — regardless of batch composition or
+   pool size.  Compare with structural [=] on floats, never an eps. *)
+
+let check_result_exact what (a : Grape.result) (b : Grape.result) =
+  Alcotest.(check (float 0.0))
+    (what ^ ": fidelity") a.Grape.fidelity b.Grape.fidelity;
+  Alcotest.(check int) (what ^ ": iterations") a.Grape.iterations
+    b.Grape.iterations;
+  Alcotest.(check string)
+    (what ^ ": stop")
+    (Grape.stop_reason_name a.Grape.stop)
+    (Grape.stop_reason_name b.Grape.stop);
+  Alcotest.(check bool)
+    (what ^ ": amplitudes bit-identical")
+    true
+    (a.Grape.pulse.Grape.amplitudes = b.Grape.pulse.Grape.amplitudes);
+  Alcotest.(check bool)
+    (what ^ ": achieved bit-identical")
+    true
+    (Mat.data a.Grape.achieved = Mat.data b.Grape.achieved);
+  Alcotest.(check bool)
+    (what ^ ": series bit-identical")
+    true
+    (a.Grape.series = b.Grape.series)
+
+let batch_ok what = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s: unexpected error %s" what (Epoc_error.to_string e)
+
+let test_grape_batch_matches_solo () =
+  (* mixed targets, ragged slot counts, one warm-started job, all in one
+     batch sharing a workspace: each slot must reproduce the standalone
+     solve exactly *)
+  let hw = Hardware.make 1 in
+  let opts = { Grape.default_options with Grape.iterations = 40 } in
+  let warm =
+    {
+      opts with
+      Grape.init =
+        Some
+          (Grape.optimize ~options:opts
+             ~rng:(Random.State.make [| 11 |])
+             hw ~target:(Gate.matrix Gate.H) ~slots:20)
+            .Grape.pulse.Grape.amplitudes;
+    }
+  in
+  let specs =
+    [|
+      (Gate.matrix Gate.X, 24, opts);
+      (Gate.matrix Gate.H, 20, warm);
+      (Gate.matrix Gate.Y, 16, opts);
+    |]
+  in
+  let rng i = Random.State.make [| 7; i |] in
+  let solo =
+    Array.mapi
+      (fun i (target, slots, options) ->
+        Grape.optimize ~options ~rng:(rng i) hw ~target ~slots)
+      specs
+  in
+  let jobs =
+    Array.mapi
+      (fun i (target, slots, options) ->
+        Grape.batch_job ~options ~rng:(rng i) hw ~target ~slots)
+      specs
+  in
+  let batched = Grape.optimize_batch ~workspace:(Grape.workspace ()) jobs in
+  Array.iteri
+    (fun i r ->
+      check_result_exact (Printf.sprintf "job %d" i) solo.(i)
+        (batch_ok (Printf.sprintf "job %d" i) r))
+    batched
+
+let test_grape_checkpoint_pool_invariance () =
+  (* a 3-qubit, 256-slot solve is large enough to take the
+     checkpoint-parallel core; its result must not depend on how many
+     domains sweep the segments *)
+  Alcotest.(check bool)
+    "solve splits into checkpoint segments" true
+    (Grape.segments ~dim:8 ~slots:256 > 1);
+  let hw = Hardware.make 3 in
+  let target =
+    Mat.kron (Gate.matrix Gate.H) (Mat.kron (Gate.matrix Gate.X) (Gate.matrix Gate.H))
+  in
+  let opts = { Grape.default_options with Grape.iterations = 3 } in
+  let solve ?pool () =
+    match
+      Grape.optimize_r ~options:opts
+        ~rng:(Random.State.make [| 13 |])
+        ?pool hw ~target ~slots:256
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "solve failed: %s" (Epoc_error.to_string e)
+  in
+  let solo = solve () in
+  let one = solve ~pool:(Epoc_parallel.Pool.create ~domains:1 ()) () in
+  let four = solve ~pool:(Epoc_parallel.Pool.create ~domains:4 ()) () in
+  check_result_exact "domains=1 vs no pool" solo one;
+  check_result_exact "domains=4 vs no pool" solo four
+
 (* --- latency --------------------------------------------------------------- *)
 
 let test_latency_x_speed_limit () =
@@ -305,6 +409,10 @@ let () =
             test_grape_respects_amplitude_limit;
           Alcotest.test_case "propagator unitary" `Slow test_grape_propagate_unitary;
           Alcotest.test_case "too short fails" `Quick test_grape_too_short_fails;
+          Alcotest.test_case "batch matches solo bit-for-bit" `Quick
+            test_grape_batch_matches_solo;
+          Alcotest.test_case "checkpoint pool invariance" `Quick
+            test_grape_checkpoint_pool_invariance;
         ] );
       ( "latency",
         [

@@ -1,11 +1,15 @@
 (* bench_compare — regression gate over two BENCH_pipeline.json files.
 
    Usage:
-     bench_compare [--threshold PCT] [--min-ms MS] BASELINE.json CANDIDATE.json
+     bench_compare [--threshold PCT] [--min-ms MS] [--grape-only]
+       BASELINE.json CANDIDATE.json
 
    Compares per-benchmark compile time, per-stage wall clock and the
    GRAPE micro-benchmark throughput of a candidate run against a
-   committed baseline.  A measurement regresses when it is more than
+   committed baseline.  [--grape-only] restricts the gate to the GRAPE
+   micro-benchmark (solo and batched throughput): that number is stable
+   enough on shared CI runners to be a hard gate, where full pipeline
+   wall-clock comparison stays a soft signal.  A measurement regresses when it is more than
    [threshold] percent slower (default 20%) AND the absolute slowdown
    exceeds [min-ms] milliseconds (default 2 ms) — the floor keeps
    micro-second stages, which are pure timer noise, out of the gate.
@@ -19,8 +23,8 @@ module J = Epoc_obs.Json
 
 let usage () =
   prerr_endline
-    "usage: bench_compare [--threshold PCT] [--min-ms MS] BASELINE.json \
-     CANDIDATE.json";
+    "usage: bench_compare [--threshold PCT] [--min-ms MS] [--grape-only] \
+     BASELINE.json CANDIDATE.json";
   exit 2
 
 let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
@@ -155,28 +159,42 @@ let compare_benchmark gate base cand =
   | _ -> ())
 
 (* GRAPE throughput: higher is better, so the check is inverted and has
-   no absolute floor (the micro-benchmark always runs long enough). *)
-let compare_grape gate base cand =
+   no absolute floor (the micro-benchmark always runs long enough).
+   [batch_iters_per_s] (lockstep batched solves) is gated the same way
+   when both files carry it; a baseline predating the batched solver
+   skips that check rather than failing. *)
+let compare_grape_field gate ~what ~field base cand =
   match
-    ( Option.bind (J.member "grape_micro" base) (num_field "iters_per_s"),
-      Option.bind (J.member "grape_micro" cand) (num_field "iters_per_s") )
+    ( Option.bind (J.member "grape_micro" base) (num_field field),
+      Option.bind (J.member "grape_micro" cand) (num_field field) )
   with
   | Some b, Some c when b > 0.0 ->
       let drop = 100.0 *. (b -. c) /. b in
       if drop > gate.threshold then begin
-        Printf.printf
-          "REGRESSION %-40s %10.1f -> %10.1f iters/s (-%.1f%%)\n" "grape_micro"
-          b c drop;
+        Printf.printf "REGRESSION %-40s %10.1f -> %10.1f iters/s (-%.1f%%)\n"
+          what b c drop;
         gate.regressions <- gate.regressions + 1
       end
+      else if drop < -.gate.threshold then
+        Printf.printf "improved   %-40s %10.1f -> %10.1f iters/s (+%.1f%%)\n"
+          what b c (-.drop)
   | _ -> ()
+
+let compare_grape gate base cand =
+  compare_grape_field gate ~what:"grape_micro" ~field:"iters_per_s" base cand;
+  compare_grape_field gate ~what:"grape_micro/batch"
+    ~field:"batch_iters_per_s" base cand
 
 let () =
   let threshold = ref 20.0 in
   let min_ms = ref 2.0 in
+  let grape_only = ref false in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
+    | "--grape-only" :: rest ->
+        grape_only := true;
+        parse_args rest
     | "--threshold" :: v :: rest -> (
         match float_of_string_opt v with
         | Some t when t > 0.0 ->
@@ -209,18 +227,21 @@ let () =
           warnings = 0;
         }
       in
-      let cand_benches =
-        List.map (fun b -> (bench_name b, b)) (benchmarks candidate)
-      in
-      List.iter
-        (fun base ->
-          match List.assoc_opt (bench_name base) cand_benches with
-          | Some cand -> compare_benchmark gate base cand
-          | None ->
-              Printf.printf "warning    benchmark %s missing from candidate\n"
-                (bench_name base);
-              gate.warnings <- gate.warnings + 1)
-        (benchmarks baseline);
+      if not !grape_only then begin
+        let cand_benches =
+          List.map (fun b -> (bench_name b, b)) (benchmarks candidate)
+        in
+        List.iter
+          (fun base ->
+            match List.assoc_opt (bench_name base) cand_benches with
+            | Some cand -> compare_benchmark gate base cand
+            | None ->
+                Printf.printf
+                  "warning    benchmark %s missing from candidate\n"
+                  (bench_name base);
+                gate.warnings <- gate.warnings + 1)
+          (benchmarks baseline)
+      end;
       compare_grape gate baseline candidate;
       Printf.printf
         "bench_compare: %d regression%s, %d warning%s (threshold %.0f%%, \
