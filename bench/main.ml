@@ -26,8 +26,11 @@ module Pool = Epoc_parallel.Pool
 let suite = Epoc_benchmarks.Benchmarks.suite ()
 
 (* one pool for the whole harness: sweep-level fan-out and the pipeline's
-   internal stages share the same domain budget *)
-let pool = Pool.create ()
+   internal stages share the same domain budget.  The harness owns its
+   own infrastructure registry (pool traffic, solver throughput) now
+   that there is no process-global one. *)
+let bench_metrics = Epoc_obs.Metrics.create ()
+let pool = Pool.create ~metrics:bench_metrics ()
 
 let line = String.make 78 '-'
 
@@ -462,7 +465,7 @@ let bench_json () =
   let grape_s = Unix.gettimeofday () -. g0 in
   let batch_width = 20 in
   let batch_reps = 5 in
-  let ws = Epoc_qoc.Grape.workspace () in
+  let ws = Epoc_qoc.Grape.workspace ~metrics:bench_metrics () in
   (* one untimed batch first: the initial call allocates the workspace
      buffers, which would otherwise be billed to the first timed rep *)
   ignore
@@ -538,8 +541,7 @@ let bench_json () =
        batch_reps batch_width !batch_iters batch_s
        (float_of_int !batch_iters /. batch_s)
        (Option.value ~default:0.0
-          (Epoc_obs.Metrics.gauge_value Epoc_obs.Metrics.global
-             "grape.iters_per_s")));
+          (Epoc_obs.Metrics.gauge_value bench_metrics "grape.iters_per_s")));
   Buffer.add_string b (Printf.sprintf "  \"total_wall_s\": %.6f\n}\n" total_s);
   let oc = open_out json_file in
   output_string oc (Buffer.contents b);

@@ -186,12 +186,15 @@ let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir ~deadline
     fault;
   }
 
-let run_flow_named flow ~config ~trace ~metrics ~name circuit =
+let run_flow_named flow ~engine ~config ~trace ~metrics ~name circuit =
   match flow with
-  | "epoc" -> Epoc.Pipeline.run ~config ~trace ~metrics ~name circuit
-  | "paqoc" -> Epoc.Baselines.paqoc_like ~config ~trace ~metrics ~name circuit
-  | "accqoc" -> Epoc.Baselines.accqoc_like ~config ~trace ~metrics ~name circuit
-  | "gate" -> Epoc.Baselines.gate_based ~config ~trace ~metrics ~name circuit
+  | "epoc" -> Epoc.Pipeline.run ~config ~engine ~trace ~metrics ~name circuit
+  | "paqoc" ->
+      Epoc.Baselines.paqoc_like ~config ~engine ~trace ~metrics ~name circuit
+  | "accqoc" ->
+      Epoc.Baselines.accqoc_like ~config ~engine ~trace ~metrics ~name circuit
+  | "gate" ->
+      Epoc.Baselines.gate_based ~config ~engine ~trace ~metrics ~name circuit
   | other ->
       Printf.eprintf "unknown flow %S\n" other;
       exit 1
@@ -243,8 +246,10 @@ let compile_cmd =
         in
         let sink = T.create ~gc () in
         let metrics = M.create () in
+        let engine = Epoc.Engine.create ~config () in
         let result =
-          run_flow_named flow ~config ~trace:sink ~metrics ~name:spec circuit
+          run_flow_named flow ~engine ~config ~trace:sink ~metrics ~name:spec
+            circuit
         in
         (match chrome with
         | None -> ()
@@ -295,7 +300,7 @@ let agg_row_json (r : T.agg_row) =
    parsing. *)
 let report_schema_version = 1
 
-let report_json (r : Epoc.Pipeline.result) metrics =
+let report_json (r : Epoc.Pipeline.result) metrics ~process =
   J.Obj
     [
       ("schema_version", J.of_int report_schema_version);
@@ -309,7 +314,7 @@ let report_json (r : Epoc.Pipeline.result) metrics =
       ( "stages",
         J.Arr (List.map agg_row_json (T.aggregate r.Epoc.Pipeline.trace)) );
       ("metrics", M.to_json metrics);
-      ("process", M.to_json M.global);
+      ("process", M.to_json process);
     ]
 
 let pp_hist_row name (h : M.hist_snapshot) =
@@ -318,7 +323,7 @@ let pp_hist_row name (h : M.hist_snapshot) =
     (if h.M.count = 0 then 0.0 else h.M.vmin)
     (if h.M.count = 0 then 0.0 else h.M.vmax)
 
-let report_text (r : Epoc.Pipeline.result) metrics =
+let report_text (r : Epoc.Pipeline.result) metrics ~process =
   report r false;
   (* stage table: aggregated wall clock and GC per pass *)
   Printf.printf "\nstages (aggregated over candidates):\n";
@@ -359,7 +364,7 @@ let report_text (r : Epoc.Pipeline.result) metrics =
     (M.hist_value metrics "grape.batch_size");
   Option.iter
     (fun v -> Printf.printf "  GRAPE throughput: %.0f iters/s (batched)\n" v)
-    (M.gauge_value M.global "grape.iters_per_s");
+    (M.gauge_value process "grape.iters_per_s");
   Printf.printf
     "  QSearch: %d blocks, %d synthesized, %d prunes, open-set high water %s\n"
     (M.counter_value metrics "synth.blocks")
@@ -389,7 +394,7 @@ let report_text (r : Epoc.Pipeline.result) metrics =
     end
   in
   dump "metrics (per run)" metrics;
-  dump "metrics (process)" M.global
+  dump "metrics (engine)" process
 
 let report_cmd =
   let run spec flow grape no_zx no_synth no_regroup width cache_dir deadline
@@ -409,8 +414,11 @@ let report_cmd =
         in
         let sink = T.create ~gc:true () in
         let metrics = M.create () in
+        let engine = Epoc.Engine.create ~config () in
+        let process = Epoc.Engine.metrics engine in
         let result =
-          run_flow_named flow ~config ~trace:sink ~metrics ~name:spec circuit
+          run_flow_named flow ~engine ~config ~trace:sink ~metrics ~name:spec
+            circuit
         in
         (match chrome with
         | None -> ()
@@ -418,8 +426,9 @@ let report_cmd =
             write_file file (T.to_chrome_json result.Epoc.Pipeline.trace);
             Printf.eprintf "wrote chrome trace to %s\n" file);
         if json then
-          print_endline (J.to_string ~indent:true (report_json result metrics))
-        else report_text result metrics;
+          print_endline
+            (J.to_string ~indent:true (report_json result metrics ~process))
+        else report_text result metrics ~process;
         exit_status ~strict result
   in
   let json_flag =
@@ -437,6 +446,42 @@ let report_cmd =
        ~doc:
          "Compile once and report stage timings with GC deltas, solver \
           convergence telemetry and the metrics registry.")
+    term
+
+(* --- epoc serve ----------------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix socket path to listen on (JSONL job protocol)." in
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let workers_arg =
+  let doc = "Concurrent compile jobs (worker threads over one engine)." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+
+let serve_cmd =
+  let run socket workers grape no_zx no_synth no_regroup width cache_dir
+      deadline block_deadline retries fault verbosity =
+    setup_logs verbosity;
+    let config =
+      config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
+        ~deadline ~block_deadline ~retries ~fault
+    in
+    Epoc_serve.Server.run { Epoc_serve.Server.socket; workers; config }
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ workers_arg $ grape_arg $ no_zx $ no_synthesis
+      $ no_regroup $ partition_width $ cache_arg $ deadline_arg
+      $ block_deadline_arg $ retries_arg $ fault_arg $ verbose)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile daemon: one long-lived engine serving \
+          concurrent JSONL compile requests over a Unix socket \
+          (priority-ordered admission, per-request deadlines, graceful \
+          drain on SIGTERM).")
     term
 
 let list_cmd =
@@ -484,4 +529,7 @@ let () =
     Cmd.info "epoc" ~version:"1.0.0"
       ~doc:"EPOC: efficient pulse generation with advanced synthesis"
   in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; report_cmd; list_cmd; zx_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ compile_cmd; report_cmd; serve_cmd; list_cmd; zx_cmd ]))

@@ -1,0 +1,136 @@
+(* The compilation engine: one long-lived value owning every piece of
+   state that should stay hot across compile requests —
+
+     - the domain pool (and its traffic counters),
+     - the persistent pulse store (opened once, shared by all requests),
+     - the shared pulse library,
+     - the hardware-model memo (replacing the old process-wide
+       [Hardware.shared] table),
+     - the engine metrics registry (pool traffic, solver throughput —
+       replacing the old [Metrics.global]).
+
+   Everything per-run — config, trace sink, per-run metrics registry,
+   compute budget, fault spec, the session library handle — lives in a
+   [session] created from the engine.  The compile path reads shared
+   state only through its session's engine, so there is zero
+   process-global mutation: two engines in one process are fully
+   isolated, and many concurrent sessions on one engine share hot state
+   safely (every engine-owned structure is internally synchronized —
+   see each module's header).
+
+   One-shot entry points ([Pipeline.run] without [?engine]) build an
+   ephemeral engine per call, which reproduces the old per-process
+   behaviour exactly; the [epoc serve] daemon keeps one engine for its
+   whole lifetime, which is the point. *)
+
+open Epoc_parallel
+open Epoc_pulse
+open Epoc_qoc
+module Metrics = Epoc_obs.Metrics
+module Store = Epoc_cache.Store
+
+type t = {
+  pool : Pool.t;
+  library : Library.t; (* shared across sessions; thread-safe *)
+  cache : Store.t option; (* persistent pulse store, opened once *)
+  hardware : Hardware.Memo.memo;
+  metrics : Metrics.t; (* engine registry: infrastructure, not per-run *)
+}
+
+(* [config] seeds the engine-owned resources: the store directory and
+   the phase-matching convention of the library and store.  The config
+   itself is *not* stored — it is a per-session value, so one engine can
+   serve requests compiled under different configs (modes, deadlines). *)
+let create ?(config = Config.default) ?domains ?pool ?library ?cache () =
+  let metrics = Metrics.create () in
+  let pool =
+    match pool with Some p -> p | None -> Pool.create ?domains ~metrics ()
+  in
+  let library =
+    match library with
+    | Some l -> l
+    | None -> Library.create ~match_global_phase:config.Config.match_global_phase ()
+  in
+  let cache =
+    match cache with
+    | Some _ as c -> c
+    | None ->
+        Option.map
+          (fun dir ->
+            Store.open_dir ~match_global_phase:config.Config.match_global_phase
+              dir)
+          config.Config.cache_dir
+  in
+  { pool; library; cache; hardware = Hardware.Memo.create (); metrics }
+
+let pool t = t.pool
+let library t = t.library
+let cache t = t.cache
+let metrics t = t.metrics
+
+(* Hardware model under [config]'s physical parameters, memoized on the
+   engine. *)
+let hardware_for t (config : Config.t) k =
+  Hardware.Memo.get t.hardware ~dt:config.Config.dt
+    ~t_coherence:config.Config.t_coherence k
+
+(* Flush the persistent store once (no-op without a store, or with
+   nothing pending).  Sessions flush after each run; the serve daemon
+   also calls this on shutdown so a drained process leaves nothing
+   unpersisted. *)
+let flush t = Option.iter Store.flush t.cache
+
+(* --- sessions ------------------------------------------------------------ *)
+
+(* Everything request-scoped.  [s_library] is the engine's shared
+   library by default; passing a private one isolates the request (the
+   serve daemon does this so each job resolves exactly like a one-shot
+   run, with cross-request reuse flowing through the engine store) and
+   the caller decides whether to absorb it back. *)
+type session = {
+  s_engine : t;
+  s_config : Config.t;
+  s_name : string;
+  s_library : Library.t;
+  s_trace : Trace.t;
+  s_metrics : Metrics.t; (* per-run registry: deterministic values only *)
+  s_budget : Epoc_budget.t;
+  s_fault : Epoc_fault.spec option;
+}
+
+let session ?(config = Config.default) ?library ?trace ?metrics ~name t =
+  {
+    s_engine = t;
+    s_config = config;
+    s_name = name;
+    s_library =
+      (match library with
+      | Some l -> l
+      | None ->
+          (* share the engine library only when this request's matching
+             convention agrees with it; a phase-sensitive request
+             (AccQOC/PAQOC configs) against a phase-invariant engine
+             library would otherwise alias distinct unitaries *)
+          if
+            Library.match_global_phase t.library
+            = config.Config.match_global_phase
+          then t.library
+          else
+            Library.create
+              ~match_global_phase:config.Config.match_global_phase ());
+    s_trace = (match trace with Some tr -> tr | None -> Trace.create ());
+    s_metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    s_budget =
+      Epoc_budget.sub ?seconds:config.Config.total_deadline
+        Epoc_budget.unlimited;
+    s_fault = config.Config.fault;
+  }
+
+let session_engine s = s.s_engine
+let session_config s = s.s_config
+let session_name s = s.s_name
+let session_library s = s.s_library
+let session_trace s = s.s_trace
+let session_metrics s = s.s_metrics
+let session_budget s = s.s_budget
+let session_fault s = s.s_fault

@@ -1,0 +1,99 @@
+(** The compilation engine: one long-lived value owning every piece of
+    state that should stay hot across compile requests — the domain
+    pool, the persistent pulse store, the shared pulse library, the
+    hardware-model memo and the engine metrics registry.
+
+    Everything per-run lives in a {!session} created from the engine;
+    the compile path reads shared state only through its session's
+    engine, so there is zero process-global mutation.  Two engines in
+    one process are fully isolated, and many concurrent sessions on one
+    engine share hot state safely: the library, store, memo, registry
+    and pool are all internally synchronized, and the pipeline's
+    fork/absorb discipline keeps per-run results bit-identical to solo
+    runs for any domain count.
+
+    [Pipeline.run] without [?engine] builds an ephemeral engine per
+    call (the old one-shot behaviour); the [epoc serve] daemon keeps
+    one engine for its whole lifetime. *)
+
+open Epoc_parallel
+open Epoc_pulse
+open Epoc_qoc
+module Metrics = Epoc_obs.Metrics
+
+type t
+
+(** [create ()] builds an engine.  [config] seeds the engine-owned
+    resources — the store directory ([cache_dir]) and the
+    phase-matching convention of the library and store — but is not
+    retained: configs are per-session values, so one engine serves
+    requests compiled under different modes and deadlines.  [domains]
+    sizes the pool (when no [pool] is given); explicit [pool],
+    [library], [cache] override the constructed defaults.  The pool
+    constructed here records its traffic into the engine registry. *)
+val create :
+  ?config:Config.t ->
+  ?domains:int ->
+  ?pool:Pool.t ->
+  ?library:Library.t ->
+  ?cache:Epoc_cache.Store.t ->
+  unit ->
+  t
+
+val pool : t -> Pool.t
+
+val library : t -> Library.t
+
+val cache : t -> Epoc_cache.Store.t option
+
+(** The engine registry: pool traffic, solver throughput gauges and
+    anything else infrastructure-scoped.  Never holds per-run values —
+    those live in each session's registry. *)
+val metrics : t -> Metrics.t
+
+(** Hardware model for [k] qubits under [config]'s physical parameters,
+    memoized on the engine. *)
+val hardware_for : t -> Config.t -> int -> Hardware.t
+
+(** Flush the persistent store once (no-op without a store or with
+    nothing pending). *)
+val flush : t -> unit
+
+(** {1 Sessions} *)
+
+(** A request-scoped compilation context: config, trace sink, per-run
+    metrics registry, compute budget, fault spec and the library handle
+    the run resolves against. *)
+type session
+
+(** [session ~name t] opens a session on [t].  The session library is
+    the engine's shared library unless [library] supplies a private one
+    (the serve daemon isolates each job this way so it resolves exactly
+    like a one-shot run, with cross-request reuse flowing through the
+    engine store).  [trace] and [metrics] default to fresh sinks; the
+    budget derives from [config.total_deadline] and the fault spec from
+    [config.fault]. *)
+val session :
+  ?config:Config.t ->
+  ?library:Library.t ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  name:string ->
+  t ->
+  session
+
+val session_engine : session -> t
+
+val session_config : session -> Config.t
+
+val session_name : session -> string
+
+val session_library : session -> Library.t
+
+val session_trace : session -> Trace.t
+
+val session_metrics : session -> Metrics.t
+
+val session_budget : session -> Epoc_budget.t
+
+val session_fault : session -> Epoc_fault.spec option

@@ -2,10 +2,12 @@
    in order over an [Ir.t], every pass wrapped in a [Trace] span that
    records its wall-clock window and stage counters.
 
-   A pass sees a [ctx] with everything shared across stages — the config,
-   the domain pool, the pulse library, the trace sink and the memoized
-   hardware-model constructor — and must obey the pipeline's determinism
-   contract: identical output for any pool size (see lib/epoc/pipeline.ml). *)
+   A pass sees a [ctx]: a flattened view of one [Engine.session] — the
+   per-run values (config, library handle, trace sink, per-run metrics,
+   budget, fault spec) next to views of the owning engine's shared state
+   (pool, persistent store, hardware memo, engine registry).  Passes
+   must obey the pipeline's determinism contract: identical output for
+   any pool size (see lib/epoc/pipeline.ml). *)
 
 open Epoc_parallel
 open Epoc_pulse
@@ -14,12 +16,15 @@ module Metrics = Epoc_obs.Metrics
 
 type ctx = {
   config : Config.t;
-  pool : Pool.t;
-  library : Library.t;
-  cache : Epoc_cache.Store.t option; (* persistent pulse store, when enabled *)
+  pool : Pool.t; (* engine-owned *)
+  library : Library.t; (* session handle; forked per candidate *)
+  cache : Epoc_cache.Store.t option; (* engine-owned persistent store *)
   trace : Trace.t;
   metrics : Metrics.t; (* per-run registry (lib/obs), deterministic values *)
-  hardware : int -> Hardware.t; (* memoized per (dt, t_coherence, k) *)
+  process : Metrics.t;
+      (* the engine registry: wall-clock gauges and other infrastructure
+         values that must stay out of the per-run registry *)
+  hardware : int -> Hardware.t; (* engine memo per (dt, t_coherence, k) *)
   budget : Epoc_budget.t;
       (* run-level deadline from [config.total_deadline]; block solves
          derive per-attempt children capped by it *)
@@ -27,23 +32,22 @@ type ctx = {
       (* deterministic fault injection from [config.fault]; off = None *)
 }
 
-let make_ctx ?(pool = Pool.sequential) ?cache ?trace ?metrics
-    (config : Config.t) library =
+(* The ctx of a session: per-run values from the session, shared state
+   from its engine. *)
+let of_session (s : Engine.session) =
+  let engine = Engine.session_engine s in
+  let config = Engine.session_config s in
   {
     config;
-    pool;
-    library;
-    cache;
-    trace = (match trace with Some t -> t | None -> Trace.create ());
-    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
-    hardware =
-      (fun k ->
-        Hardware.shared ~dt:config.Config.dt
-          ~t_coherence:config.Config.t_coherence k);
-    budget =
-      Epoc_budget.sub ?seconds:config.Config.total_deadline
-        Epoc_budget.unlimited;
-    fault = config.Config.fault;
+    pool = Engine.pool engine;
+    library = Engine.session_library s;
+    cache = Engine.cache engine;
+    trace = Engine.session_trace s;
+    metrics = Engine.session_metrics s;
+    process = Engine.metrics engine;
+    hardware = (fun k -> Engine.hardware_for engine config k);
+    budget = Engine.session_budget s;
+    fault = Engine.session_fault s;
   }
 
 (* A ctx with private trace and metrics shards, for candidate fan-out:

@@ -10,37 +10,38 @@ open Epoc_pulse
 open Epoc_qoc
 module Metrics = Epoc_obs.Metrics
 
-(** Everything shared across stages.  Concrete because the driver builds
-    per-candidate variants with functional update ({!fork_ctx} plus a
-    forked library). *)
+(** The flattened view of one {!Engine.session} a pass sees: per-run
+    values (config, library handle, trace, per-run metrics, budget,
+    fault spec) next to views of the owning engine's shared state
+    (pool, persistent store, hardware memo, engine registry).  Concrete
+    because the driver builds per-candidate variants with functional
+    update ({!fork_ctx} plus a forked library). *)
 type ctx = {
   config : Config.t;
-  pool : Pool.t;
-  library : Library.t;
+  pool : Pool.t;  (** engine-owned *)
+  library : Library.t;  (** session handle; forked per candidate *)
   cache : Epoc_cache.Store.t option;
-      (** persistent pulse store, when enabled *)
+      (** engine-owned persistent pulse store, when enabled *)
   trace : Trace.t;
   metrics : Metrics.t;
       (** per-run registry (lib/obs), deterministic values *)
-  hardware : int -> Hardware.t;  (** memoized per (dt, t_coherence, k) *)
+  process : Metrics.t;
+      (** the engine registry: wall-clock gauges and other
+          infrastructure values that must stay out of the per-run
+          registry *)
+  hardware : int -> Hardware.t;
+      (** engine memo per (dt, t_coherence, k) *)
   budget : Epoc_budget.t;
       (** run-level deadline from [Config.total_deadline] (unlimited
-          when unset), started when the ctx is built; block solves
-          derive per-attempt children capped by it *)
+          when unset), started when the session was opened; block
+          solves derive per-attempt children capped by it *)
   fault : Epoc_fault.spec option;
       (** deterministic fault injection from [Config.fault] *)
 }
 
-(** Fresh trace/metrics sinks are created when not supplied; [pool]
-    defaults to the sequential pool. *)
-val make_ctx :
-  ?pool:Pool.t ->
-  ?cache:Epoc_cache.Store.t ->
-  ?trace:Trace.t ->
-  ?metrics:Metrics.t ->
-  Config.t ->
-  Library.t ->
-  ctx
+(** The ctx of a session: per-run values from the session, shared state
+    from its engine. *)
+val of_session : Engine.session -> ctx
 
 (** A ctx with private trace and metrics shards, for candidate fan-out:
     the caller absorbs both after the parallel region, in candidate

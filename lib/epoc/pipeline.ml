@@ -70,11 +70,6 @@ type flow = {
   passes : Config.t -> Pass.t list;
 }
 
-(* Hardware model for [k] qubits under [config]'s physical parameters,
-   memoized process-wide (lib/qoc/hardware.ml). *)
-let hardware_for (config : Config.t) k =
-  Hardware.shared ~dt:config.Config.dt ~t_coherence:config.Config.t_coherence k
-
 (* Library-backed resolution of a single unitary, for callers outside the
    batched pipeline path. *)
 let pulse_for (config : Config.t) (library : Library.t) (hw_block : Hardware.t)
@@ -147,29 +142,32 @@ let compile_candidate (ctx : Pass.ctx) passes ir0 ((optimized : Circuit.t), zx_u
 
 (* Run a flow on [circuit]: graph stage, candidate fan-out — each
    candidate against a fork of the library and a private trace sink,
-   merged back in candidate order — and best-schedule selection. *)
-let run_flow ?(config = Config.default) ?library ?cache ?pool ?trace ?metrics
-    ~name flow (circuit : Circuit.t) =
+   merged back in candidate order — and best-schedule selection.
+
+   Shared state comes from [engine]; without one, an ephemeral engine is
+   built for this run (honouring explicit [pool]/[cache] and
+   [config.cache_dir]), which reproduces the old one-shot behaviour
+   exactly.  Explicit [pool]/[cache] also override an explicit engine's
+   resources for this run, and [library] overrides the session library
+   (the engine's shared one by default). *)
+let run_flow ?(config = Config.default) ?engine ?library ?cache ?pool ?trace
+    ?metrics ~name flow (circuit : Circuit.t) =
   let t0 = Unix.gettimeofday () in
-  let pool = match pool with Some p -> p | None -> Pool.create () in
-  let library =
-    match library with
-    | Some l -> l
-    | None -> Library.create ~match_global_phase:config.Config.match_global_phase ()
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> Engine.create ~config ?pool ?cache ()
   in
-  (* A caller-supplied store wins; otherwise [config.cache_dir] opens one
-     for this run (loading is cheap relative to a single GRAPE search). *)
-  let cache =
-    match cache with
-    | Some _ as c -> c
-    | None ->
-        Option.map
-          (fun dir ->
-            Store.open_dir ~match_global_phase:config.Config.match_global_phase
-              dir)
-          config.Config.cache_dir
+  let session = Engine.session ~config ?library ?trace ?metrics ~name engine in
+  let ctx = Pass.of_session session in
+  let ctx =
+    match pool with None -> ctx | Some p -> { ctx with Pass.pool = p }
   in
-  let ctx = Pass.make_ctx ~pool ?cache ?trace ?metrics config library in
+  let ctx =
+    match cache with None -> ctx | Some c -> { ctx with Pass.cache = Some c }
+  in
+  let library = ctx.Pass.library in
+  let cache = ctx.Pass.cache in
   let trace = ctx.Pass.trace in
   let metrics = ctx.Pass.metrics in
   let candidates =
@@ -200,7 +198,7 @@ let run_flow ?(config = Config.default) ?library ?cache ?pool ?trace ?metrics
                   candidates
               in
               let irs =
-                Pool.map pool
+                Pool.map ctx.Pass.pool
                   (fun (cand, flib, ctrace, cmetrics) ->
                     let cctx =
                       { ctx with Pass.library = flib; trace = ctrace;
@@ -269,7 +267,7 @@ let run_flow ?(config = Config.default) ?library ?cache ?pool ?trace ?metrics
   }
 
 (* Run the full EPOC pipeline on [circuit]. *)
-let run ?config ?library ?cache ?pool ?trace ?metrics ~name
+let run ?config ?engine ?library ?cache ?pool ?trace ?metrics ~name
     (circuit : Circuit.t) =
-  run_flow ?config ?library ?cache ?pool ?trace ?metrics ~name epoc_flow
-    circuit
+  run_flow ?config ?engine ?library ?cache ?pool ?trace ?metrics ~name
+    epoc_flow circuit

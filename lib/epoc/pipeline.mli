@@ -54,10 +54,6 @@ type flow = {
   passes : Config.t -> Pass.t list;
 }
 
-(** Hardware model for [k] qubits under the config's physical
-    parameters, memoized process-wide. *)
-val hardware_for : Config.t -> int -> Hardware.t
-
 (** Library-backed resolution of a single unitary, for callers outside
     the batched pipeline path. *)
 val pulse_for :
@@ -71,11 +67,19 @@ val pulse_for :
 (** Run a flow on a circuit: graph stage, candidate fan-out — each
     candidate against a fork of the library and private trace/metrics
     sinks, merged back in candidate order — and best-schedule selection.
-    [cache] (or [config.cache_dir], opened on demand) attaches the
-    persistent pulse store; its new entries are flushed to disk before
+
+    Shared state (pool, persistent store, hardware memo, engine
+    registry) comes from [engine]; without one, an ephemeral engine is
+    built for this run — honouring explicit [pool]/[cache] and
+    [config.cache_dir] — which reproduces the old one-shot behaviour
+    exactly.  Explicit [pool]/[cache] also override an explicit
+    engine's resources for this run, and [library] overrides the
+    session library (the engine's shared one by default).  When a store
+    is attached, the run's new entries are flushed to disk before
     returning. *)
 val run_flow :
   ?config:Config.t ->
+  ?engine:Engine.t ->
   ?library:Library.t ->
   ?cache:Epoc_cache.Store.t ->
   ?pool:Pool.t ->
@@ -90,6 +94,7 @@ val run_flow :
     flow). *)
 val run :
   ?config:Config.t ->
+  ?engine:Engine.t ->
   ?library:Library.t ->
   ?cache:Epoc_cache.Store.t ->
   ?pool:Pool.t ->

@@ -128,9 +128,9 @@ type pulse_pending = {
    bit-identical to the pre-resilience pipeline; each request's attempt
    sequence is private to it, so batching never changes a block's
    result, only co-schedules the solves. *)
-let compute_pulse_batch ?metrics ?fault ?(budget = Epoc_budget.unlimited)
-    ?pool ?workspace (config : Config.t) (hw_block : Hardware.t)
-    (reqs : pulse_req list) : Ir.job_result list =
+let compute_pulse_batch ?metrics ?process_metrics ?fault
+    ?(budget = Epoc_budget.unlimited) ?pool ?workspace (config : Config.t)
+    (hw_block : Hardware.t) (reqs : pulse_req list) : Ir.job_result list =
   let record f = Option.iter f metrics in
   let max_retries = max 0 config.Config.max_retries in
   let limit = hw_block.Hardware.drive_limit in
@@ -180,7 +180,14 @@ let compute_pulse_batch ?metrics ?fault ?(budget = Epoc_budget.unlimited)
   record (fun m ->
       Metrics.observe m "grape.batch_size"
         (float_of_int (List.length states)));
-  let ws = match workspace with Some w -> w | None -> Grape.workspace () in
+  let ws =
+    match workspace with
+    | Some w -> w
+    | None ->
+        (* wall-clock gauges (iters/s) go to the engine registry, never
+           the per-run one *)
+        Grape.workspace ?metrics:process_metrics ()
+  in
   let continue_ = ref (states <> []) in
   while !continue_ do
     let open_ =
@@ -405,8 +412,9 @@ let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
    its resolved values — and its degraded flag — directly.
 
    Returns (jobs, representatives) counts for the stage report. *)
-let resolve_pulses ?metrics ?cache ?fault ?(budget = Epoc_budget.unlimited)
-    (config : Config.t) pool library ~hardware jobs =
+let resolve_pulses ?metrics ?process_metrics ?cache ?fault
+    ?(budget = Epoc_budget.unlimited) (config : Config.t) pool library
+    ~hardware jobs =
   let record f = Option.iter f metrics in
   (* Library miss: try the persistent store.  [true] = the store resolved
      the job (entry copied into the library), so it is not a rep. *)
@@ -485,8 +493,8 @@ let resolve_pulses ?metrics ?cache ?fault ?(budget = Epoc_budget.unlimited)
         (fun k ->
           let group = List.rev !(Hashtbl.find by_width k) in
           let results =
-            compute_pulse_batch ?metrics ?fault ~budget ~pool config
-              (hardware k)
+            compute_pulse_batch ?metrics ?process_metrics ?fault ~budget ~pool
+              config (hardware k)
               (List.map
                  (fun (j : Ir.pulse_job) ->
                    {
@@ -753,7 +761,8 @@ let pulses =
       in
       let jobs = List.concat_map (List.filter_map snd) annotated in
       let n_jobs, n_computed =
-        resolve_pulses ~metrics:ctx.Pass.metrics ?cache:ctx.Pass.cache
+        resolve_pulses ~metrics:ctx.Pass.metrics
+          ~process_metrics:ctx.Pass.process ?cache:ctx.Pass.cache
           ?fault:ctx.Pass.fault ~budget:ctx.Pass.budget ctx.Pass.config
           ctx.Pass.pool ctx.Pass.library ~hardware:ctx.Pass.hardware jobs
       in

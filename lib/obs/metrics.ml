@@ -51,10 +51,11 @@ type t = { tbl : (string, instrument) Hashtbl.t; lock : Mutex.t }
 
 let create () = { tbl = Hashtbl.create 32; lock = Mutex.create () }
 
-(* One registry for process-wide infrastructure counters (domain pool
-   traffic and the like); per-run metrics live in the registry the
-   pipeline threads through its passes. *)
-let global = create ()
+(* There is deliberately no process-wide registry here.  Infrastructure
+   counters (domain-pool traffic, solver throughput) live in the
+   registry of the [Epoc.Engine] that owns the infrastructure, so two
+   engines in one process never see each other's traffic and the
+   compile path touches no mutable toplevel state. *)
 
 let locked t f =
   Mutex.lock t.lock;

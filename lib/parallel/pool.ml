@@ -20,6 +20,7 @@
 type t = {
   max_extra : int; (* extra domains beyond the caller, >= 0 *)
   in_flight : int Atomic.t; (* currently reserved extra domains *)
+  metrics : Epoc_obs.Metrics.t option; (* traffic counter sink, if any *)
 }
 
 let parse_jobs s =
@@ -34,13 +35,15 @@ let default_domains () =
   | Some n -> n
   | None -> max 1 (Domain.recommended_domain_count () - 1)
 
-let create ?domains () =
+let create ?domains ?metrics () =
   let d = match domains with Some d -> max 1 d | None -> default_domains () in
-  { max_extra = d - 1; in_flight = Atomic.make 0 }
+  { max_extra = d - 1; in_flight = Atomic.make 0; metrics }
 
 let domains t = t.max_extra + 1
 
-let sequential = { max_extra = 0; in_flight = Atomic.make 0 }
+let metrics t = t.metrics
+
+let sequential = { max_extra = 0; in_flight = Atomic.make 0; metrics = None }
 
 (* Reserve up to [want] extra domains from the pool budget; returns how
    many were granted. *)
@@ -55,30 +58,34 @@ let rec reserve t want =
 
 let release t n = if n > 0 then ignore (Atomic.fetch_and_add t.in_flight (-n))
 
-(* Pool traffic counters, recorded into the process-wide registry
-   (lib/obs).  Deliberately not part of any per-run registry: how many
-   fan-outs went parallel depends on the domain budget, so these values
-   are *expected* to differ across EPOC_JOBS settings. *)
-let record_map ~items ~extra =
-  let m = Epoc_obs.Metrics.global in
-  Epoc_obs.Metrics.incr m "pool.maps";
-  Epoc_obs.Metrics.incr ~by:items m "pool.items";
-  if extra = 0 then Epoc_obs.Metrics.incr m "pool.sequential_maps"
-  else begin
-    Epoc_obs.Metrics.incr m "pool.parallel_maps";
-    Epoc_obs.Metrics.incr ~by:extra m "pool.workers_spawned"
-  end
+(* Pool traffic counters, recorded into the registry the pool was
+   created with (the owning engine's, in the pipeline).  Deliberately
+   not part of any per-run registry: how many fan-outs went parallel
+   depends on the domain budget, so these values are *expected* to
+   differ across EPOC_JOBS settings.  Pools without a registry (and
+   [sequential]) record nothing. *)
+let record_map t ~items ~extra =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      Epoc_obs.Metrics.incr m "pool.maps";
+      Epoc_obs.Metrics.incr ~by:items m "pool.items";
+      if extra = 0 then Epoc_obs.Metrics.incr m "pool.sequential_maps"
+      else begin
+        Epoc_obs.Metrics.incr m "pool.parallel_maps";
+        Epoc_obs.Metrics.incr ~by:extra m "pool.workers_spawned"
+      end
 
 let map t f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   if n <= 1 || t.max_extra = 0 then begin
-    record_map ~items:n ~extra:0;
+    record_map t ~items:n ~extra:0;
     List.map f xs
   end
   else
     let extra = reserve t (min t.max_extra (n - 1)) in
-    record_map ~items:n ~extra;
+    record_map t ~items:n ~extra;
     if extra = 0 then List.map f xs
     else
       Fun.protect

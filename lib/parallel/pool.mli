@@ -9,15 +9,23 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
-(** [create ?domains ()] makes a pool using [domains] total domains
-    (including the caller's; clamped to at least 1).  Without [?domains]
-    the count comes from the [EPOC_JOBS] environment variable when set to
-    a positive integer, else [Domain.recommended_domain_count () - 1]
-    extra domains. *)
+val create : ?domains:int -> ?metrics:Epoc_obs.Metrics.t -> unit -> t
+(** [create ?domains ?metrics ()] makes a pool using [domains] total
+    domains (including the caller's; clamped to at least 1).  Without
+    [?domains] the count comes from the [EPOC_JOBS] environment variable
+    when set to a positive integer, else
+    [Domain.recommended_domain_count () - 1] extra domains.  [metrics]
+    receives the pool's traffic counters ([pool.maps], [pool.items],
+    [pool.parallel_maps], [pool.sequential_maps],
+    [pool.workers_spawned]); without it the pool records nothing.  The
+    pipeline binds each pool to its owning engine's registry, so pool
+    traffic is scoped per engine, never process-global. *)
 
 val domains : t -> int
 (** Total domain budget of the pool, including the calling domain. *)
+
+val metrics : t -> Epoc_obs.Metrics.t option
+(** The traffic-counter registry the pool was created with, if any. *)
 
 val sequential : t
 (** A pool that never spawns; [map sequential] is [List.map]. *)

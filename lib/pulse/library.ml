@@ -46,6 +46,8 @@ let locked lib f =
   Mutex.lock lib.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lib.lock) f
 
+let match_global_phase lib = lib.match_global_phase
+
 let canonicalize lib u = if lib.match_global_phase then Mat.canonical_phase u else u
 
 (* One quantization step shared by both components: round to 5 decimals and

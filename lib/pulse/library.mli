@@ -27,6 +27,12 @@ type t
     the phase-sensitive AccQOC/PAQOC behaviour. *)
 val create : ?match_global_phase:bool -> unit -> t
 
+(** The matching convention this library was created with.  Callers
+    sharing one library across requests (the pipeline engine) check it
+    against each request's config and fall back to a private library on
+    mismatch. *)
+val match_global_phase : t -> bool
+
 (** Stable content key of a unitary: a digest of the 5-decimal-quantized
     matrix.  Callers must canonicalize the global phase first when they
     want phase-invariant keys (the library does this internally). *)

@@ -615,9 +615,12 @@ let make_ck ~dim ~slots ~nseg =
 type workspace = {
   mutable ws_lock : lockstep_bufs option array; (* one slot per chunk *)
   mutable ws_ck : ck_bufs option;
+  ws_metrics : Metrics.t option;
+      (* engine-scoped sink for wall-clock gauges (iters/s); never a
+         per-run registry — throughput is non-deterministic *)
 }
 
-let workspace () = { ws_lock = [||]; ws_ck = None }
+let workspace ?metrics () = { ws_lock = [||]; ws_ck = None; ws_metrics = metrics }
 
 let ensure_lockstep ws idx ~dim ~cap ~slots =
   if Array.length ws.ws_lock <= idx then begin
@@ -1030,14 +1033,15 @@ let optimize_batch ?pool ?workspace:ws_opt (jobs : batch_job array) =
             let c = ensure_ck ws ~dim:dim0 ~slots:st.j_slots ~nseg in
             run_checkpoint cpool c st)
           big);
-    (* throughput gauge: process-global registry only — wall-clock is
-       non-deterministic and must stay out of the per-run registries the
-       determinism tests compare *)
+    (* throughput gauge: the workspace's engine-scoped registry only —
+       wall-clock is non-deterministic and must stay out of the per-run
+       registries the determinism tests compare *)
     let total_iters = Array.fold_left (fun a st -> a + st.j_iters) 0 sts in
     let wall = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9 in
-    if wall > 0.0 && total_iters > 0 then
-      Metrics.set Metrics.global "grape.iters_per_s"
-        (float_of_int total_iters /. wall);
+    (match ws.ws_metrics with
+    | Some m when wall > 0.0 && total_iters > 0 ->
+        Metrics.set m "grape.iters_per_s" (float_of_int total_iters /. wall)
+    | _ -> ());
     Array.map finalize sts
   end
 

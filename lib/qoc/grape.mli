@@ -108,10 +108,16 @@ val batch_job :
 (** Reusable matrix scratch for batched solves.  Buffers grow on demand
     and are kept across calls, so threading one workspace through a
     whole duration search (many attempts at varying slot counts) makes
-    the solver inner loop allocation-free. *)
+    the solver inner loop allocation-free.
+
+    [metrics] is the sink for wall-clock solver gauges
+    ([grape.iters_per_s]); the pipeline passes the owning engine's
+    registry.  Wall-clock values are non-deterministic, so they never
+    belong in a per-run registry, and without a sink they are simply
+    dropped. *)
 type workspace
 
-val workspace : unit -> workspace
+val workspace : ?metrics:Epoc_obs.Metrics.t -> unit -> workspace
 
 (** Number of checkpoint segments a [(dim, slots)] solve would split
     into; [1] means it takes the lockstep core.  A pure function of its

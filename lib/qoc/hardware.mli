@@ -7,8 +7,8 @@
 
     The drift and control Hamiltonians are built eagerly in {!make}
     and stored on the (immutable) record: GRAPE reads them once per
-    optimize call and {!shared} memoizes models process-wide, so the
-    Pauli embeddings are not rebuilt per block. *)
+    optimize call and {!Memo} memoizes models per owner (the pipeline
+    engine), so the Pauli embeddings are not rebuilt per block. *)
 
 open Epoc_linalg
 
@@ -56,6 +56,19 @@ val single_qubit_gate_time : t -> float
 
 val entangling_gate_time : t -> float
 
-(** Default-topology model memoized process-wide per
-    (dt, t_coherence, n); thread-safe. *)
-val shared : ?dt:float -> ?t_coherence:float -> int -> t
+(** Explicit memo of default-topology models keyed by
+    (dt, t_coherence, n).  A memo is a first-class value owned by
+    whoever scopes the sharing — the pipeline's engine holds one per
+    engine — so there is no process-wide model table.  Thread-safe:
+    models are immutable and the table is mutex-guarded. *)
+module Memo : sig
+  type memo
+
+  val create : unit -> memo
+
+  (** Memoized {!make} with the default topology. *)
+  val get : memo -> ?dt:float -> ?t_coherence:float -> int -> t
+
+  (** Number of distinct models currently held. *)
+  val size : memo -> int
+end

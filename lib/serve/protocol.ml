@@ -1,0 +1,154 @@
+(* The `epoc serve` wire protocol: JSON Lines over a Unix socket.
+
+   Each request is one JSON object on one line; each response is one
+   JSON object on one line.  Requests are either compile jobs —
+
+     {"circuit": "bench:bb84" | "<OPENQASM source>",
+      "flow": "epoc"|"gate"|"accqoc"|"paqoc",   (optional, default epoc)
+      "mode": "estimate"|"grape",               (optional, default estimate)
+      "deadline_s": 5.0,                        (optional)
+      "priority": 2}                            (optional, default 0)
+
+   — or commands: {"cmd": "metrics"}.  Responses carry the job id, a
+   status mirroring the CLI exit contract (ok=0, degraded=3, error=1),
+   and either the schedule + per-run metrics or an error message:
+
+     {"jid": 1, "status": "ok", "code": 0, "schedule": {...},
+      "metrics": {...}}
+     {"jid": 2, "status": "error", "code": 1, "error": "..."}
+
+   This module is pure data: parsing, validation and response printing.
+   The socket loop lives in server.ml. *)
+
+module J = Epoc_obs.Json
+module M = Epoc_obs.Metrics
+module Config = Epoc.Config
+module Schedule = Epoc_pulse.Schedule
+
+type job = {
+  circuit : string;  (* bench:<name> or inline OPENQASM source *)
+  flow : string;  (* epoc | gate | accqoc | paqoc *)
+  mode : Config.qoc_mode;
+  deadline_s : float option;
+  priority : int;  (* higher runs first; ties in arrival order *)
+}
+
+type request = Compile of job | Metrics
+
+let flows = [ "epoc"; "gate"; "accqoc"; "paqoc" ]
+
+(* Parse one request line.  Unknown fields are ignored (forward
+   compatibility); unknown values of known fields are errors. *)
+let parse_request (line : string) : (request, string) result =
+  match J.parse line with
+  | Error m -> Error (Printf.sprintf "bad JSON: %s" m)
+  | Ok json -> (
+      match J.member "cmd" json with
+      | Some (J.Str "metrics") -> Ok Metrics
+      | Some (J.Str other) -> Error (Printf.sprintf "unknown cmd %S" other)
+      | Some _ -> Error "cmd must be a string"
+      | None -> (
+          match Option.bind (J.member "circuit" json) J.to_str with
+          | None -> Error "missing \"circuit\" (string)"
+          | Some circuit -> (
+              let flow =
+                match Option.bind (J.member "flow" json) J.to_str with
+                | None -> Ok "epoc"
+                | Some f when List.mem f flows -> Ok f
+                | Some f -> Error (Printf.sprintf "unknown flow %S" f)
+              in
+              let mode =
+                match Option.bind (J.member "mode" json) J.to_str with
+                | None | Some "estimate" -> Ok Config.Estimate
+                | Some "grape" -> Ok Config.Grape
+                | Some m -> Error (Printf.sprintf "unknown mode %S" m)
+              in
+              let deadline_s =
+                Option.bind (J.member "deadline_s" json) J.to_num
+              in
+              let priority =
+                Option.value ~default:0
+                  (Option.bind (J.member "priority" json) J.to_int)
+              in
+              match (flow, mode) with
+              | Error e, _ | _, Error e -> Error e
+              | Ok flow, Ok mode ->
+                  if deadline_s <> None && Option.get deadline_s <= 0.0 then
+                    Error "deadline_s must be positive"
+                  else Ok (Compile { circuit; flow; mode; deadline_s; priority })
+              )))
+
+(* --- responses ------------------------------------------------------------ *)
+
+(* Per-job status string and its CLI-exit-contract mirror. *)
+let code_of_status = function
+  | "ok" -> 0
+  | "degraded" -> 3
+  | _ -> 1
+
+let status_of_result (r : Epoc.Pipeline.result) =
+  if r.Epoc.Pipeline.stats.Epoc.Pipeline.degraded_blocks = 0 then "ok"
+  else "degraded"
+
+let schedule_json (s : Schedule.t) =
+  J.Obj
+    [
+      ("n", J.of_int s.Schedule.n);
+      ("latency_ns", J.Num s.Schedule.latency);
+      ( "instructions",
+        J.Arr
+          (List.map
+             (fun (p : Schedule.placed) ->
+               J.Obj
+                 [
+                   ( "qubits",
+                     J.Arr (List.map J.of_int p.Schedule.instruction.Schedule.qubits)
+                   );
+                   ("start", J.Num p.Schedule.start);
+                   ("duration", J.Num p.Schedule.instruction.Schedule.duration);
+                   ("fidelity", J.Num p.Schedule.instruction.Schedule.fidelity);
+                   ("label", J.Str p.Schedule.instruction.Schedule.label);
+                 ])
+             s.Schedule.placed) );
+    ]
+
+let result_response ~jid (r : Epoc.Pipeline.result) =
+  let status = status_of_result r in
+  J.Obj
+    [
+      ("jid", J.of_int jid);
+      ("status", J.Str status);
+      ("code", J.of_int (code_of_status status));
+      ("flow", J.Str r.Epoc.Pipeline.name);
+      ("esp", J.Num r.Epoc.Pipeline.esp);
+      ("compile_s", J.Num r.Epoc.Pipeline.compile_time);
+      ( "degraded_blocks",
+        J.of_int r.Epoc.Pipeline.stats.Epoc.Pipeline.degraded_blocks );
+      ("schedule", schedule_json r.Epoc.Pipeline.schedule);
+      ("metrics", M.to_json r.Epoc.Pipeline.metrics);
+    ]
+
+let error_response ~jid msg =
+  J.Obj
+    [
+      ("jid", J.of_int jid);
+      ("status", J.Str "error");
+      ("code", J.of_int 1);
+      ("error", J.Str msg);
+    ]
+
+(* Scrape payload for {"cmd":"metrics"}: the engine registry (pool
+   traffic, solver throughput, serve counters) next to the aggregate of
+   completed jobs' per-run registries. *)
+let metrics_response ~jid ~engine ~runs =
+  J.Obj
+    [
+      ("jid", J.of_int jid);
+      ("status", J.Str "ok");
+      ("code", J.of_int 0);
+      ("engine", M.to_json engine);
+      ("runs", M.to_json runs);
+    ]
+
+(* One response line: compact JSON, newline-terminated, ready to write. *)
+let to_line json = J.to_string json ^ "\n"

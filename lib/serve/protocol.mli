@@ -1,0 +1,48 @@
+(** The [epoc serve] wire protocol: JSON Lines over a Unix socket.
+
+    Requests (one JSON object per line):
+    - compile job: [{"circuit": "bench:bb84" | "<OPENQASM source>",
+      "flow": "epoc"|"gate"|"accqoc"|"paqoc", "mode":
+      "estimate"|"grape", "deadline_s": 5.0, "priority": 2}] — only
+      [circuit] is required.
+    - command: [{"cmd": "metrics"}].
+
+    Responses mirror the CLI exit contract per job: [status]
+    "ok"/"degraded"/"error" with [code] 0/3/1, plus the schedule and
+    per-run metrics registry on success.  This module is pure data;
+    the socket loop lives in {!Server}. *)
+
+module J = Epoc_obs.Json
+module M = Epoc_obs.Metrics
+module Config = Epoc.Config
+module Schedule = Epoc_pulse.Schedule
+
+type job = {
+  circuit : string;  (** [bench:<name>] or inline OPENQASM source *)
+  flow : string;  (** epoc | gate | accqoc | paqoc *)
+  mode : Config.qoc_mode;
+  deadline_s : float option;
+      (** per-request compile deadline, bounds this job during drain too *)
+  priority : int;  (** higher runs first; ties in arrival order *)
+}
+
+type request = Compile of job | Metrics
+
+(** Parse one request line.  Unknown fields are ignored; unknown values
+    of known fields are errors. *)
+val parse_request : string -> (request, string) result
+
+(** 0 for "ok", 3 for "degraded", 1 otherwise — the CLI exit contract. *)
+val code_of_status : string -> int
+
+val status_of_result : Epoc.Pipeline.result -> string
+val schedule_json : Schedule.t -> J.t
+val result_response : jid:int -> Epoc.Pipeline.result -> J.t
+val error_response : jid:int -> string -> J.t
+
+(** Scrape payload for [{"cmd":"metrics"}]: engine registry and the
+    aggregate of completed jobs' per-run registries. *)
+val metrics_response : jid:int -> engine:M.t -> runs:M.t -> J.t
+
+(** One response line: compact JSON, newline-terminated. *)
+val to_line : J.t -> string

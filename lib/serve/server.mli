@@ -1,0 +1,23 @@
+(** The [epoc serve] daemon: one long-lived {!Epoc.Engine} multiplexing
+    concurrent compile requests over a Unix socket speaking the
+    {!Protocol} JSONL grammar.
+
+    Jobs are admitted in (priority desc, arrival asc) order onto a
+    fixed worker-thread set sharing the engine's domain pool; every job
+    compiles against a private library (one-shot semantics) with
+    cross-request reuse through the engine's persistent store.
+
+    SIGTERM/SIGINT drain queued and in-flight jobs — each bounded by
+    its own deadline — flush the store once, emit a final metrics line
+    on stdout and remove the socket path.  See DESIGN.md section 4h. *)
+
+type opts = {
+  socket : string;  (** Unix socket path; stale paths are replaced *)
+  workers : int;  (** concurrent jobs (clamped to >= 1) *)
+  config : Epoc.Config.t;  (** per-job base config; requests override
+                               mode and deadline *)
+}
+
+(** Run the daemon until SIGTERM/SIGINT; returns the process exit code.
+    [engine] defaults to a fresh one built from [opts.config]. *)
+val run : ?engine:Epoc.Engine.t -> opts -> int

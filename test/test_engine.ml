@@ -1,0 +1,109 @@
+(* Engine/session architecture tests: per-engine metric scoping, shared
+   hardware memo, session library conventions, and the headline
+   guarantee — concurrent sessions on one engine produce schedules
+   bit-identical to solo one-shot runs, at any domain count. *)
+
+open Epoc
+module Metrics = Epoc_obs.Metrics
+module Library = Epoc_pulse.Library
+module Schedule = Epoc_pulse.Schedule
+
+let bb84 () = Epoc_benchmarks.Benchmarks.find "bb84"
+let qaoa () = Epoc_benchmarks.Benchmarks.find "qaoa"
+
+let schedule_t =
+  Alcotest.testable Schedule.pp (fun (a : Schedule.t) b -> a = b)
+
+(* pool traffic lands on the owning engine's registry and nowhere else;
+   a fresh engine starts from zero, so sequential runs on fresh engines
+   report identical counts instead of accumulating process-wide *)
+let test_pool_counter_scoping () =
+  let pool_traffic e =
+    Metrics.counter_value (Engine.metrics e) "pool.maps"
+    + Metrics.counter_value (Engine.metrics e) "pool.sequential_maps"
+  in
+  let e1 = Engine.create ~domains:2 () in
+  let e2 = Engine.create ~domains:2 () in
+  let _ = Pipeline.run ~engine:e1 ~name:"bb84" (bb84 ()) in
+  let n1 = pool_traffic e1 in
+  Alcotest.(check bool) "run recorded traffic on its engine" true (n1 > 0);
+  Alcotest.(check int) "idle engine saw none" 0 (pool_traffic e2);
+  let _ = Pipeline.run ~engine:e2 ~name:"bb84" (bb84 ()) in
+  Alcotest.(check int) "fresh engine reports the same count, not a sum" n1
+    (pool_traffic e2);
+  let _ = Pipeline.run ~engine:e1 ~name:"bb84" (bb84 ()) in
+  Alcotest.(check int) "same engine accumulates" (2 * n1) (pool_traffic e1)
+
+(* the hardware memo is engine-owned: repeated lookups share one model,
+   distinct engines build their own *)
+let test_hardware_memo () =
+  let config = Config.default in
+  let e1 = Engine.create () and e2 = Engine.create () in
+  Alcotest.(check bool) "memo hit is the same model" true
+    (Engine.hardware_for e1 config 2 == Engine.hardware_for e1 config 2);
+  Alcotest.(check bool) "engines do not share models" false
+    (Engine.hardware_for e1 config 2 == Engine.hardware_for e2 config 2)
+
+(* a session shares the engine library only when its config's matching
+   convention agrees; the phase-sensitive baselines get a private one *)
+let test_session_library_convention () =
+  let e = Engine.create () in
+  let s_default = Engine.session ~name:"a" e in
+  Alcotest.(check bool) "matching convention shares" true
+    (Engine.session_library s_default == Engine.library e);
+  let phase_sensitive =
+    { Config.default with Config.match_global_phase = false }
+  in
+  let s_sensitive = Engine.session ~config:phase_sensitive ~name:"b" e in
+  Alcotest.(check bool) "mismatched convention isolates" false
+    (Engine.session_library s_sensitive == Engine.library e);
+  Alcotest.(check bool) "private library follows the session config" false
+    (Library.match_global_phase (Engine.session_library s_sensitive))
+
+(* two concurrent sessions on one engine — bb84 and qaoa compiling in
+   parallel domains, each with a private library as the serve daemon
+   does — produce schedules bit-identical to solo one-shot runs *)
+let concurrent_vs_solo domains () =
+  let solo name c =
+    (Pipeline.run ~name c : Pipeline.result).Pipeline.schedule
+  in
+  let solo_bb84 = solo "bb84" (bb84 ()) in
+  let solo_qaoa = solo "qaoa" (qaoa ()) in
+  let engine = Engine.create ~domains () in
+  let compile name c =
+    Domain.spawn (fun () ->
+        Pipeline.run ~engine ~library:(Library.create ()) ~name c)
+  in
+  let d1 = compile "bb84" (bb84 ()) in
+  let d2 = compile "qaoa" (qaoa ()) in
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  Alcotest.check schedule_t "bb84 bit-identical to solo" solo_bb84
+    r1.Pipeline.schedule;
+  Alcotest.check schedule_t "qaoa bit-identical to solo" solo_qaoa
+    r2.Pipeline.schedule;
+  (* both sessions shared the engine: traffic landed on one registry *)
+  Alcotest.(check bool) "engine saw both runs" true
+    (Metrics.counter_value (Engine.metrics engine) "pool.maps"
+     + Metrics.counter_value (Engine.metrics engine) "pool.sequential_maps"
+    > 0)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "scoping",
+        [
+          Alcotest.test_case "pool counters per engine" `Quick
+            test_pool_counter_scoping;
+          Alcotest.test_case "hardware memo per engine" `Quick
+            test_hardware_memo;
+          Alcotest.test_case "session library convention" `Quick
+            test_session_library_convention;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "concurrent sessions, 1 domain" `Slow
+            (concurrent_vs_solo 1);
+          Alcotest.test_case "concurrent sessions, 4 domains" `Slow
+            (concurrent_vs_solo 4);
+        ] );
+    ]

@@ -117,7 +117,7 @@ let test_budget () =
 
 let test_error_channel () =
   (* a GRAPE solve with an injected NaN returns Error, not an exception *)
-  let hw = Epoc_qoc.Hardware.shared ~dt:0.5 ~t_coherence:100_000.0 2 in
+  let hw = Epoc_qoc.Hardware.make ~dt:0.5 ~t_coherence:100_000.0 2 in
   let target =
     Epoc_circuit.Circuit.unitary
       (Epoc_circuit.Circuit.of_ops 2

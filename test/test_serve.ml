@@ -1,0 +1,128 @@
+(* Serve daemon tests: protocol grammar round-trips, and a live
+   Unix-socket smoke — a daemon thread serving a compile job plus a
+   metrics scrape, whose schedule must be bit-identical to a one-shot
+   run, then a graceful SIGTERM drain that removes the socket. *)
+
+module J = Epoc_obs.Json
+module P = Epoc_serve.Protocol
+module Server = Epoc_serve.Server
+
+(* --- protocol ------------------------------------------------------------- *)
+
+let test_parse () =
+  (match P.parse_request {|{"circuit": "bench:bb84"}|} with
+  | Ok (P.Compile j) ->
+      Alcotest.(check string) "circuit" "bench:bb84" j.P.circuit;
+      Alcotest.(check string) "default flow" "epoc" j.P.flow;
+      Alcotest.(check bool) "default mode" true (j.P.mode = Epoc.Config.Estimate);
+      Alcotest.(check int) "default priority" 0 j.P.priority;
+      Alcotest.(check bool) "no deadline" true (j.P.deadline_s = None)
+  | _ -> Alcotest.fail "minimal compile request rejected");
+  (match
+     P.parse_request
+       {|{"circuit": "bench:qaoa", "flow": "gate", "mode": "grape", "deadline_s": 2.5, "priority": 7}|}
+   with
+  | Ok (P.Compile j) ->
+      Alcotest.(check string) "flow" "gate" j.P.flow;
+      Alcotest.(check bool) "mode" true (j.P.mode = Epoc.Config.Grape);
+      Alcotest.(check bool) "deadline" true (j.P.deadline_s = Some 2.5);
+      Alcotest.(check int) "priority" 7 j.P.priority
+  | _ -> Alcotest.fail "full compile request rejected");
+  (match P.parse_request {|{"cmd": "metrics"}|} with
+  | Ok P.Metrics -> ()
+  | _ -> Alcotest.fail "metrics command rejected");
+  let rejected s =
+    match P.parse_request s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "bad JSON" true (rejected "{nope");
+  Alcotest.(check bool) "missing circuit" true (rejected {|{"mode": "grape"}|});
+  Alcotest.(check bool) "unknown flow" true
+    (rejected {|{"circuit": "x", "flow": "qiskit"}|});
+  Alcotest.(check bool) "unknown mode" true
+    (rejected {|{"circuit": "x", "mode": "magic"}|});
+  Alcotest.(check bool) "unknown cmd" true (rejected {|{"cmd": "stop"}|});
+  Alcotest.(check bool) "non-positive deadline" true
+    (rejected {|{"circuit": "x", "deadline_s": 0}|})
+
+let test_status_codes () =
+  Alcotest.(check int) "ok -> 0" 0 (P.code_of_status "ok");
+  Alcotest.(check int) "degraded -> 3" 3 (P.code_of_status "degraded");
+  Alcotest.(check int) "error -> 1" 1 (P.code_of_status "error");
+  match P.error_response ~jid:9 "boom" with
+  | J.Obj fields ->
+      Alcotest.(check bool) "jid" true (List.assoc "jid" fields = J.Num 9.0);
+      Alcotest.(check bool) "code" true (List.assoc "code" fields = J.Num 1.0)
+  | _ -> Alcotest.fail "error response is not an object"
+
+(* --- live daemon ----------------------------------------------------------- *)
+
+let read_line_exn ic =
+  match input_line ic with
+  | line -> line
+  | exception End_of_file -> Alcotest.fail "daemon closed the connection"
+
+let test_live_daemon () =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "epoc-serve-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let config = Epoc.Config.default in
+  let daemon =
+    Thread.create
+      (fun () -> ignore (Server.run { Server.socket = sock; workers = 2; config }))
+      ()
+  in
+  let rec await_socket n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then Alcotest.fail "socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      await_socket (n - 1)
+    end
+  in
+  await_socket 200;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc
+    "{\"circuit\": \"bench:bb84\"}\n{\"cmd\": \"metrics\"}\n";
+  flush oc;
+  let l1 = read_line_exn ic and l2 = read_line_exn ic in
+  let r1 = J.parse_exn l1 and r2 = J.parse_exn l2 in
+  (* the metrics command is answered inline, so arrival order of the two
+     responses is not fixed; classify by payload *)
+  let compile_r, metrics_r =
+    if J.member "schedule" r1 <> None then (r1, r2) else (r2, r1)
+  in
+  Alcotest.(check bool) "compile ok" true
+    (J.member "status" compile_r = Some (J.Str "ok"));
+  Alcotest.(check bool) "compile code 0" true
+    (J.member "code" compile_r = Some (J.Num 0.0));
+  Alcotest.(check bool) "metrics has engine registry" true
+    (J.member "engine" metrics_r <> None);
+  Alcotest.(check bool) "metrics has runs aggregate" true
+    (J.member "runs" metrics_r <> None);
+  (* the served schedule is bit-identical to a one-shot run *)
+  let solo = Epoc.Pipeline.run ~config ~name:"solo" (Epoc_benchmarks.Benchmarks.find "bb84") in
+  Alcotest.(check string) "schedule identical to one-shot"
+    (J.to_string (P.schedule_json solo.Epoc.Pipeline.schedule))
+    (J.to_string (Option.get (J.member "schedule" compile_r)));
+  Unix.close fd;
+  (* graceful shutdown: drain, remove the socket, return *)
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  Thread.join daemon;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists sock)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request grammar" `Quick test_parse;
+          Alcotest.test_case "status codes" `Quick test_status_codes;
+        ] );
+      ("daemon", [ Alcotest.test_case "live smoke" `Slow test_live_daemon ]);
+    ]

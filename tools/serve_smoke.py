@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Smoke client for `epoc serve` (JSONL over a Unix socket).
+
+Modes:
+  serve_smoke.py SOCKET           concurrent-job smoke: three jobs with
+                                  distinct priorities plus a metrics
+                                  scrape, per-job status codes mirroring
+                                  the CLI 0/3/1 exit contract, then a
+                                  warm resubmission that must hit the
+                                  persistent cache and compile faster
+                                  than the cold run.
+  serve_smoke.py SOCKET degraded  one GRAPE job against a daemon started
+                                  with a fault spec: expects status
+                                  "degraded", code 3.
+"""
+import json
+import socket
+import sys
+import time
+
+
+def connect(path, retries=150):
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    for _ in range(retries):
+        try:
+            s.connect(path)
+            return s
+        except (FileNotFoundError, ConnectionRefusedError):
+            time.sleep(0.1)
+    raise SystemExit(f"daemon socket {path} never came up")
+
+
+def rpc(f, requests):
+    """Send all request lines, read one response per request, return
+    them keyed by jid (jids are assigned in request order per
+    connection)."""
+    for r in requests:
+        f.write(json.dumps(r) + "\n")
+    f.flush()
+    responses = {}
+    for _ in requests:
+        line = f.readline()
+        if not line:
+            raise SystemExit("daemon closed the connection early")
+        d = json.loads(line)
+        responses[d["jid"]] = d
+    return responses
+
+
+def check(cond, msg):
+    if not cond:
+        raise SystemExit(f"FAIL: {msg}")
+    print(f"ok: {msg}")
+
+
+def smoke(path):
+    s = connect(path)
+    f = s.makefile("rw")
+
+    jobs = [
+        {"circuit": "bench:bb84", "mode": "grape", "priority": 1},
+        {"circuit": "bench:qaoa", "priority": 5},
+        {"circuit": "bench:no-such-benchmark"},
+        {"cmd": "metrics"},
+    ]
+    rs = rpc(f, jobs)
+    # jids are per-connection sequential: job i -> jid i+1
+    bb84, qaoa, bad, metrics = rs[1], rs[2], rs[3], rs[4]
+
+    check(bb84["status"] == "ok" and bb84["code"] == 0,
+          "clean GRAPE job: status ok, code 0 (mirrors CLI exit 0)")
+    check(qaoa["status"] == "ok" and qaoa["code"] == 0,
+          "clean estimate job: status ok, code 0")
+    check(bad["status"] == "error" and bad["code"] == 1,
+          "unknown benchmark: status error, code 1 (mirrors CLI exit 1)")
+    check(bb84["schedule"]["instructions"] and
+          bb84["schedule"]["latency_ns"] > 0,
+          "schedule payload present")
+    check("engine" in metrics and "runs" in metrics,
+          "metrics scrape returns both registries")
+    check(metrics["engine"]["counters"].get("pool.maps", 0) +
+          metrics["engine"]["counters"].get("pool.sequential_maps", 0) >= 0,
+          "engine registry carries pool traffic counters")
+
+    cold_s = bb84["compile_s"]
+    cold_hits = bb84["metrics"]["counters"].get("cache.hits", 0)
+    check(cold_hits == 0, "cold job resolved nothing from the store")
+
+    # identical resubmission: the engine store must serve the pulses
+    # (cache.hits > 0) and the warm compile must be faster than cold
+    warm = rpc(f, [{"circuit": "bench:bb84", "mode": "grape"}])
+    (warm_r,) = warm.values()
+    check(warm_r["status"] == "ok", "warm resubmission ok")
+    warm_hits = warm_r["metrics"]["counters"].get("cache.hits", 0)
+    check(warm_hits > 0, f"warm job hit the engine store ({warm_hits} hits)")
+    check(warm_r["compile_s"] < cold_s,
+          f"warm {warm_r['compile_s']:.3f}s < cold {cold_s:.3f}s")
+    check(warm_r["schedule"] == bb84["schedule"],
+          "warm schedule identical to cold")
+
+    final = rpc(f, [{"cmd": "metrics"}])
+    (final_m,) = final.values()
+    served = final_m["engine"]["counters"].get("serve.jobs", 0)
+    check(served == 4, f"engine counted all compile jobs ({served})")
+    s.close()
+    print("serve smoke passed")
+
+
+def degraded(path):
+    s = connect(path)
+    f = s.makefile("rw")
+    rs = rpc(f, [{"circuit": "bench:bb84", "mode": "grape"}])
+    (r,) = rs.values()
+    check(r["status"] == "degraded" and r["code"] == 3,
+          "faulted GRAPE job: status degraded, code 3 (mirrors CLI exit 3)")
+    check(r["schedule"]["instructions"],
+          "degraded job still returns a valid fallback schedule")
+    s.close()
+    print("degraded smoke passed")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    if len(sys.argv) > 2 and sys.argv[2] == "degraded":
+        degraded(sys.argv[1])
+    else:
+        smoke(sys.argv[1])
