@@ -4,9 +4,15 @@
                 [--grape] [--no-zx] [--no-synthesis] [--no-regroup]
                 [--partition-width N] [-v|-vv] [--schedule]
                 [--trace] [--trace-json] [--trace-gc] [--trace-chrome FILE]
-   epoc report  <file.qasm|bench:name> [--json] [flow/stage options]
+   epoc report  <file.qasm|bench:name> [--json|--prometheus]
+                [flow/stage options]
                 per-stage wall clock + GC deltas, solver convergence
                 telemetry and the full metrics registry for one compile
+   epoc serve   --socket PATH [--workers N] [--flight N] [--slow-trace SEC]
+                long-lived compile daemon (JSONL over a Unix socket)
+   epoc top     --socket PATH [--watch SEC]
+                live status of a running daemon: queue, request
+                counters, latency and the flight recorder's recent jobs
    epoc list                 list builtin benchmarks
    epoc zx <file|bench:name> run only the graph optimization stage *)
 
@@ -201,6 +207,7 @@ let run_flow_named flow ~engine ~config ~trace ~metrics ~name circuit =
 
 let report (r : Epoc.Pipeline.result) show =
   Printf.printf "flow             : %s\n" r.Epoc.Pipeline.name;
+  Printf.printf "request          : %s\n" r.Epoc.Pipeline.request_id;
   Printf.printf "latency          : %.1f ns\n" r.Epoc.Pipeline.latency;
   Printf.printf "fidelity (ESP)   : %.4f\n" r.Epoc.Pipeline.esp;
   Printf.printf "pulses           : %d\n" r.Epoc.Pipeline.stats.Epoc.Pipeline.pulse_count;
@@ -305,6 +312,7 @@ let report_json (r : Epoc.Pipeline.result) metrics ~process =
     [
       ("schema_version", J.of_int report_schema_version);
       ("name", J.Str r.Epoc.Pipeline.name);
+      ("request_id", J.Str r.Epoc.Pipeline.request_id);
       ("latency_ns", J.Num r.Epoc.Pipeline.latency);
       ("esp", J.Num r.Epoc.Pipeline.esp);
       ("compile_s", J.Num r.Epoc.Pipeline.compile_time);
@@ -398,7 +406,7 @@ let report_text (r : Epoc.Pipeline.result) metrics ~process =
 
 let report_cmd =
   let run spec flow grape no_zx no_synth no_regroup width cache_dir deadline
-      block_deadline retries strict fault verbosity json chrome =
+      block_deadline retries strict fault verbosity json prometheus chrome =
     setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -425,7 +433,13 @@ let report_cmd =
         | Some file ->
             write_file file (T.to_chrome_json result.Epoc.Pipeline.trace);
             Printf.eprintf "wrote chrome trace to %s\n" file);
-        if json then
+        if prometheus then
+          (* same exposition shape as the daemon's {"cmd":"prometheus"}:
+             engine registry under epoc_, per-run values under epoc_run_ *)
+          print_string
+            (M.to_prometheus ~prefix:"epoc_" process
+            ^ M.to_prometheus ~prefix:"epoc_run_" metrics)
+        else if json then
           print_endline
             (J.to_string ~indent:true (report_json result metrics ~process))
         else report_text result metrics ~process;
@@ -434,12 +448,21 @@ let report_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
+  let prometheus_flag =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:
+            "Emit the metric registries as Prometheus text exposition \
+             (engine registry under epoc_, per-run registry under \
+             epoc_run_; takes precedence over --json).")
+  in
   let term =
     Term.(
       const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
       $ no_regroup $ partition_width $ cache_arg $ deadline_arg
       $ block_deadline_arg $ retries_arg $ strict_arg $ fault_arg $ verbose
-      $ json_flag $ trace_chrome)
+      $ json_flag $ prometheus_flag $ trace_chrome)
   in
   Cmd.v
     (Cmd.info "report"
@@ -459,21 +482,50 @@ let workers_arg =
   let doc = "Concurrent compile jobs (worker threads over one engine)." in
   Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
 
+let flight_arg =
+  let doc =
+    "Flight-recorder capacity: how many completed requests the daemon \
+     retains for {\"cmd\":\"recent\"} / epoc top."
+  in
+  Arg.(
+    value
+    & opt int Epoc.Config.default.Epoc.Config.flight_capacity
+    & info [ "flight" ] ~docv:"N" ~doc)
+
+let slow_trace_arg =
+  let doc =
+    "Slow threshold in seconds: a request compiling at least this long \
+     gets its full Chrome trace captured in the flight recorder \
+     (fetch with {\"cmd\":\"trace\",\"id\":...}).  0 traces everything."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-trace" ] ~docv:"SEC" ~doc)
+
 let serve_cmd =
-  let run socket workers grape no_zx no_synth no_regroup width cache_dir
-      deadline block_deadline retries fault verbosity =
+  let run socket workers flight slow_trace grape no_zx no_synth no_regroup
+      width cache_dir deadline block_deadline retries fault verbosity =
     setup_logs verbosity;
     let config =
       config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
         ~deadline ~block_deadline ~retries ~fault
     in
+    let config =
+      {
+        config with
+        Epoc.Config.flight_capacity = max 1 flight;
+        slow_trace_s = slow_trace;
+      }
+    in
     Epoc_serve.Server.run { Epoc_serve.Server.socket; workers; config }
   in
   let term =
     Term.(
-      const run $ socket_arg $ workers_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ cache_arg $ deadline_arg
-      $ block_deadline_arg $ retries_arg $ fault_arg $ verbose)
+      const run $ socket_arg $ workers_arg $ flight_arg $ slow_trace_arg
+      $ grape_arg $ no_zx $ no_synthesis $ no_regroup $ partition_width
+      $ cache_arg $ deadline_arg $ block_deadline_arg $ retries_arg
+      $ fault_arg $ verbose)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -482,6 +534,154 @@ let serve_cmd =
           concurrent JSONL compile requests over a Unix socket \
           (priority-ordered admission, per-request deadlines, graceful \
           drain on SIGTERM).")
+    term
+
+(* --- epoc top ------------------------------------------------------------- *)
+
+(* One protocol round trip: connect, send each request line, read one
+   response line per request.  The daemon answers commands inline in
+   request order, so a plain line-for-line read is enough. *)
+let rpc_lines socket lines =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      flush oc;
+      List.map (fun _ -> input_line ic) lines)
+
+let counter_of json path name =
+  match
+    Option.bind (J.member path json) (fun reg ->
+        Option.bind (J.member "counters" reg) (J.member name))
+  with
+  | Some v -> Option.value ~default:0 (J.to_int v)
+  | None -> 0
+
+let gauge_of json path name =
+  Option.bind (J.member path json) (fun reg ->
+      Option.bind (J.member "gauges" reg) (fun g ->
+          Option.bind (J.member name g) J.to_num))
+
+let hist_mean_of json path name =
+  Option.bind (J.member path json) (fun reg ->
+      Option.bind (J.member "histograms" reg) (fun h ->
+          Option.bind (J.member name h) (fun snap ->
+              match
+                ( Option.bind (J.member "count" snap) J.to_num,
+                  Option.bind (J.member "sum" snap) J.to_num )
+              with
+              | Some c, Some s when c > 0.0 -> Some (s /. c)
+              | _ -> None)))
+
+let print_top metrics recent =
+  let c = counter_of metrics "engine" in
+  let g name = gauge_of metrics "engine" name in
+  let h name = hist_mean_of metrics "engine" name in
+  Printf.printf "jobs      : %d total (%d ok, %d degraded, %d error)\n"
+    (c "serve.jobs") (c "serve.ok") (c "serve.degraded") (c "serve.error");
+  Printf.printf "admission : %d admitted, %d rejected, %d drained\n"
+    (c "serve.admitted") (c "serve.rejected") (c "serve.drained");
+  Printf.printf "queue     : depth %.0f, in-flight %.0f\n"
+    (Option.value ~default:0.0 (g "serve.queue_depth"))
+    (Option.value ~default:0.0 (g "serve.in_flight"));
+  (match (h "serve.queue_wait_seconds", h "serve.e2e_seconds") with
+  | None, None -> ()
+  | qw, e2e ->
+      Printf.printf "latency   : mean wait %s, mean end-to-end %s\n"
+        (match qw with Some v -> Printf.sprintf "%.3fs" v | None -> "-")
+        (match e2e with Some v -> Printf.sprintf "%.3fs" v | None -> "-"));
+  let entries =
+    Option.value ~default:[]
+      (Option.bind (J.member "recent" recent) J.to_list)
+  in
+  Printf.printf "recent    : %d held / %d recorded\n" (List.length entries)
+    (match Option.bind (J.member "recorded" recent) J.to_int with
+    | Some n -> n
+    | None -> 0);
+  if entries <> [] then begin
+    Printf.printf "  %-6s %-10s %-8s %-6s %s\n" "id" "wall s" "status"
+      "trace" "name";
+    List.iter
+      (fun e ->
+        let str path = Option.bind (J.member path e) J.to_str in
+        let summary = J.member "summary" e in
+        let name =
+          Option.value ~default:"-"
+            (Option.bind summary (fun s ->
+                 Option.bind (J.member "name" s) J.to_str))
+        in
+        let degraded =
+          Option.value ~default:0.0
+            (Option.bind summary (fun s ->
+                 Option.bind (J.member "degraded_blocks" s) J.to_num))
+        in
+        Printf.printf "  %-6s %-10.3f %-8s %-6s %s\n"
+          (Option.value ~default:"-" (str "id"))
+          (Option.value ~default:0.0
+             (Option.bind (J.member "wall_s" e) J.to_num))
+          (if degraded > 0.0 then "degr" else "ok")
+          (match J.member "trace_captured" e with
+          | Some (J.Bool true) -> "yes"
+          | _ -> "-")
+          name)
+      entries
+  end
+
+let top_cmd =
+  let run socket watch =
+    let once () =
+      match rpc_lines socket [ {|{"cmd":"metrics"}|}; {|{"cmd":"recent"}|} ]
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "epoc top: %s: %s\n" socket (Unix.error_message e);
+          Error 1
+      | exception End_of_file ->
+          Printf.eprintf "epoc top: %s: connection closed\n" socket;
+          Error 1
+      | [ metrics_line; recent_line ] -> (
+          match (J.parse metrics_line, J.parse recent_line) with
+          | Ok metrics, Ok recent ->
+              print_top metrics recent;
+              Ok ()
+          | Error m, _ | _, Error m ->
+              Printf.eprintf "epoc top: bad response: %s\n" m;
+              Error 1)
+      | _ -> Error 1
+    in
+    match watch with
+    | None -> ( match once () with Ok () -> 0 | Error c -> c)
+    | Some period ->
+        let period = Float.max 0.1 period in
+        let rec loop () =
+          (* clear + home, like top(1); errors end the watch *)
+          print_string "\027[2J\027[H";
+          match once () with
+          | Error c -> c
+          | Ok () ->
+              flush stdout;
+              Unix.sleepf period;
+              loop ()
+        in
+        loop ()
+  in
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "watch" ] ~docv:"SEC"
+          ~doc:"Refresh every $(docv) seconds until interrupted.")
+  in
+  let term = Term.(const run $ socket_arg $ watch_arg) in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Show the live status of a running epoc serve daemon: request \
+          counters, queue depth, latency and the flight recorder's \
+          recent requests.")
     term
 
 let list_cmd =
@@ -532,4 +732,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; report_cmd; serve_cmd; list_cmd; zx_cmd ]))
+          [ compile_cmd; report_cmd; serve_cmd; top_cmd; list_cmd; zx_cmd ]))

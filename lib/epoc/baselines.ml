@@ -82,10 +82,10 @@ let gate_flow =
         [ lower_pass; gate_pulses_pass; schedule_instructions_pass ]);
   }
 
-let gate_based ?(config = Config.default) ?engine ?library ?cache ?pool ?trace
-    ?metrics ~name (circuit : Circuit.t) =
-  Pipeline.run_flow ~config ?engine ?library ?cache ?pool ?trace ?metrics ~name
-    gate_flow circuit
+let gate_based ?(config = Config.default) ?engine ?request_id ?library ?cache
+    ?pool ?trace ?metrics ~name (circuit : Circuit.t) =
+  Pipeline.run_flow ~config ?engine ?request_id ?library ?cache ?pool ?trace
+    ?metrics ~name gate_flow circuit
 
 (* --- AccQOC-like ------------------------------------------------------------ *)
 
@@ -103,10 +103,10 @@ let accqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
-let accqoc_like ?(config = Config.default) ?engine ?library ?cache ?pool
-    ?trace ?metrics ~name circuit =
-  Pipeline.run ~config:(accqoc_config config) ?engine ?library ?cache ?pool
-    ?trace ?metrics ~name circuit
+let accqoc_like ?(config = Config.default) ?engine ?request_id ?library ?cache
+    ?pool ?trace ?metrics ~name circuit =
+  Pipeline.run ~config:(accqoc_config config) ?engine ?request_id ?library
+    ?cache ?pool ?trace ?metrics ~name circuit
 
 (* --- PAQOC-like -------------------------------------------------------------- *)
 
@@ -145,8 +145,8 @@ let paqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
-let paqoc_like ?(config = Config.default) ?engine ?library ?cache ?pool ?trace
-    ?metrics ~name circuit =
+let paqoc_like ?(config = Config.default) ?engine ?request_id ?library ?cache
+    ?pool ?trace ?metrics ~name circuit =
   (* pattern mining informs the grouping budget: with frequent patterns
      present, PAQOC invests in deeper program-aware groups *)
   let patterns = mine_patterns circuit in
@@ -157,5 +157,5 @@ let paqoc_like ?(config = Config.default) ?engine ?library ?cache ?pool ?trace
                  regroup_partition = { Partition.qubit_limit = 2; op_limit = 8 } }
     else cfg
   in
-  Pipeline.run ~config:cfg ?engine ?library ?cache ?pool ?trace ?metrics ~name
-    circuit
+  Pipeline.run ~config:cfg ?engine ?request_id ?library ?cache ?pool ?trace
+    ?metrics ~name circuit

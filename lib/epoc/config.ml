@@ -41,6 +41,12 @@ type t = {
   block_deadline : float option;
   max_retries : int;
   fault : Epoc_fault.spec option;
+  (* observability: how many completed requests the engine's flight
+     recorder retains, and the slow threshold (seconds) past which a
+     request's full Chrome trace is captured automatically ([None] =
+     never capture) *)
+  flight_capacity : int;
+  slow_trace_s : float option;
 }
 
 let default =
@@ -79,6 +85,8 @@ let default =
     block_deadline = None;
     max_retries = 2;
     fault = None;
+    flight_capacity = 64;
+    slow_trace_s = None;
   }
 
 (* Reference EPOC configuration with real GRAPE pulses. *)

@@ -35,6 +35,8 @@ type t = {
   cache : Store.t option; (* persistent pulse store, opened once *)
   hardware : Hardware.Memo.memo;
   metrics : Metrics.t; (* engine registry: infrastructure, not per-run *)
+  flight : Epoc_obs.Flight.t; (* last-N completed requests, slow traces *)
+  next_rid : int Atomic.t; (* request-id counter; unique per engine *)
 }
 
 (* [config] seeds the engine-owned resources: the store directory and
@@ -61,12 +63,30 @@ let create ?(config = Config.default) ?domains ?pool ?library ?cache () =
               dir)
           config.Config.cache_dir
   in
-  { pool; library; cache; hardware = Hardware.Memo.create (); metrics }
+  {
+    pool;
+    library;
+    cache;
+    hardware = Hardware.Memo.create ();
+    metrics;
+    flight =
+      Epoc_obs.Flight.create ~capacity:config.Config.flight_capacity
+        ?slow_s:config.Config.slow_trace_s ();
+    next_rid = Atomic.make 1;
+  }
 
 let pool t = t.pool
 let library t = t.library
 let cache t = t.cache
 let metrics t = t.metrics
+let flight t = t.flight
+
+(* The next request id on this engine: "r1", "r2", ...  Ids are unique
+   per engine and stable for the lifetime of a request — they thread
+   through the session into every pass ctx and onto the result, the
+   flight-recorder entry and (in the serve daemon) the response line. *)
+let next_request_id t =
+  Printf.sprintf "r%d" (Atomic.fetch_and_add t.next_rid 1)
 
 (* Hardware model under [config]'s physical parameters, memoized on the
    engine. *)
@@ -91,6 +111,7 @@ type session = {
   s_engine : t;
   s_config : Config.t;
   s_name : string;
+  s_request_id : string; (* stable identity of this request *)
   s_library : Library.t;
   s_trace : Trace.t;
   s_metrics : Metrics.t; (* per-run registry: deterministic values only *)
@@ -98,11 +119,14 @@ type session = {
   s_fault : Epoc_fault.spec option;
 }
 
-let session ?(config = Config.default) ?library ?trace ?metrics ~name t =
+let session ?(config = Config.default) ?request_id ?library ?trace ?metrics
+    ~name t =
   {
     s_engine = t;
     s_config = config;
     s_name = name;
+    s_request_id =
+      (match request_id with Some id -> id | None -> next_request_id t);
     s_library =
       (match library with
       | Some l -> l
@@ -129,6 +153,7 @@ let session ?(config = Config.default) ?library ?trace ?metrics ~name t =
 let session_engine s = s.s_engine
 let session_config s = s.s_config
 let session_name s = s.s_name
+let session_request_id s = s.s_request_id
 let session_library s = s.s_library
 let session_trace s = s.s_trace
 let session_metrics s = s.s_metrics

@@ -51,6 +51,17 @@ val cache : t -> Epoc_cache.Store.t option
     those live in each session's registry. *)
 val metrics : t -> Metrics.t
 
+(** The engine's flight recorder: the last [config.flight_capacity]
+    completed requests, each with a JSON summary, plus the full Chrome
+    trace of any request slower than [config.slow_trace_s].  Recorded
+    by {!Pipeline.run_flow} on every compile through this engine. *)
+val flight : t -> Epoc_obs.Flight.t
+
+(** The next request id on this engine (["r1"], ["r2"], ...).  Ids are
+    unique per engine; {!session} draws one automatically when the
+    caller does not supply its own. *)
+val next_request_id : t -> string
+
 (** Hardware model for [k] qubits under [config]'s physical parameters,
     memoized on the engine. *)
 val hardware_for : t -> Config.t -> int -> Hardware.t
@@ -66,15 +77,20 @@ val flush : t -> unit
     the run resolves against. *)
 type session
 
-(** [session ~name t] opens a session on [t].  The session library is
-    the engine's shared library unless [library] supplies a private one
-    (the serve daemon isolates each job this way so it resolves exactly
-    like a one-shot run, with cross-request reuse flowing through the
-    engine store).  [trace] and [metrics] default to fresh sinks; the
-    budget derives from [config.total_deadline] and the fault spec from
+(** [session ~name t] opens a session on [t].  The session's request id
+    is drawn from the engine ({!next_request_id}) unless [request_id]
+    supplies one; it is the stable identity every trace span, metric
+    registry, retry/degradation event and cache outcome of this run is
+    attributable to.  The session library is the engine's shared
+    library unless [library] supplies a private one (the serve daemon
+    isolates each job this way so it resolves exactly like a one-shot
+    run, with cross-request reuse flowing through the engine store).
+    [trace] and [metrics] default to fresh sinks; the budget derives
+    from [config.total_deadline] and the fault spec from
     [config.fault]. *)
 val session :
   ?config:Config.t ->
+  ?request_id:string ->
   ?library:Library.t ->
   ?trace:Trace.t ->
   ?metrics:Metrics.t ->
@@ -87,6 +103,8 @@ val session_engine : session -> t
 val session_config : session -> Config.t
 
 val session_name : session -> string
+
+val session_request_id : session -> string
 
 val session_library : session -> Library.t
 

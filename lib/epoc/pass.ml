@@ -16,6 +16,9 @@ module Metrics = Epoc_obs.Metrics
 
 type ctx = {
   config : Config.t;
+  request_id : string;
+      (* stable identity of the request this run serves; every span,
+         metric, retry and degradation of the run is attributable to it *)
   pool : Pool.t; (* engine-owned *)
   library : Library.t; (* session handle; forked per candidate *)
   cache : Epoc_cache.Store.t option; (* engine-owned persistent store *)
@@ -39,6 +42,7 @@ let of_session (s : Engine.session) =
   let config = Engine.session_config s in
   {
     config;
+    request_id = Engine.session_request_id s;
     pool = Engine.pool engine;
     library = Engine.session_library s;
     cache = Engine.cache engine;

@@ -18,6 +18,10 @@ module Metrics = Epoc_obs.Metrics
     update ({!fork_ctx} plus a forked library). *)
 type ctx = {
   config : Config.t;
+  request_id : string;
+      (** stable identity of the request this run serves (from
+          {!Engine.session_request_id}); every span, metric, retry and
+          degradation of the run is attributable to it *)
   pool : Pool.t;  (** engine-owned *)
   library : Library.t;  (** session handle; forked per candidate *)
   cache : Epoc_cache.Store.t option;

@@ -48,6 +48,7 @@ type stage_stats = {
 
 type result = {
   name : string;
+  request_id : string; (* stable identity of this compile request *)
   latency : float; (* ns *)
   esp : float;
   compile_time : float; (* s *)
@@ -150,15 +151,17 @@ let compile_candidate (ctx : Pass.ctx) passes ir0 ((optimized : Circuit.t), zx_u
    exactly.  Explicit [pool]/[cache] also override an explicit engine's
    resources for this run, and [library] overrides the session library
    (the engine's shared one by default). *)
-let run_flow ?(config = Config.default) ?engine ?library ?cache ?pool ?trace
-    ?metrics ~name flow (circuit : Circuit.t) =
+let run_flow ?(config = Config.default) ?engine ?request_id ?library ?cache
+    ?pool ?trace ?metrics ~name flow (circuit : Circuit.t) =
   let t0 = Unix.gettimeofday () in
   let engine =
     match engine with
     | Some e -> e
     | None -> Engine.create ~config ?pool ?cache ()
   in
-  let session = Engine.session ~config ?library ?trace ?metrics ~name engine in
+  let session =
+    Engine.session ~config ?request_id ?library ?trace ?metrics ~name engine
+  in
   let ctx = Pass.of_session session in
   let ctx =
     match pool with None -> ctx | Some p -> { ctx with Pass.pool = p }
@@ -253,8 +256,49 @@ let run_flow ?(config = Config.default) ?engine ?library ?cache ?pool ?trace
       Metrics.set metrics "cache.entries"
         (float_of_int (Store.entry_count store)))
     cache;
+  let request_id = Engine.session_request_id session in
+  (* flight-recorder entry: a bounded JSON summary of this request on the
+     engine, plus the full Chrome trace when the compile was slow.  Both
+     live on engine-owned state, outside the determinism contract. *)
+  let module Json = Epoc_obs.Json in
+  let fingerprint = Digest.to_hex (Digest.string (Circuit.to_string circuit)) in
+  let stage_breakdown =
+    Json.Obj
+      (List.map
+         (fun (r : Trace.agg_row) -> (r.Trace.agg_name, Json.Num r.Trace.agg_wall_s))
+         (Trace.aggregate trace))
+  in
+  let flight_payload =
+    Json.Obj
+      [
+        ("request_id", Json.Str request_id);
+        ("name", Json.Str name);
+        ("circuit", Json.Str fingerprint);
+        ( "mode",
+          Json.Str
+            (match config.Config.qoc_mode with
+            | Config.Grape -> "grape"
+            | Config.Estimate -> "estimate") );
+        ("latency_ns", Json.Num latency);
+        ("esp", Json.Num esp);
+        ("compile_s", Json.Num compile_time);
+        ("degraded_blocks", Json.of_int stats.degraded_blocks);
+        ("retries", Json.of_int stats.retries);
+        ("cache_hits", Json.of_int (Metrics.counter_value metrics "cache.hits"));
+        ( "cache_near_hits",
+          Json.of_int (Metrics.counter_value metrics "cache.near_hits") );
+        ( "cache_misses",
+          Json.of_int (Metrics.counter_value metrics "cache.misses") );
+        ("stages_s", stage_breakdown);
+      ]
+  in
+  Epoc_obs.Flight.record (Engine.flight engine) ~id:request_id
+    ~wall_s:compile_time
+    ~trace:(fun () -> Trace.to_chrome_json trace)
+    flight_payload;
   {
     name;
+    request_id;
     latency;
     esp;
     compile_time;
@@ -267,7 +311,7 @@ let run_flow ?(config = Config.default) ?engine ?library ?cache ?pool ?trace
   }
 
 (* Run the full EPOC pipeline on [circuit]. *)
-let run ?config ?engine ?library ?cache ?pool ?trace ?metrics ~name
+let run ?config ?engine ?request_id ?library ?cache ?pool ?trace ?metrics ~name
     (circuit : Circuit.t) =
-  run_flow ?config ?engine ?library ?cache ?pool ?trace ?metrics ~name
-    epoc_flow circuit
+  run_flow ?config ?engine ?request_id ?library ?cache ?pool ?trace ?metrics
+    ~name epoc_flow circuit

@@ -32,6 +32,10 @@ type stage_stats = {
 
 type result = {
   name : string;
+  request_id : string;
+      (** stable identity of this compile request (from the engine, or
+          the caller's [?request_id]); the same id prefixes the run's
+          logs and keys its flight-recorder entry *)
   latency : float;  (** ns *)
   esp : float;
   compile_time : float;  (** s *)
@@ -76,10 +80,17 @@ val pulse_for :
     engine's resources for this run, and [library] overrides the
     session library (the engine's shared one by default).  When a store
     is attached, the run's new entries are flushed to disk before
-    returning. *)
+    returning.
+
+    Every run records a summary entry (and, past the engine's slow
+    threshold, a full Chrome trace) into the engine's flight recorder,
+    keyed by the result's [request_id] — drawn from the engine unless
+    [request_id] supplies one (the serve daemon does, so the id is
+    known before the job is queued). *)
 val run_flow :
   ?config:Config.t ->
   ?engine:Engine.t ->
+  ?request_id:string ->
   ?library:Library.t ->
   ?cache:Epoc_cache.Store.t ->
   ?pool:Pool.t ->
@@ -95,6 +106,7 @@ val run_flow :
 val run :
   ?config:Config.t ->
   ?engine:Engine.t ->
+  ?request_id:string ->
   ?library:Library.t ->
   ?cache:Epoc_cache.Store.t ->
   ?pool:Pool.t ->

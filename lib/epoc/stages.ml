@@ -128,7 +128,7 @@ type pulse_pending = {
    bit-identical to the pre-resilience pipeline; each request's attempt
    sequence is private to it, so batching never changes a block's
    result, only co-schedules the solves. *)
-let compute_pulse_batch ?metrics ?process_metrics ?fault
+let compute_pulse_batch ?(request_id = "-") ?metrics ?process_metrics ?fault
     ?(budget = Epoc_budget.unlimited) ?pool ?workspace (config : Config.t)
     (hw_block : Hardware.t) (reqs : pulse_req list) : Ir.job_result list =
   let record f = Option.iter f metrics in
@@ -154,8 +154,8 @@ let compute_pulse_batch ?metrics ?process_metrics ?fault
         Metrics.observe m "degraded.fidelity_delta"
           (Float.max 0.0 (e.Latency.est_fidelity -. fb_fidelity)));
     Log.warn (fun m ->
-        m "%s degraded to gate-pulse playback after %d attempt(s): %s" site
-          (attempt + 1) (Epoc_error.to_string err));
+        m "[%s] %s degraded to gate-pulse playback after %d attempt(s): %s"
+          request_id site (attempt + 1) (Epoc_error.to_string err));
     {
       Ir.jr_duration = fb_duration;
       jr_fidelity = fb_fidelity;
@@ -412,7 +412,7 @@ let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
    its resolved values — and its degraded flag — directly.
 
    Returns (jobs, representatives) counts for the stage report. *)
-let resolve_pulses ?metrics ?process_metrics ?cache ?fault
+let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
     ?(budget = Epoc_budget.unlimited) (config : Config.t) pool library
     ~hardware jobs =
   let record f = Option.iter f metrics in
@@ -493,8 +493,8 @@ let resolve_pulses ?metrics ?process_metrics ?cache ?fault
         (fun k ->
           let group = List.rev !(Hashtbl.find by_width k) in
           let results =
-            compute_pulse_batch ?metrics ?process_metrics ?fault ~budget ~pool
-              config (hardware k)
+            compute_pulse_batch ~request_id ?metrics ?process_metrics ?fault
+              ~budget ~pool config (hardware k)
               (List.map
                  (fun (j : Ir.pulse_job) ->
                    {
@@ -761,16 +761,17 @@ let pulses =
       in
       let jobs = List.concat_map (List.filter_map snd) annotated in
       let n_jobs, n_computed =
-        resolve_pulses ~metrics:ctx.Pass.metrics
-          ~process_metrics:ctx.Pass.process ?cache:ctx.Pass.cache
-          ?fault:ctx.Pass.fault ~budget:ctx.Pass.budget ctx.Pass.config
-          ctx.Pass.pool ctx.Pass.library ~hardware:ctx.Pass.hardware jobs
+        resolve_pulses ~request_id:ctx.Pass.request_id
+          ~metrics:ctx.Pass.metrics ~process_metrics:ctx.Pass.process
+          ?cache:ctx.Pass.cache ?fault:ctx.Pass.fault ~budget:ctx.Pass.budget
+          ctx.Pass.config ctx.Pass.pool ctx.Pass.library
+          ~hardware:ctx.Pass.hardware jobs
       in
       Metrics.incr ~by:n_jobs ctx.Pass.metrics "pulse.jobs";
       Metrics.incr ~by:n_computed ctx.Pass.metrics "pulse.computed";
       Log.info (fun m ->
-          m "pulses: %d jobs, %d fresh computations (library resolved %d)"
-            n_jobs n_computed (n_jobs - n_computed));
+          m "[%s] pulses: %d jobs, %d fresh computations (library resolved %d)"
+            ctx.Pass.request_id n_jobs n_computed (n_jobs - n_computed));
       {
         ir with
         Ir.groupings = annotated;

@@ -246,6 +246,121 @@ let hist_to_json (h : hist_snapshot) =
              h.buckets) );
     ]
 
+(* --- Prometheus text exposition ------------------------------------------ *)
+
+(* Metric names are dotted internally ("pipeline.latency_ns"); the
+   exposition sanitizes them to the Prometheus grammar and prepends
+   [prefix].  A name may carry a label suffix in exposition syntax —
+   [serve.requests{status="ok"}] — which rides through verbatim: the
+   registry itself stays label-free (each labelled series is its own
+   instrument), but the renderer groups same-base series under one
+   family header and merges the labels with histogram [le] labels. *)
+
+let prom_char c =
+  if
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  then c
+  else '_'
+
+let prom_sanitize = String.map prom_char
+
+(* Split an instrument name into its base and the raw label body (the
+   text between the braces), if any. *)
+let split_labels name =
+  let n = String.length name in
+  match String.index_opt name '{' with
+  | Some i when n > i + 1 && name.[n - 1] = '}' ->
+      (String.sub name 0 i, Some (String.sub name (i + 1) (n - i - 2)))
+  | _ -> (name, None)
+
+let prom_value v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+(* [series name labels extra]: one sample name with its merged label
+   set, e.g. [epoc_x_bucket{status="ok",le="0.5"}]. *)
+let prom_series name labels extra =
+  let parts =
+    (match labels with None -> [] | Some l -> [ l ])
+    @ List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k v) extra
+  in
+  match parts with
+  | [] -> name
+  | parts -> Printf.sprintf "%s{%s}" name (String.concat "," parts)
+
+(* Render the registry as Prometheus text exposition (version 0.0.4).
+   Counters expose as [<base>_total], histograms as cumulative
+   [_bucket]/[_sum]/[_count] series over the log2 bucket bounds, gauges
+   as-is.  Same-base labelled series share one [# TYPE] header; output
+   is name-sorted and deterministic for a deterministic registry. *)
+let to_prometheus ?(prefix = "epoc_") t =
+  let rows =
+    List.map
+      (fun (name, v) ->
+        let base, labels = split_labels name in
+        (prefix ^ prom_sanitize base, labels, v))
+      (snapshot t)
+  in
+  let rows =
+    List.stable_sort (fun (a, la, _) (b, lb, _) -> compare (a, la) (b, lb)) rows
+  in
+  let b = Buffer.create 1024 in
+  let last_family = ref "" in
+  let family name kind =
+    if !last_family <> name then begin
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind);
+      last_family := name
+    end
+  in
+  List.iter
+    (fun (base, labels, v) ->
+      match v with
+      | Counter_v c ->
+          let name = base ^ "_total" in
+          family name "counter";
+          Buffer.add_string b
+            (Printf.sprintf "%s %d\n" (prom_series name labels []) c)
+      | Gauge_v g ->
+          family base "gauge";
+          Buffer.add_string b
+            (Printf.sprintf "%s %s\n" (prom_series base labels []) (prom_value g))
+      | Hist_v h ->
+          family base "histogram";
+          let cumulative = ref 0 in
+          List.iter
+            (fun (i, c) ->
+              cumulative := !cumulative + c;
+              (* the overflow bucket's upper bound is +Inf, which the
+                 final +Inf sample below already covers *)
+              if i < bucket_count - 1 then
+                let _, hi = bucket_bounds i in
+                Buffer.add_string b
+                  (Printf.sprintf "%s %d\n"
+                     (prom_series (base ^ "_bucket") labels
+                        [ ("le", prom_value hi) ])
+                     !cumulative))
+            h.buckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s %d\n"
+               (prom_series (base ^ "_bucket") labels [ ("le", "+Inf") ])
+               h.count);
+          Buffer.add_string b
+            (Printf.sprintf "%s %s\n"
+               (prom_series (base ^ "_sum") labels [])
+               (prom_value h.sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s %d\n" (prom_series (base ^ "_count") labels []) h.count))
+    rows;
+  Buffer.contents b
+
 (* Three name-sorted sections; deterministic for a deterministic run. *)
 let to_json t =
   let snap = snapshot t in

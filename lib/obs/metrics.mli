@@ -1,0 +1,110 @@
+(** Metrics registry: counters, gauges and log2-bucketed histograms,
+    keyed by name.
+
+    {2 Concurrency and the fork/absorb commutativity contract}
+
+    A registry is mutex-guarded, so any domain may record into it.  For
+    parallel fan-outs the registry follows the same fork/absorb
+    discipline as the pulse library and the trace sink: workers record
+    into a private {!fork}, and the coordinator {!absorb}s the shards
+    back.  All three merges are {e commutative and associative} —
+    counters and histogram buckets add, gauges take the maximum — so
+    absorbing shards in any order yields the same registry.  This is
+    what makes per-run metric values bit-identical for any
+    [EPOC_JOBS]/domain count: the values recorded are deterministic,
+    and the merge forgets the (nondeterministic) completion order.
+
+    Corollaries callers must respect:
+    - cross-shard gauges must be high-water marks ({!peak}); a
+      last-write {!set} gauge belongs on the coordinator only, because
+      last-write order across shards is scheduling-dependent;
+    - wall-clock and other nondeterministic values belong in an
+      engine/process registry, never in a per-run one.
+
+    Histograms are log2-bucketed: bucket 0 collects [v <= 0] (and NaN),
+    buckets 1..62 collect [v] in [[2^(i-32), 2^(i-31))], bucket 63
+    overflows.  Bucketing uses the float exponent directly, so boundary
+    values land deterministically. *)
+
+type t
+
+val create : unit -> t
+
+(** Add [by] (default 1) to counter [name], creating it at zero. *)
+val incr : ?by:int -> t -> string -> unit
+
+(** Last-write gauge.  Merge across shards is by [max]; see the
+    fork/absorb contract above for why [set] belongs on coordinators. *)
+val set : t -> string -> float -> unit
+
+(** High-water gauge: keeps the maximum of all recorded values. *)
+val peak : t -> string -> float -> unit
+
+(** Record one histogram observation. *)
+val observe : t -> string -> float -> unit
+
+(** {1 Fork / absorb} *)
+
+(** A private shard for a parallel region; the parent is only named to
+    mirror the Library/Trace fork API. *)
+val fork : t -> t
+
+(** Merge a shard into [t].  Commutative and associative — see the
+    contract above. *)
+val absorb : t -> t -> unit
+
+(** {1 Buckets} *)
+
+val bucket_count : int
+
+(** Bucket of a value (total: NaN and non-positive values land in
+    bucket 0). *)
+val bucket_index : float -> int
+
+(** Half-open value range [[lo, hi)] of a bucket. *)
+val bucket_bounds : int -> float * float
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  vmin : float;  (** [+inf] when empty *)
+  vmax : float;  (** [-inf] when empty *)
+  buckets : (int * int) list;
+      (** (bucket index, count), non-zero only, ascending *)
+}
+
+type value = Counter_v of int | Gauge_v of float | Hist_v of hist_snapshot
+
+(** Name-sorted snapshot of every instrument: the stable, comparable
+    form used by tests and exporters. *)
+val snapshot : t -> (string * value) list
+
+(** 0 when absent or not a counter. *)
+val counter_value : t -> string -> int
+
+val gauge_value : t -> string -> float option
+val hist_value : t -> string -> hist_snapshot option
+
+(** 0 for an empty histogram. *)
+val mean : hist_snapshot -> float
+
+(** {1 Export} *)
+
+(** Three name-sorted sections ([counters], [gauges], [histograms]);
+    deterministic for a deterministic run. *)
+val to_json : t -> Json.t
+
+(** The registry as Prometheus text exposition (version 0.0.4), every
+    series name sanitized to the Prometheus grammar and prepended with
+    [prefix] (default ["epoc_"]).  Counters expose as [<name>_total];
+    histograms as cumulative [_bucket] series over the log2 bucket
+    upper bounds (ending in [le="+Inf"]) plus [_sum] and [_count].
+
+    An instrument name may carry a label suffix in exposition syntax —
+    [serve.requests{status="ok"}] — which rides through verbatim:
+    same-base series group under one [# TYPE] family header, and
+    histogram labels merge with the [le] label.  Output is name-sorted
+    and deterministic for a deterministic registry. *)
+val to_prometheus : ?prefix:string -> t -> string

@@ -5,12 +5,19 @@
       "flow": "epoc"|"gate"|"accqoc"|"paqoc", "mode":
       "estimate"|"grape", "deadline_s": 5.0, "priority": 2}] — only
       [circuit] is required.
-    - command: [{"cmd": "metrics"}].
+    - commands: [{"cmd": "metrics"}] (JSON registry scrape),
+      [{"cmd": "prometheus"}] (text exposition as a string field),
+      [{"cmd": "recent"}] (flight-recorder summaries) and
+      [{"cmd": "trace", "id": "r12"}] (captured Chrome trace of one
+      slow request).
 
     Responses mirror the CLI exit contract per job: [status]
-    "ok"/"degraded"/"error" with [code] 0/3/1, plus the schedule and
-    per-run metrics registry on success.  This module is pure data;
-    the socket loop lives in {!Server}. *)
+    "ok"/"degraded"/"error" with [code] 0/3/1, plus the schedule,
+    per-run metrics registry, the request id and serve bookkeeping
+    (queue wait, worker id, drained flag) on success.  Unreadable
+    lines get ["parse: <detail>"] errors whose detail carries the
+    byte offset the JSON parser stopped at.  This module is pure
+    data; the socket loop lives in {!Server}. *)
 
 module J = Epoc_obs.Json
 module M = Epoc_obs.Metrics
@@ -26,10 +33,16 @@ type job = {
   priority : int;  (** higher runs first; ties in arrival order *)
 }
 
-type request = Compile of job | Metrics
+type request =
+  | Compile of job
+  | Metrics
+  | Prometheus
+  | Recent
+  | TraceOf of string  (** [{"cmd":"trace","id":...}] *)
 
 (** Parse one request line.  Unknown fields are ignored; unknown values
-    of known fields are errors. *)
+    of known fields are errors; malformed JSON yields
+    ["parse: <detail at byte offset>"]. *)
 val parse_request : string -> (request, string) result
 
 (** 0 for "ok", 3 for "degraded", 1 otherwise — the CLI exit contract. *)
@@ -37,12 +50,46 @@ val code_of_status : string -> int
 
 val status_of_result : Epoc.Pipeline.result -> string
 val schedule_json : Schedule.t -> J.t
-val result_response : jid:int -> Epoc.Pipeline.result -> J.t
-val error_response : jid:int -> string -> J.t
+
+(** Success line: status/code, the result's request id, serve
+    bookkeeping ([queue_wait_s], [worker], [drained] — emitted only
+    when supplied), the per-stage wall-clock breakdown under [stages],
+    the schedule and the per-run registry. *)
+val result_response :
+  jid:int ->
+  ?queue_wait_s:float ->
+  ?worker:int ->
+  ?drained:bool ->
+  Epoc.Pipeline.result ->
+  J.t
+
+val error_response :
+  jid:int ->
+  ?request_id:string ->
+  ?queue_wait_s:float ->
+  ?worker:int ->
+  ?drained:bool ->
+  string ->
+  J.t
 
 (** Scrape payload for [{"cmd":"metrics"}]: engine registry and the
     aggregate of completed jobs' per-run registries. *)
 val metrics_response : jid:int -> engine:M.t -> runs:M.t -> J.t
+
+(** Scrape payload for [{"cmd":"prometheus"}]: one text-exposition
+    document — engine registry under [epoc_*], completed-runs
+    aggregate under [epoc_run_*] — embedded as a string field so the
+    response stays one JSONL line. *)
+val prometheus_response : jid:int -> engine:M.t -> runs:M.t -> J.t
+
+(** Payload for [{"cmd":"recent"}]: flight-recorder summaries, newest
+    first, with ring occupancy. *)
+val recent_response : jid:int -> flight:Epoc_obs.Flight.t -> J.t
+
+(** Payload for [{"cmd":"trace","id":...}]: the captured Chrome trace
+    of one slow request (an error when the id is unknown or the request
+    was below the slow threshold). *)
+val trace_response : jid:int -> id:string -> flight:Epoc_obs.Flight.t -> J.t
 
 (** One response line: compact JSON, newline-terminated. *)
 val to_line : J.t -> string

@@ -44,6 +44,7 @@ type pending = {
   jid : int;
   job : Protocol.job;
   reply : string -> unit;  (* write one whole response line *)
+  enqueued_s : float;  (* admission time; queue_wait = pickup - this *)
 }
 
 type state = {
@@ -83,6 +84,10 @@ let take_locked st =
           first rest
       in
       st.queue <- List.filter (fun p -> p.jid <> best.jid) st.queue;
+      M.set
+        (Epoc.Engine.metrics st.engine)
+        "serve.queue_depth"
+        (float_of_int (List.length st.queue));
       Some best
 
 (* --- job execution -------------------------------------------------------- *)
@@ -110,16 +115,25 @@ let library_for flow (config : Config.t) =
   in
   Library.create ~match_global_phase ()
 
-let run_named engine flow ~config ~library ~name circuit =
+let run_named engine flow ~config ~request_id ~library ~name circuit =
   match flow with
-  | "epoc" -> Epoc.Pipeline.run ~config ~engine ~library ~name circuit
-  | "gate" -> Epoc.Baselines.gate_based ~config ~engine ~library ~name circuit
+  | "epoc" ->
+      Epoc.Pipeline.run ~config ~engine ~request_id ~library ~name circuit
+  | "gate" ->
+      Epoc.Baselines.gate_based ~config ~engine ~request_id ~library ~name
+        circuit
   | "accqoc" ->
-      Epoc.Baselines.accqoc_like ~config ~engine ~library ~name circuit
-  | "paqoc" -> Epoc.Baselines.paqoc_like ~config ~engine ~library ~name circuit
+      Epoc.Baselines.accqoc_like ~config ~engine ~request_id ~library ~name
+        circuit
+  | "paqoc" ->
+      Epoc.Baselines.paqoc_like ~config ~engine ~request_id ~library ~name
+        circuit
   | other -> invalid_arg ("unknown flow " ^ other)
 
-let compile st (p : pending) =
+(* [queue_wait_s], [worker] and [drained] ride on every response —
+   success or error — so a job that times out while the daemon drains
+   still reports where it waited and who ran it. *)
+let compile st (p : pending) ~request_id ~queue_wait_s ~worker ~drained =
   let job = p.job in
   let config =
     {
@@ -132,14 +146,19 @@ let compile st (p : pending) =
     }
   in
   match load_circuit job.Protocol.circuit with
-  | Error msg -> Protocol.error_response ~jid:p.jid msg
+  | Error msg ->
+      Protocol.error_response ~jid:p.jid ~request_id ~queue_wait_s ~worker
+        ~drained msg
   | Ok circuit -> (
       let library = library_for job.Protocol.flow config in
       let name = Printf.sprintf "job%d" p.jid in
       match
-        run_named st.engine job.Protocol.flow ~config ~library ~name circuit
+        run_named st.engine job.Protocol.flow ~config ~request_id ~library
+          ~name circuit
       with
-      | exception e -> Protocol.error_response ~jid:p.jid (Printexc.to_string e)
+      | exception e ->
+          Protocol.error_response ~jid:p.jid ~request_id ~queue_wait_s ~worker
+            ~drained (Printexc.to_string e)
       | result ->
           let shared = Epoc.Engine.library st.engine in
           if
@@ -147,26 +166,44 @@ let compile st (p : pending) =
             = Library.match_global_phase library
           then Library.absorb shared library;
           M.absorb st.runs result.Epoc.Pipeline.metrics;
-          Protocol.result_response ~jid:p.jid result)
+          Protocol.result_response ~jid:p.jid ~queue_wait_s ~worker ~drained
+            result)
 
-let process st (p : pending) =
-  let response = compile st p in
+let process st ~worker ~drained (p : pending) =
+  let em = Epoc.Engine.metrics st.engine in
+  let picked_s = Unix.gettimeofday () in
+  let queue_wait_s = max 0.0 (picked_s -. p.enqueued_s) in
+  M.observe em "serve.queue_wait_seconds" queue_wait_s;
+  (* the request id is drawn before the compile so the job is
+     attributable even when it never produces a result *)
+  let request_id = Epoc.Engine.next_request_id st.engine in
+  let response =
+    compile st p ~request_id ~queue_wait_s ~worker ~drained
+  in
   let status =
     match J.member "status" response with Some (J.Str s) -> s | _ -> "error"
   in
-  let em = Epoc.Engine.metrics st.engine in
   M.incr em "serve.jobs";
   M.incr em ("serve." ^ status);
+  M.incr em (Printf.sprintf "serve.requests{status=%S}" status);
+  if drained then M.incr em "serve.drained";
+  M.observe em "serve.e2e_seconds"
+    (max 0.0 (Unix.gettimeofday () -. p.enqueued_s));
   p.reply (Protocol.to_line response)
 
-let rec worker_loop st =
+let rec worker_loop st worker =
   Mutex.lock st.lock;
   let rec await () =
     match take_locked st with
     | Some p ->
         st.in_flight <- st.in_flight + 1;
+        let drained = st.stopping in
+        M.set
+          (Epoc.Engine.metrics st.engine)
+          "serve.in_flight"
+          (float_of_int st.in_flight);
         Mutex.unlock st.lock;
-        Some p
+        Some (p, drained)
     | None ->
         if st.stopping then begin
           Mutex.unlock st.lock;
@@ -179,17 +216,21 @@ let rec worker_loop st =
   in
   match await () with
   | None -> ()
-  | Some p ->
-      (match process st p with
+  | Some (p, drained) ->
+      (match process st ~worker ~drained p with
       | () -> ()
       | exception e ->
           Log.err (fun m ->
               m "job %d: uncaught %s" p.jid (Printexc.to_string e)));
       Mutex.lock st.lock;
       st.in_flight <- st.in_flight - 1;
+      M.set
+        (Epoc.Engine.metrics st.engine)
+        "serve.in_flight"
+        (float_of_int st.in_flight);
       Condition.broadcast st.drained;
       Mutex.unlock st.lock;
-      worker_loop st
+      worker_loop st worker
 
 (* --- connections ---------------------------------------------------------- *)
 
@@ -205,17 +246,22 @@ let write_all fd line =
   try go 0 with Unix.Unix_error _ -> () (* client went away; drop *)
 
 let enqueue st job reply =
+  let em = Epoc.Engine.metrics st.engine in
   Mutex.lock st.lock;
   if st.stopping then begin
     let jid = st.next_jid in
     st.next_jid <- jid + 1;
+    M.incr em "serve.rejected";
     Mutex.unlock st.lock;
     reply (Protocol.to_line (Protocol.error_response ~jid "shutting down"))
   end
   else begin
     let jid = st.next_jid in
     st.next_jid <- jid + 1;
-    st.queue <- { jid; job; reply } :: st.queue;
+    st.queue <-
+      { jid; job; reply; enqueued_s = Unix.gettimeofday () } :: st.queue;
+    M.incr em "serve.admitted";
+    M.set em "serve.queue_depth" (float_of_int (List.length st.queue));
     Condition.signal st.nonempty;
     Mutex.unlock st.lock
   end
@@ -245,6 +291,21 @@ let handle_conn st fd =
                 (Protocol.to_line
                    (Protocol.metrics_response ~jid:(next_jid st)
                       ~engine:(Epoc.Engine.metrics st.engine) ~runs:st.runs))
+          | Ok Protocol.Prometheus ->
+              reply
+                (Protocol.to_line
+                   (Protocol.prometheus_response ~jid:(next_jid st)
+                      ~engine:(Epoc.Engine.metrics st.engine) ~runs:st.runs))
+          | Ok Protocol.Recent ->
+              reply
+                (Protocol.to_line
+                   (Protocol.recent_response ~jid:(next_jid st)
+                      ~flight:(Epoc.Engine.flight st.engine)))
+          | Ok (Protocol.TraceOf id) ->
+              reply
+                (Protocol.to_line
+                   (Protocol.trace_response ~jid:(next_jid st) ~id
+                      ~flight:(Epoc.Engine.flight st.engine)))
           | Ok (Protocol.Compile job) -> enqueue st job reply)
         end;
         loop ()
@@ -299,7 +360,8 @@ let run ?engine (o : opts) =
   let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let workers =
-    List.init (max 1 o.workers) (fun _ -> Thread.create worker_loop st)
+    List.init (max 1 o.workers) (fun i ->
+        Thread.create (fun () -> worker_loop st i) ())
   in
   let conns = ref [] in
   Log.app (fun m ->

@@ -7,9 +7,18 @@
     compiles against a private library (one-shot semantics) with
     cross-request reuse through the engine's persistent store.
 
+    Serve telemetry rides on the engine registry: queue-depth and
+    in-flight gauges, admission/rejection counters, per-status request
+    counters ([serve.requests{status="..."}]), queue-wait and
+    end-to-end latency histograms, and a drained-job counter.  Each
+    completed compile also lands in the engine's flight recorder,
+    queryable over the socket ([{"cmd":"recent"}], [{"cmd":"trace"}])
+    and scrapeable as Prometheus text ([{"cmd":"prometheus"}]).
+
     SIGTERM/SIGINT drain queued and in-flight jobs — each bounded by
     its own deadline — flush the store once, emit a final metrics line
-    on stdout and remove the socket path.  See DESIGN.md section 4h. *)
+    on stdout and remove the socket path.  See DESIGN.md sections 4h
+    and 4i. *)
 
 type opts = {
   socket : string;  (** Unix socket path; stale paths are replaced *)

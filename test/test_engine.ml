@@ -60,6 +60,63 @@ let test_session_library_convention () =
   Alcotest.(check bool) "private library follows the session config" false
     (Library.match_global_phase (Engine.session_library s_sensitive))
 
+(* request ids are engine-scoped, unique and threaded session -> ctx ->
+   result; an explicit id overrides the engine's counter *)
+let test_request_ids () =
+  let e = Engine.create () in
+  let s1 = Engine.session ~name:"a" e in
+  let s2 = Engine.session ~name:"b" e in
+  Alcotest.(check string) "first id" "r1" (Engine.session_request_id s1);
+  Alcotest.(check string) "second id" "r2" (Engine.session_request_id s2);
+  Alcotest.(check string) "ctx sees the session id" "r1"
+    (Pass.of_session s1).Pass.request_id;
+  let s3 = Engine.session ~request_id:"job42" ~name:"c" e in
+  Alcotest.(check string) "explicit id wins" "job42"
+    (Engine.session_request_id s3);
+  Alcotest.(check bool) "explicit id does not burn the counter" true
+    (Engine.session_request_id (Engine.session ~name:"d" e) = "r3");
+  (* engines do not share counters *)
+  let e2 = Engine.create () in
+  Alcotest.(check string) "fresh engine restarts" "r1"
+    (Engine.session_request_id (Engine.session ~name:"x" e2));
+  (* concurrent draws stay unique *)
+  let e3 = Engine.create () in
+  let draws =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            List.init 25 (fun _ -> Engine.next_request_id e3)))
+  in
+  let ids = List.concat_map Domain.join draws in
+  Alcotest.(check int) "100 concurrent draws, all distinct" 100
+    (List.length (List.sort_uniq compare ids))
+
+(* the id rides through the pipeline onto the result and keys the
+   engine's flight recorder *)
+let test_request_id_on_result () =
+  let e = Engine.create () in
+  let r1 = Pipeline.run ~engine:e ~name:"bb84" (bb84 ()) in
+  let r2 = Pipeline.run ~engine:e ~name:"bb84" (bb84 ()) in
+  Alcotest.(check string) "first run" "r1" r1.Pipeline.request_id;
+  Alcotest.(check string) "second run" "r2" r2.Pipeline.request_id;
+  let given =
+    Pipeline.run ~engine:e ~request_id:"srv-7" ~name:"bb84" (bb84 ())
+  in
+  Alcotest.(check string) "caller-supplied id" "srv-7"
+    given.Pipeline.request_id;
+  (* every run landed in the flight recorder under its id *)
+  let f = Engine.flight e in
+  Alcotest.(check int) "three entries" 3 (Epoc_obs.Flight.length f);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flight holds %s" id)
+        true
+        (Epoc_obs.Flight.find f id <> None))
+    [ "r1"; "r2"; "srv-7" ];
+  (* one-shot runs (ephemeral engine) still stamp an id *)
+  let solo = Pipeline.run ~name:"bb84" (bb84 ()) in
+  Alcotest.(check string) "one-shot id" "r1" solo.Pipeline.request_id
+
 (* two concurrent sessions on one engine — bb84 and qaoa compiling in
    parallel domains, each with a private library as the serve daemon
    does — produce schedules bit-identical to solo one-shot runs *)
@@ -98,6 +155,13 @@ let () =
             test_hardware_memo;
           Alcotest.test_case "session library convention" `Quick
             test_session_library_convention;
+        ] );
+      ( "request ids",
+        [
+          Alcotest.test_case "engine-scoped uniqueness" `Quick
+            test_request_ids;
+          Alcotest.test_case "threaded onto results and flight" `Quick
+            test_request_id_on_result;
         ] );
       ( "concurrency",
         [

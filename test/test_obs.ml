@@ -167,6 +167,165 @@ let test_pool_merge_determinism () =
   in
   Alcotest.(check bool) "1 vs 4 domains identical" true (run 1 = run 4)
 
+(* --- prometheus exposition ------------------------------------------------ *)
+
+(* Golden exposition text covering all three instrument kinds, label
+   pass-through and family grouping: the exact bytes a scraper sees. *)
+let test_prometheus_golden () =
+  let m = M.create () in
+  M.incr ~by:3 m "serve.jobs";
+  M.incr m {|serve.requests{status="ok"}|};
+  M.incr ~by:2 m {|serve.requests{status="error"}|};
+  M.set m "queue.depth" 4.0;
+  M.observe m "lat" 0.5;
+  M.observe m "lat" 1.0;
+  M.observe m "lat" 3.0;
+  let expected =
+    String.concat "\n"
+      [
+        "# TYPE epoc_lat histogram";
+        {|epoc_lat_bucket{le="1"} 1|};
+        {|epoc_lat_bucket{le="2"} 2|};
+        {|epoc_lat_bucket{le="4"} 3|};
+        {|epoc_lat_bucket{le="+Inf"} 3|};
+        "epoc_lat_sum 4.5";
+        "epoc_lat_count 3";
+        "# TYPE epoc_queue_depth gauge";
+        "epoc_queue_depth 4";
+        "# TYPE epoc_serve_jobs_total counter";
+        "epoc_serve_jobs_total 3";
+        "# TYPE epoc_serve_requests_total counter";
+        {|epoc_serve_requests_total{status="error"} 2|};
+        {|epoc_serve_requests_total{status="ok"} 1|};
+        "";
+      ]
+  in
+  Alcotest.(check string) "golden exposition" expected (M.to_prometheus m);
+  (* the prefix is caller-chosen *)
+  let m2 = M.create () in
+  M.incr m2 "pool.maps";
+  Alcotest.(check string) "custom prefix"
+    "# TYPE x_pool_maps_total counter\nx_pool_maps_total 1\n"
+    (M.to_prometheus ~prefix:"x_" m2)
+
+(* Parse the rendered exposition back: every histogram's _bucket series
+   must be cumulative (non-decreasing in le order, +Inf equal to
+   _count), whatever was observed. *)
+let prop_prometheus_cumulative =
+  QCheck.Test.make ~name:"histogram buckets are cumulative" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 40) (float_range (-10.0) 1e7))
+    (fun values ->
+      let m = M.create () in
+      List.iter (M.observe m "h") values;
+      let text = M.to_prometheus m in
+      let bucket_counts =
+        List.filter_map
+          (fun line ->
+            match String.index_opt line ' ' with
+            | Some i
+              when String.length line > 17
+                   && String.sub line 0 17 = "epoc_h_bucket{le=" ->
+                Some
+                  (int_of_string
+                     (String.sub line (i + 1) (String.length line - i - 1)))
+            | _ -> None)
+          (String.split_on_char '\n' text)
+      in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | _ -> true
+      in
+      if values = [] then bucket_counts = []
+      else
+        bucket_counts <> []
+        && non_decreasing bucket_counts
+        && List.nth bucket_counts (List.length bucket_counts - 1)
+           = List.length values)
+
+(* --- flight recorder ------------------------------------------------------ *)
+
+module Flight = Epoc_obs.Flight
+
+let test_flight_ring () =
+  let f = Flight.create ~capacity:3 () in
+  Alcotest.(check int) "empty" 0 (Flight.length f);
+  for i = 1 to 5 do
+    Flight.record f
+      ~id:(Printf.sprintf "r%d" i)
+      ~wall_s:(float_of_int i)
+      (J.Obj [ ("n", J.of_int i) ])
+  done;
+  Alcotest.(check int) "bounded" 3 (Flight.length f);
+  Alcotest.(check int) "recorded is monotone" 5 (Flight.recorded f);
+  Alcotest.(check (list string)) "newest first, oldest evicted"
+    [ "r5"; "r4"; "r3" ]
+    (List.map (fun e -> e.Flight.f_id) (Flight.recent f));
+  Alcotest.(check bool) "evicted id not found" true (Flight.find f "r1" = None);
+  (match Flight.find f "r4" with
+  | Some e -> Alcotest.(check (float 0.0)) "found wall_s" 4.0 e.Flight.f_wall_s
+  | None -> Alcotest.fail "r4 missing");
+  (match Flight.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted")
+
+(* the trace thunk is forced exactly for requests meeting the slow
+   threshold — fast requests must not pay for trace rendering *)
+let test_flight_slow_capture () =
+  let f = Flight.create ~capacity:8 ~slow_s:1.0 () in
+  let forced = ref 0 in
+  let trace () =
+    incr forced;
+    "{\"traceEvents\":[]}"
+  in
+  Flight.record f ~id:"fast" ~wall_s:0.2 ~trace J.Null;
+  Alcotest.(check int) "fast request does not force the thunk" 0 !forced;
+  Flight.record f ~id:"slow" ~wall_s:2.5 ~trace J.Null;
+  Alcotest.(check int) "slow request forces it once" 1 !forced;
+  let slow = Option.get (Flight.find f "slow") in
+  Alcotest.(check bool) "slow flagged" true slow.Flight.f_slow;
+  Alcotest.(check bool) "trace captured" true (slow.Flight.f_trace <> None);
+  let fast = Option.get (Flight.find f "fast") in
+  Alcotest.(check bool) "fast not flagged" false fast.Flight.f_slow;
+  Alcotest.(check bool) "no trace for fast" true (fast.Flight.f_trace = None);
+  (* without a threshold nothing is ever captured *)
+  let f0 = Flight.create () in
+  Flight.record f0 ~id:"x" ~wall_s:1e9 ~trace J.Null;
+  Alcotest.(check bool) "no slow_s, no capture" true
+    ((Option.get (Flight.find f0 "x")).Flight.f_trace = None);
+  (* entry summaries serialize without embedding the trace document *)
+  match Flight.entry_json slow with
+  | J.Obj fields ->
+      Alcotest.(check bool) "summary marks capture" true
+        (List.assoc "trace_captured" fields = J.Bool true);
+      Alcotest.(check bool) "trace doc not embedded" true
+        (not (List.mem_assoc "trace" fields))
+  | _ -> Alcotest.fail "entry_json is not an object"
+
+(* every compile through an engine lands in its flight recorder, and a
+   sub-threshold slow_s captures a parseable Chrome trace *)
+let test_flight_records_runs () =
+  let config = { Config.default with Config.slow_trace_s = Some 0.0 } in
+  let engine = Engine.create ~config () in
+  let r =
+    Pipeline.run ~engine ~name:"bb84" (Epoc_benchmarks.Benchmarks.find "bb84")
+  in
+  let f = Engine.flight engine in
+  Alcotest.(check int) "one entry" 1 (Flight.length f);
+  let e = Option.get (Flight.find f r.Pipeline.request_id) in
+  Alcotest.(check bool) "slow at 0s threshold" true e.Flight.f_slow;
+  (match e.Flight.f_trace with
+  | None -> Alcotest.fail "no trace captured at slow_s = 0"
+  | Some doc ->
+      Alcotest.(check bool) "trace is chrome-event json" true
+        (J.member "traceEvents" (J.parse_exn doc) <> None));
+  match J.member "summary" (Flight.entry_json e) with
+  | Some summary ->
+      Alcotest.(check bool) "summary carries the request id" true
+        (J.member "request_id" summary = Some (J.Str r.Pipeline.request_id));
+      Alcotest.(check bool) "summary carries stage breakdown" true
+        (J.member "stages_s" summary <> None)
+  | None -> Alcotest.fail "entry summary missing"
+
 (* --- full-pipeline metrics determinism ----------------------------------- *)
 
 (* Histogram sums are accumulated floats; recording order inside one
@@ -309,6 +468,18 @@ let () =
             test_pool_merge_determinism;
           Alcotest.test_case "pipeline metrics domain-count determinism" `Quick
             test_pipeline_metrics_determinism;
+        ] );
+      ( "prometheus",
+        Alcotest.test_case "golden exposition" `Quick test_prometheus_golden
+        :: List.map QCheck_alcotest.to_alcotest [ prop_prometheus_cumulative ]
+      );
+      ( "flight",
+        [
+          Alcotest.test_case "ring semantics" `Quick test_flight_ring;
+          Alcotest.test_case "slow-threshold capture" `Quick
+            test_flight_slow_capture;
+          Alcotest.test_case "pipeline records entries" `Quick
+            test_flight_records_runs;
         ] );
       ( "trace",
         [

@@ -31,6 +31,15 @@ let test_parse () =
   (match P.parse_request {|{"cmd": "metrics"}|} with
   | Ok P.Metrics -> ()
   | _ -> Alcotest.fail "metrics command rejected");
+  (match P.parse_request {|{"cmd": "prometheus"}|} with
+  | Ok P.Prometheus -> ()
+  | _ -> Alcotest.fail "prometheus command rejected");
+  (match P.parse_request {|{"cmd": "recent"}|} with
+  | Ok P.Recent -> ()
+  | _ -> Alcotest.fail "recent command rejected");
+  (match P.parse_request {|{"cmd": "trace", "id": "r7"}|} with
+  | Ok (P.TraceOf "r7") -> ()
+  | _ -> Alcotest.fail "trace command rejected");
   let rejected s =
     match P.parse_request s with Error _ -> true | Ok _ -> false
   in
@@ -41,8 +50,41 @@ let test_parse () =
   Alcotest.(check bool) "unknown mode" true
     (rejected {|{"circuit": "x", "mode": "magic"}|});
   Alcotest.(check bool) "unknown cmd" true (rejected {|{"cmd": "stop"}|});
+  Alcotest.(check bool) "trace without id" true (rejected {|{"cmd": "trace"}|});
   Alcotest.(check bool) "non-positive deadline" true
     (rejected {|{"circuit": "x", "deadline_s": 0}|})
+
+(* Malformed lines must produce "parse: <detail>" errors whose detail
+   carries the byte offset the JSON parser stopped at, so a client can
+   point at the broken byte of its own request line. *)
+let test_parse_errors () =
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let contains sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let parse_error line =
+    match P.parse_request line with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  List.iter
+    (fun line ->
+      let m = parse_error line in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S -> parse: prefix (got %S)" line m)
+        true (starts_with "parse: " m);
+      Alcotest.(check bool)
+        (Printf.sprintf "%S -> offset in %S" line m)
+        true (contains "offset" m))
+    [ "{nope"; "[1, 2"; "{\"circuit\": }"; "\"unterminated"; "{} trailing" ];
+  (* semantic rejections are not parse errors *)
+  let m = parse_error {|{"mode": "grape"}|} in
+  Alcotest.(check bool) "semantic error unprefixed" false
+    (starts_with "parse: " m)
 
 let test_status_codes () =
   Alcotest.(check int) "ok -> 0" 0 (P.code_of_status "ok");
@@ -61,6 +103,13 @@ let read_line_exn ic =
   | line -> line
   | exception End_of_file -> Alcotest.fail "daemon closed the connection"
 
+let contains sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
 let test_live_daemon () =
   let sock =
     Filename.concat
@@ -68,7 +117,9 @@ let test_live_daemon () =
       (Printf.sprintf "epoc-serve-test-%d.sock" (Unix.getpid ()))
   in
   (try Unix.unlink sock with Unix.Unix_error _ -> ());
-  let config = Epoc.Config.default in
+  (* slow threshold 0: every request counts as slow, so the flight
+     recorder captures a retrievable Chrome trace for each job *)
+  let config = { Epoc.Config.default with Epoc.Config.slow_trace_s = Some 0.0 } in
   let daemon =
     Thread.create
       (fun () -> ignore (Server.run { Server.socket = sock; workers = 2; config }))
@@ -101,6 +152,26 @@ let test_live_daemon () =
     (J.member "status" compile_r = Some (J.Str "ok"));
   Alcotest.(check bool) "compile code 0" true
     (J.member "code" compile_r = Some (J.Num 0.0));
+  (* request attribution rides on the response *)
+  let rid =
+    match Option.bind (J.member "request_id" compile_r) J.to_str with
+    | Some id -> id
+    | None -> Alcotest.fail "compile response has no request_id"
+  in
+  Alcotest.(check bool) "queue wait reported" true
+    (match Option.bind (J.member "queue_wait_s" compile_r) J.to_num with
+    | Some w -> w >= 0.0
+    | None -> false);
+  Alcotest.(check bool) "worker id reported" true
+    (match Option.bind (J.member "worker" compile_r) J.to_int with
+    | Some w -> w >= 0
+    | None -> false);
+  Alcotest.(check bool) "stage breakdown present" true
+    (match J.member "stages" compile_r with
+    | Some (J.Obj rows) -> rows <> []
+    | _ -> false);
+  Alcotest.(check bool) "steady-state job not marked drained" true
+    (J.member "drained" compile_r = None);
   Alcotest.(check bool) "metrics has engine registry" true
     (J.member "engine" metrics_r <> None);
   Alcotest.(check bool) "metrics has runs aggregate" true
@@ -110,6 +181,56 @@ let test_live_daemon () =
   Alcotest.(check string) "schedule identical to one-shot"
     (J.to_string (P.schedule_json solo.Epoc.Pipeline.schedule))
     (J.to_string (Option.get (J.member "schedule" compile_r)));
+  (* observability commands, now that one job completed *)
+  let rpc line =
+    output_string oc (line ^ "\n");
+    flush oc;
+    J.parse_exn (read_line_exn ic)
+  in
+  let prom = rpc {|{"cmd": "prometheus"}|} in
+  let text =
+    match Option.bind (J.member "prometheus" prom) J.to_str with
+    | Some t -> t
+    | None -> Alcotest.fail "prometheus response has no text payload"
+  in
+  Alcotest.(check bool) "serve.jobs exposed" true
+    (contains "epoc_serve_jobs_total 1" text);
+  Alcotest.(check bool) "labelled request counter exposed" true
+    (contains {|epoc_serve_requests_total{status="ok"} 1|} text);
+  Alcotest.(check bool) "queue-wait histogram exposed" true
+    (contains "epoc_serve_queue_wait_seconds_count 1" text);
+  Alcotest.(check bool) "runs aggregate exposed" true
+    (contains "epoc_run_pipeline_runs_total 1" text);
+  let recent = rpc {|{"cmd": "recent"}|} in
+  (match Option.bind (J.member "recent" recent) J.to_list with
+  | Some [ entry ] ->
+      Alcotest.(check bool) "flight entry is the served job" true
+        (J.member "id" entry = Some (J.Str rid));
+      Alcotest.(check bool) "trace captured at slow_s 0" true
+        (J.member "trace_captured" entry = Some (J.Bool true))
+  | Some l -> Alcotest.failf "expected 1 flight entry, got %d" (List.length l)
+  | None -> Alcotest.fail "recent response has no entries");
+  let trace =
+    rpc (J.to_string (J.Obj [ ("cmd", J.Str "trace"); ("id", J.Str rid) ]))
+  in
+  Alcotest.(check bool) "trace fetch ok" true
+    (J.member "status" trace = Some (J.Str "ok"));
+  Alcotest.(check bool) "trace is chrome-event json" true
+    (match J.member "trace" trace with
+    | Some doc -> J.member "traceEvents" doc <> None
+    | None -> false);
+  (* reject paths over the wire *)
+  let unknown = rpc {|{"cmd": "trace", "id": "r999"}|} in
+  Alcotest.(check bool) "unknown trace id errors" true
+    (J.member "status" unknown = Some (J.Str "error"));
+  let bad = rpc "{not json" in
+  Alcotest.(check bool) "malformed line gets parse error" true
+    (match Option.bind (J.member "error" bad) J.to_str with
+    | Some m ->
+        String.length m >= 7 && String.sub m 0 7 = "parse: " && contains "offset" m
+    | None -> false);
+  Alcotest.(check bool) "parse error carries code 1" true
+    (J.member "code" bad = Some (J.Num 1.0));
   Unix.close fd;
   (* graceful shutdown: drain, remove the socket, return *)
   Unix.kill (Unix.getpid ()) Sys.sigterm;
@@ -122,6 +243,8 @@ let () =
       ( "protocol",
         [
           Alcotest.test_case "request grammar" `Quick test_parse;
+          Alcotest.test_case "parse errors carry offsets" `Quick
+            test_parse_errors;
           Alcotest.test_case "status codes" `Quick test_status_codes;
         ] );
       ("daemon", [ Alcotest.test_case "live smoke" `Slow test_live_daemon ]);

@@ -8,12 +8,22 @@ Modes:
                                   the CLI 0/3/1 exit contract, then a
                                   warm resubmission that must hit the
                                   persistent cache and compile faster
-                                  than the cold run.
+                                  than the cold run; finally a
+                                  Prometheus scrape whose request
+                                  counters must match the jobs
+                                  submitted, and a flight-recorder
+                                  sweep that downloads every captured
+                                  slow trace.
   serve_smoke.py SOCKET degraded  one GRAPE job against a daemon started
                                   with a fault spec: expects status
                                   "degraded", code 3.
+
+Options:
+  --traces DIR   write captured Chrome traces (one JSON file per
+                 request id) into DIR for artifact upload.
 """
 import json
+import os
 import socket
 import sys
 import time
@@ -53,7 +63,19 @@ def check(cond, msg):
     print(f"ok: {msg}")
 
 
-def smoke(path):
+def parse_prometheus(text):
+    """Map `series{labels} value` lines to floats, skipping comments."""
+    series = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        series[name] = float(value)
+    return series
+
+
+def smoke(path, traces_dir=None):
     s = connect(path)
     f = s.makefile("rw")
 
@@ -102,6 +124,72 @@ def smoke(path):
     (final_m,) = final.values()
     served = final_m["engine"]["counters"].get("serve.jobs", 0)
     check(served == 4, f"engine counted all compile jobs ({served})")
+
+    # request attribution rides on every compile response
+    rids = set()
+    for name, r in [("bb84", bb84), ("qaoa", qaoa), ("warm", warm_r)]:
+        check(isinstance(r.get("request_id"), str) and r["request_id"],
+              f"{name} response carries a request id ({r.get('request_id')})")
+        rids.add(r["request_id"])
+        check(r.get("queue_wait_s", -1.0) >= 0.0,
+              f"{name} reports queue wait ({r.get('queue_wait_s')})")
+        check(r.get("worker", -1) >= 0,
+              f"{name} reports its worker ({r.get('worker')})")
+        check(r.get("stages"), f"{name} carries a per-stage breakdown")
+        check("drained" not in r, f"{name} not marked drained in steady state")
+    check(bad.get("request_id"),
+          "failed job is still attributable by request id")
+    rids.add(bad["request_id"])
+    check(len(rids) == 4, "request ids are distinct across the batch")
+
+    # Prometheus exposition: counters must match the jobs we submitted
+    prom = rpc(f, [{"cmd": "prometheus"}])
+    (prom_r,) = prom.values()
+    series = parse_prometheus(prom_r["prometheus"])
+    for name, want in [
+        ("epoc_serve_jobs_total", 4),
+        ('epoc_serve_requests_total{status="ok"}', 3),
+        ('epoc_serve_requests_total{status="error"}', 1),
+        ("epoc_serve_admitted_total", 4),
+        ("epoc_serve_queue_wait_seconds_count", 4),
+        ("epoc_serve_e2e_seconds_count", 4),
+    ]:
+        got = series.get(name)
+        check(got == want, f"{name} == {want} (got {got})")
+    check(series.get("epoc_run_pipeline_runs_total", 0) >= 1,
+          "per-run aggregate exposed under epoc_run_")
+    # exposition order is ascending le, and dicts preserve it
+    buckets = [v for k, v in series.items()
+               if k.startswith("epoc_serve_e2e_seconds_bucket{")]
+    check(buckets and all(a <= b for a, b in zip(buckets, buckets[1:])),
+          "latency buckets are cumulative")
+    check(buckets[-1] == 4, "le=+Inf bucket equals the job count")
+
+    # flight recorder: one entry per job that reached the pipeline (the
+    # unknown-benchmark job fails before compilation and leaves none)
+    recent = rpc(f, [{"cmd": "recent"}])
+    (recent_r,) = recent.values()
+    entries = recent_r["recent"]
+    check(len(entries) == 3,
+          f"flight recorder holds the 3 compiled jobs ({len(entries)})")
+    flight_ids = {e["id"] for e in entries}
+    check(flight_ids == rids - {bad["request_id"]},
+          "flight entries keyed by the compile request ids")
+
+    captured = [e for e in entries if e.get("trace_captured")]
+    if traces_dir:
+        check(captured, "slow threshold captured traces for download")
+        os.makedirs(traces_dir, exist_ok=True)
+        for e in captured:
+            tr = rpc(f, [{"cmd": "trace", "id": e["id"]}])
+            (tr_r,) = tr.values()
+            check(tr_r["status"] == "ok" and
+                  "traceEvents" in tr_r["trace"],
+                  f"trace for {e['id']} is a Chrome event document")
+            out = os.path.join(traces_dir, f"{e['id']}.json")
+            with open(out, "w") as fh:
+                json.dump(tr_r["trace"], fh)
+            print(f"ok: wrote {out}")
     s.close()
     print("serve smoke passed")
 
@@ -120,9 +208,15 @@ def degraded(path):
 
 
 if __name__ == "__main__":
-    if len(sys.argv) < 2:
+    argv = sys.argv[1:]
+    traces = None
+    if "--traces" in argv:
+        i = argv.index("--traces")
+        traces = argv[i + 1]
+        del argv[i:i + 2]
+    if not argv:
         raise SystemExit(__doc__)
-    if len(sys.argv) > 2 and sys.argv[2] == "degraded":
-        degraded(sys.argv[1])
+    if len(argv) > 1 and argv[1] == "degraded":
+        degraded(argv[0])
     else:
-        smoke(sys.argv[1])
+        smoke(argv[0], traces_dir=traces)
