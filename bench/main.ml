@@ -32,6 +32,17 @@ let suite = Epoc_benchmarks.Benchmarks.suite ()
 let bench_metrics = Epoc_obs.Metrics.create ()
 let pool = Pool.create ~metrics:bench_metrics ()
 
+(* One-shot compiles through the session API: a per-call ephemeral
+   engine (fresh library, stores from the config) sharing the harness
+   pool, which preserves the fresh-library-per-run hit-count semantics
+   the experiments are written against. *)
+let session_for ?(config = Config.default) ?library ~name () =
+  let engine = Engine.create ~config ~pool () in
+  Engine.session ~config ?library ~name engine
+
+let compile_once ?config ?library ~name c =
+  Pipeline.compile (session_for ?config ?library ~name ()) c
+
 let line = String.make 78 '-'
 
 let header title paper =
@@ -89,8 +100,8 @@ let fig5 () =
 let regroup_rows () =
   Pool.map pool
     (fun (name, c) ->
-      let with_g = Pipeline.run ~config:Config.default ~pool ~name c in
-      let without = Pipeline.run ~config:Config.no_regroup ~pool ~name c in
+      let with_g = compile_once ~config:Config.default ~name c in
+      let without = compile_once ~config:Config.no_regroup ~name c in
       (name, with_g, without))
     suite
 
@@ -200,9 +211,13 @@ let table1 ?(grape = false) () =
   let rows =
     Pool.map pool
       (fun (name, c) ->
-        let g = Baselines.gate_based ~config:cfg ~name c in
-        let p = Baselines.paqoc_like ~config:cfg ~name c in
-        let e = Pipeline.run ~config:cfg ~pool ~name c in
+        let g =
+          Baselines.compile_gate_based (session_for ~config:cfg ~name ()) c
+        in
+        let p =
+          Baselines.compile_paqoc_like (session_for ~config:cfg ~name ()) c
+        in
+        let e = compile_once ~config:cfg ~name c in
         (name, g, p, e))
       (Epoc_benchmarks.Benchmarks.table1 ())
   in
@@ -246,7 +261,7 @@ let ablation_partition () =
               regroup_widths = [ 2; w ];
             }
           in
-          let r = Pipeline.run ~config:cfg ~name c in
+          let r = compile_once ~config:cfg ~name c in
           Printf.printf "%-12s %8d %12.1f %12.4f\n" name w r.Pipeline.latency
             r.Pipeline.compile_time)
         [ 2; 3; 4 ])
@@ -261,7 +276,7 @@ let ablation_library () =
       let run phase =
         let lib = Epoc_pulse.Library.create ~match_global_phase:phase () in
         let cfg = { Config.default with Config.match_global_phase = phase } in
-        ignore (Pipeline.run ~config:cfg ~library:lib ~name c);
+        ignore (compile_once ~config:cfg ~library:lib ~name c);
         Epoc_pulse.Library.hit_rate lib
       in
       Printf.printf "%-12s %15.1f%% %15.1f%%\n" name
@@ -336,7 +351,7 @@ let micro () =
                  (Epoc_qoc.Grape.optimize hw1 ~target:(Gate.matrix Gate.X)
                     ~slots:24)));
         Test.make ~name:"pipeline-simon"
-          (Staged.stage (fun () -> ignore (Pipeline.run ~name:"simon" simon)));
+          (Staged.stage (fun () -> ignore (compile_once ~name:"simon" simon)));
       ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -360,8 +375,9 @@ let json_file = "BENCH_pipeline.json"
 
 (* Version of the bench JSON shape; tools/bench_compare.exe refuses files
    whose version it does not speak.  v2 adds per-benchmark
-   degraded_blocks/retries (the resilience counters). *)
-let bench_schema_version = 2
+   degraded_blocks/retries (the resilience counters); v3 adds the
+   synth_cache_sweep section (cold/warm synthesis-cache runs). *)
+let bench_schema_version = 3
 
 (* --- persistent-cache cold/warm sweep ------------------------------------- *)
 
@@ -400,7 +416,7 @@ let cache_sweep () =
       let cfg = { Config.grape with Config.cache_dir = Some dir } in
       let run () =
         let lib = Epoc_pulse.Library.create () in
-        let r = Pipeline.run ~config:cfg ~pool ~library:lib ~name c in
+        let r = compile_once ~config:cfg ~library:lib ~name c in
         {
           cr_compile_s = r.Pipeline.compile_time;
           cr_latency = r.Pipeline.latency;
@@ -423,6 +439,63 @@ let cache_run_json (r : cache_run) =
      \"cache_hits\": %d, \"cache_misses\": %d}"
     r.cr_compile_s r.cr_latency r.cr_esp r.cr_cache_hits r.cr_cache_misses
 
+(* --- persistent synthesis-cache cold/warm sweep ---------------------------- *)
+
+(* Quantify the synthesis cache (lib/cache/synth_store.ml): each
+   benchmark compiles twice against the same fresh store directory — the
+   cold run synthesizes every block and fills the store, the warm run
+   replays the stored circuits and never enters QSearch
+   (qsearch.expansions empty).  Latency/ESP must be identical. *)
+let synth_sweep_benchmarks = [ "bb84"; "simon" ]
+
+type synth_run = {
+  sr_compile_s : float;
+  sr_latency : float;
+  sr_esp : float;
+  sr_hits : int;
+  sr_misses : int;
+  sr_expansions : int; (* total QSearch node expansions this run *)
+}
+
+let synth_cache_sweep () =
+  List.map
+    (fun name ->
+      let c = Epoc_benchmarks.Benchmarks.find name in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "epoc-bench-synth-%d-%s" (Unix.getpid ()) name)
+      in
+      rm_rf dir;
+      let cfg = { Config.default with Config.synth_cache_dir = Some dir } in
+      let run () =
+        let r = compile_once ~config:cfg ~name c in
+        let m = r.Pipeline.metrics in
+        {
+          sr_compile_s = r.Pipeline.compile_time;
+          sr_latency = r.Pipeline.latency;
+          sr_esp = r.Pipeline.esp;
+          sr_hits = Epoc_obs.Metrics.counter_value m "synth.cache.hits";
+          sr_misses = Epoc_obs.Metrics.counter_value m "synth.cache.misses";
+          sr_expansions =
+            (match Epoc_obs.Metrics.hist_value m "qsearch.expansions" with
+            | Some h -> int_of_float h.Epoc_obs.Metrics.sum
+            | None -> 0);
+        }
+      in
+      let cold = run () in
+      let warm = run () in
+      rm_rf dir;
+      (name, cold, warm))
+    synth_sweep_benchmarks
+
+let synth_run_json (r : synth_run) =
+  Printf.sprintf
+    "{\"compile_s\": %.6f, \"latency_ns\": %.3f, \"esp\": %.6f, \
+     \"synth_cache_hits\": %d, \"synth_cache_misses\": %d, \
+     \"qsearch_expansions\": %d}"
+    r.sr_compile_s r.sr_latency r.sr_esp r.sr_hits r.sr_misses r.sr_expansions
+
 (* Compile the table-1 suite and emit per-benchmark compile time, schedule
    quality, library traffic and the per-stage timing breakdown (from the
    pass manager's trace) as JSON, plus a GRAPE throughput
@@ -444,7 +517,7 @@ let bench_json () =
     Pool.map pool
       (fun (name, c) ->
         let lib = Epoc_pulse.Library.create () in
-        let r = Pipeline.run ~pool ~library:lib ~name c in
+        let r = compile_once ~library:lib ~name c in
         (name, c, r, Epoc_pulse.Library.stats lib))
       (Epoc_benchmarks.Benchmarks.table1 ())
   in
@@ -489,6 +562,9 @@ let bench_json () =
   let batch_s = Unix.gettimeofday () -. b0 in
   (* cold/warm persistent-cache sweep (GRAPE pulses, small benchmarks) *)
   let sweep = cache_sweep () in
+  (* cold/warm synthesis-cache sweep (estimated pulses; QSearch is the
+     cost being cached, so the pulse mode does not matter) *)
+  let synth_sweep = synth_cache_sweep () in
   let total_s = Unix.gettimeofday () -. t0 in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
@@ -529,6 +605,15 @@ let bench_json () =
            (if i = List.length sweep - 1 then "" else ",")))
     sweep;
   Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"synth_cache_sweep\": [\n";
+  List.iteri
+    (fun i (name, cold, warm) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"cold\": %s, \"warm\": %s}%s\n"
+           name (synth_run_json cold) (synth_run_json warm)
+           (if i = List.length synth_sweep - 1 then "" else ",")))
+    synth_sweep;
+  Buffer.add_string b "  ],\n";
   Buffer.add_string b
     (Printf.sprintf
        "  \"grape_micro\": {\"slots\": 24, \"runs\": %d, \"iterations\": %d, \
@@ -564,6 +649,17 @@ let bench_json () =
         (if cold.cr_latency = warm.cr_latency then "identical" else "DIFFERS")
         (if cold.cr_esp = warm.cr_esp then "identical" else "DIFFERS"))
     sweep;
+  Printf.printf "\ncold/warm synthesis-cache sweep:\n";
+  List.iter
+    (fun (name, cold, warm) ->
+      Printf.printf
+        "%-12s cold %8.3f s (%d expansions) -> warm %8.3f s (%d hits, %d \
+         expansions, latency %s, esp %s)\n"
+        name cold.sr_compile_s cold.sr_expansions warm.sr_compile_s
+        warm.sr_hits warm.sr_expansions
+        (if cold.sr_latency = warm.sr_latency then "identical" else "DIFFERS")
+        (if cold.sr_esp = warm.sr_esp then "identical" else "DIFFERS"))
+    synth_sweep;
   Printf.printf "\nwrote %s (total wall %.3f s, %d domain%s)\n" json_file total_s
     (Pool.domains pool)
     (if Pool.domains pool = 1 then "" else "s")

@@ -138,6 +138,26 @@ let cache_arg =
   Arg.(value & opt (some string) None
        & info [ "cache" ] ~docv:"DIR" ~env:(Cmd.Env.info "EPOC_CACHE") ~doc)
 
+let synth_cache_arg =
+  let doc =
+    "Persistent synthesis cache directory: per-block synthesized circuits \
+     (VUG + CNOT structure) are stored by unitary fingerprint and warm \
+     recompiles replay them instead of running QSearch. Created if \
+     missing."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "synth-cache" ] ~docv:"DIR"
+           ~env:(Cmd.Env.info "EPOC_SYNTH_CACHE") ~doc)
+
+let similarity_order_arg =
+  let doc =
+    "Order each pulse batch by unitary similarity (greedy nearest-neighbor \
+     over Hilbert-Schmidt distance) and warm-start every GRAPE solve from \
+     the previous result, AccQOC-style. Changes solver trajectories, so \
+     it is off by default."
+  in
+  Arg.(value & flag & info [ "similarity-order" ] ~doc)
+
 let verbose =
   let doc = "Increase log verbosity: -v info, -vv debug." in
   Term.app (Term.const List.length)
@@ -170,8 +190,9 @@ let write_file path contents =
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc contents)
 
-let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir ~deadline
-    ~block_deadline ~retries ~fault =
+let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
+    ~synth_cache_dir ~similarity_order ~deadline ~block_deadline ~retries
+    ~fault =
   let base = Epoc.Config.default in
   {
     base with
@@ -186,6 +207,8 @@ let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir ~deadline
         Epoc_partition.Partition.qubit_limit = width;
       };
     cache_dir;
+    synth_cache_dir;
+    similarity_order;
     total_deadline = deadline;
     block_deadline;
     max_retries = retries;
@@ -193,14 +216,12 @@ let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir ~deadline
   }
 
 let run_flow_named flow ~engine ~config ~trace ~metrics ~name circuit =
+  let session = Epoc.Engine.session ~config ~trace ~metrics ~name engine in
   match flow with
-  | "epoc" -> Epoc.Pipeline.run ~config ~engine ~trace ~metrics ~name circuit
-  | "paqoc" ->
-      Epoc.Baselines.paqoc_like ~config ~engine ~trace ~metrics ~name circuit
-  | "accqoc" ->
-      Epoc.Baselines.accqoc_like ~config ~engine ~trace ~metrics ~name circuit
-  | "gate" ->
-      Epoc.Baselines.gate_based ~config ~engine ~trace ~metrics ~name circuit
+  | "epoc" -> Epoc.Pipeline.compile session circuit
+  | "paqoc" -> Epoc.Baselines.compile_paqoc_like session circuit
+  | "accqoc" -> Epoc.Baselines.compile_accqoc_like session circuit
+  | "gate" -> Epoc.Baselines.compile_gate_based session circuit
   | other ->
       Printf.eprintf "unknown flow %S\n" other;
       exit 1
@@ -226,6 +247,14 @@ let report (r : Epoc.Pipeline.result) show =
     (match r.Epoc.Pipeline.library_stats.Epoc_pulse.Library.cache_hits with
     | 0 -> ""
     | c -> Printf.sprintf " (%d from persistent cache)" c);
+  (let m = r.Epoc.Pipeline.metrics in
+   match
+     ( M.counter_value m "synth.cache.hits",
+       M.counter_value m "synth.cache.misses" )
+   with
+   | 0, 0 -> ()
+   | hits, misses ->
+       Printf.printf "synth cache      : %d hits / %d misses\n" hits misses);
   (match r.Epoc.Pipeline.stats.Epoc.Pipeline.degraded_blocks with
   | 0 -> ()
   | d ->
@@ -235,9 +264,9 @@ let report (r : Epoc.Pipeline.result) show =
   if show then Format.printf "@.%a@." Epoc_pulse.Schedule.pp r.Epoc.Pipeline.schedule
 
 let compile_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width cache_dir deadline
-      block_deadline retries strict fault verbosity schedule trace trace_json
-      gc chrome =
+  let run spec flow grape no_zx no_synth no_regroup width cache_dir
+      synth_cache_dir similarity_order deadline block_deadline retries strict
+      fault verbosity schedule trace trace_json gc chrome =
     setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -249,7 +278,8 @@ let compile_cmd =
     | circuit ->
         let config =
           config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
-            ~deadline ~block_deadline ~retries ~fault
+            ~synth_cache_dir ~similarity_order ~deadline ~block_deadline
+            ~retries ~fault
         in
         let sink = T.create ~gc () in
         let metrics = M.create () in
@@ -275,9 +305,10 @@ let compile_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ cache_arg $ deadline_arg
-      $ block_deadline_arg $ retries_arg $ strict_arg $ fault_arg $ verbose
-      $ show_schedule $ show_trace $ show_trace_json $ trace_gc $ trace_chrome)
+      $ no_regroup $ partition_width $ cache_arg $ synth_cache_arg
+      $ similarity_order_arg $ deadline_arg $ block_deadline_arg $ retries_arg
+      $ strict_arg $ fault_arg $ verbose $ show_schedule $ show_trace
+      $ show_trace_json $ trace_gc $ trace_chrome)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit to a pulse schedule.") term
 
@@ -405,8 +436,9 @@ let report_text (r : Epoc.Pipeline.result) metrics ~process =
   dump "metrics (engine)" process
 
 let report_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width cache_dir deadline
-      block_deadline retries strict fault verbosity json prometheus chrome =
+  let run spec flow grape no_zx no_synth no_regroup width cache_dir
+      synth_cache_dir similarity_order deadline block_deadline retries strict
+      fault verbosity json prometheus chrome =
     setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -418,7 +450,8 @@ let report_cmd =
     | circuit ->
         let config =
           config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
-            ~deadline ~block_deadline ~retries ~fault
+            ~synth_cache_dir ~similarity_order ~deadline ~block_deadline
+            ~retries ~fault
         in
         let sink = T.create ~gc:true () in
         let metrics = M.create () in
@@ -460,9 +493,10 @@ let report_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ cache_arg $ deadline_arg
-      $ block_deadline_arg $ retries_arg $ strict_arg $ fault_arg $ verbose
-      $ json_flag $ prometheus_flag $ trace_chrome)
+      $ no_regroup $ partition_width $ cache_arg $ synth_cache_arg
+      $ similarity_order_arg $ deadline_arg $ block_deadline_arg $ retries_arg
+      $ strict_arg $ fault_arg $ verbose $ json_flag $ prometheus_flag
+      $ trace_chrome)
   in
   Cmd.v
     (Cmd.info "report"
@@ -505,11 +539,13 @@ let slow_trace_arg =
 
 let serve_cmd =
   let run socket workers flight slow_trace grape no_zx no_synth no_regroup
-      width cache_dir deadline block_deadline retries fault verbosity =
+      width cache_dir synth_cache_dir similarity_order deadline block_deadline
+      retries fault verbosity =
     setup_logs verbosity;
     let config =
       config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
-        ~deadline ~block_deadline ~retries ~fault
+        ~synth_cache_dir ~similarity_order ~deadline ~block_deadline ~retries
+        ~fault
     in
     let config =
       {
@@ -524,8 +560,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ workers_arg $ flight_arg $ slow_trace_arg
       $ grape_arg $ no_zx $ no_synthesis $ no_regroup $ partition_width
-      $ cache_arg $ deadline_arg $ block_deadline_arg $ retries_arg
-      $ fault_arg $ verbose)
+      $ cache_arg $ synth_cache_arg $ similarity_order_arg $ deadline_arg
+      $ block_deadline_arg $ retries_arg $ fault_arg $ verbose)
   in
   Cmd.v
     (Cmd.info "serve"

@@ -1,0 +1,31 @@
+(* Matrix <-> JSON for on-disk records: a flat row-major array of
+   re, im pairs.  Shared by the pulse and synthesis codecs.  Exact
+   round-trip is load-bearing — lib/obs Json prints floats with enough
+   digits that re-reading reproduces the same bits, which is what lets a
+   cache hit replay the cold run's schedule byte-for-byte. *)
+
+open Epoc_linalg
+module Json = Epoc_obs.Json
+
+let to_json (u : Mat.t) =
+  let dim = Mat.rows u in
+  let flat = ref [] in
+  for r = dim - 1 downto 0 do
+    for c = dim - 1 downto 0 do
+      let z = Mat.get u r c in
+      flat := Json.Num (Cx.re z) :: Json.Num (Cx.im z) :: !flat
+    done
+  done;
+  Json.Arr !flat
+
+let of_json dim j =
+  match Json.to_list j with
+  | Some l when List.length l = 2 * dim * dim ->
+      let a = Array.of_list (List.filter_map Json.to_num l) in
+      if Array.length a <> 2 * dim * dim then None
+      else
+        Some
+          (Mat.init dim dim (fun r c ->
+               let i = 2 * ((r * dim) + c) in
+               Cx.make a.(i) a.(i + 1)))
+  | _ -> None

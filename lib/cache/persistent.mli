@@ -1,0 +1,116 @@
+(** Generic crash-safe JSONL persistence, the machinery shared by every
+    on-disk store in EPOC.
+
+    A store instance maps string fingerprints to buckets of entries and
+    persists them as an append-only record file under a directory:
+
+    - [C.records_file] — a versioned JSON header line followed by one
+      JSON record per line.  Loading skips any unparsable line with a
+      warning (a torn trailing write can only damage one record) and a
+      header mismatch — foreign format, different schema version,
+      different global-phase convention — makes the store start empty
+      rather than mis-read foreign records (quarantine: the next flush
+      rewrites the file under the current header).
+    - [lock] — advisory lock file ([Unix.lockf]) serializing flushes
+      between concurrent processes.
+
+    Flushes re-read the record file under the in-process and on-disk
+    locks, merge pending records after whatever other writers appended
+    (dropping records the codec considers equal to ones already on
+    disk), write the merged file to a temp file in the same directory
+    and atomically [Unix.rename] it into place — readers always see
+    either the old or the new complete file.
+
+    The pulse {!Store} and the synthesis {!Synth_store} are the two
+    instances. *)
+
+(** [Logs] source for cache messages ("epoc.cache"). *)
+val log_src : Logs.src
+
+(** What a concrete store must supply: the entry type, the on-disk
+    identity of the format, and convention-aware canonicalization,
+    keying, equality and (de)serialization.  [match_global_phase] is
+    threaded through because both current instances key matrices by the
+    global-phase-canonical {!Epoc_pulse.Library.fingerprint} and must
+    agree with the library convention of the run they serve. *)
+module type CODEC = sig
+  type entry
+
+  (** Written into the header line; a store written by a different
+      format is quarantined, not read. *)
+  val format_name : string
+
+  (** Version of the on-disk record shape; bump on incompatible
+      change. *)
+  val schema_version : int
+
+  (** Record file name under the store directory. *)
+  val records_file : string
+
+  (** Canonical representative recorded and compared (e.g. the
+      phase-canonical unitary). *)
+  val canonical : match_global_phase:bool -> entry -> entry
+
+  (** Bucket key of a canonical entry (e.g. fingerprint hex). *)
+  val key : entry -> string
+
+  (** Semantic equality of canonical entries, used to deduplicate both
+      in memory and at flush-merge time. *)
+  val equal : match_global_phase:bool -> entry -> entry -> bool
+
+  (** One JSON line per record; [of_line] must never raise. *)
+  val to_line : key:string -> entry -> string
+
+  val of_line : string -> (entry, string) result
+end
+
+module Make (C : CODEC) : sig
+  type t
+
+  (** [open_dir dir] creates [dir] if needed and loads every valid
+      record from it, deduplicating semantically equal records into one
+      in-memory entry.  [match_global_phase] (default [true]) selects
+      the matching convention and must agree with the library the store
+      backs. *)
+  val open_dir : ?match_global_phase:bool -> string -> t
+
+  val dir : t -> string
+  val match_global_phase : t -> bool
+
+  (** First entry in [key]'s bucket satisfying the predicate. *)
+  val find : t -> key:string -> (C.entry -> bool) -> C.entry option
+
+  (** Fold over every in-memory entry, in unspecified order. *)
+  val fold : t -> init:'a -> (C.entry -> 'a -> 'a) -> 'a
+
+  (** Canonicalize, key and queue an entry for persistence (no-op if the
+      codec says an equal entry is already held).  Thread-safe; nothing
+      touches the disk until {!flush}. *)
+  val record : t -> C.entry -> unit
+
+  (** Persist pending records under the in-process and on-disk locks,
+      merging with concurrent writers' appends; records semantically
+      equal to ones already on disk are dropped rather than duplicated.
+      No-op when nothing is pending. *)
+  val flush : t -> unit
+
+  (** Number of distinct entries currently held in memory. *)
+  val entry_count : t -> int
+
+  (** Number of records queued but not yet flushed. *)
+  val pending_count : t -> int
+
+  (** Number of valid records read from disk when the store was
+      opened. *)
+  val loaded_count : t -> int
+
+  (** Number of unreadable lines skipped when the store was opened. *)
+  val skipped_count : t -> int
+
+  (** Number of distinct records known to be on disk after the last
+      {!flush} (or after {!open_dir}, before any flush).  This is the
+      durable-store size — unlike {!entry_count} it never counts a
+      record twice and unlike {!loaded_count} it tracks flush merges, so
+      it is the right value for the [cache.entries] gauge. *)
+  val merged_count : t -> int
+end

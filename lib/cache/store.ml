@@ -7,40 +7,19 @@
    record file so a second `epoc` invocation on the same (or a similar)
    circuit starts from the previous run's pulses.
 
-   On-disk layout, under the store directory:
-
-     pulses.jsonl   header line + one JSON record per line (append-only)
-     lock           advisory lock file serializing flushes across processes
-     .pulses.jsonl.tmp.<pid>   transient; flushes write here, then rename
-
-   The header line carries {"format", "schema_version", "match_global_phase"};
-   a version or phase-convention mismatch makes the store start empty (with
-   a warning) rather than mis-read foreign records.  Records are one JSON
-   object per line, so a crash mid-write can only damage the trailing
-   record; loading skips any unparsable line with a warning and never
-   raises.  Flushes re-read the file under the file lock, merge the
-   pending records after whatever other writers appended, write the merged
-   file to a temp file in the same directory and [Unix.rename] it into
-   place — readers always see either the old or the new complete file.
-
-   Concurrency: the in-process [t.lock] mutex guards the table and the
-   pending queue; [flush_lock] serializes flushes between domains of one
-   process (POSIX record locks do not exclude threads of the owning
-   process); [Unix.lockf] on the lock file serializes flushes between
-   processes. *)
+   All of the JSONL mechanics — versioned header, quarantine on header
+   mismatch, torn-trailing-record skip, lockf + mutex flush locking,
+   atomic merge-flush — live in the generic [Persistent.Make] functor;
+   this module is the pulse codec plus the pulse-shaped queries (exact
+   [find], Hilbert-Schmidt [nearest] for GRAPE warm starts,
+   [absorb_library]). *)
 
 open Epoc_linalg
 open Epoc_pulse
 module Json = Epoc_obs.Json
 
-let log_src = Logs.Src.create "epoc.cache" ~doc:"EPOC persistent pulse cache"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
-
+let log_src = Persistent.log_src
 let schema_version = 1
-let format_name = "epoc-pulse-cache"
-let records_file = "pulses.jsonl"
-let lock_file = "lock"
 
 type entry = {
   unitary : Mat.t; (* canonical-phase representative *)
@@ -49,50 +28,7 @@ type entry = {
   pulse : Epoc_qoc.Grape.pulse option; (* control amplitudes, for warm starts *)
 }
 
-type t = {
-  dir : string;
-  match_global_phase : bool;
-  lock : Mutex.t;
-  table : (string, entry list) Hashtbl.t; (* fingerprint hex -> bucket *)
-  mutable loaded : int; (* records read at open *)
-  mutable skipped : int; (* unparsable lines skipped at open *)
-  mutable pending : string list; (* serialized records awaiting flush, newest first *)
-}
-
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
-
-(* One flush at a time per process; cross-process exclusion is the file
-   lock taken inside [flush]. *)
-let flush_lock = Mutex.create ()
-
-let path t = Filename.concat t.dir records_file
-
 (* --- (de)serialization ---------------------------------------------------- *)
-
-let mat_to_json (u : Mat.t) =
-  let dim = Mat.rows u in
-  let flat = ref [] in
-  for r = dim - 1 downto 0 do
-    for c = dim - 1 downto 0 do
-      let z = Mat.get u r c in
-      flat := Json.Num (Cx.re z) :: Json.Num (Cx.im z) :: !flat
-    done
-  done;
-  Json.Arr !flat
-
-let mat_of_json dim j =
-  match Json.to_list j with
-  | Some l when List.length l = 2 * dim * dim ->
-      let a = Array.of_list (List.filter_map Json.to_num l) in
-      if Array.length a <> 2 * dim * dim then None
-      else
-        Some
-          (Mat.init dim dim (fun r c ->
-               let i = 2 * ((r * dim) + c) in
-               Cx.make a.(i) a.(i + 1)))
-  | _ -> None
 
 let pulse_to_json (p : Epoc_qoc.Grape.pulse) =
   Json.Obj
@@ -137,158 +73,84 @@ let pulse_of_json j =
           }
   | _ -> None
 
-let key_of (cu : Mat.t) = Digest.to_hex (Library.fingerprint cu)
-
-let record_to_line key (e : entry) =
-  Json.to_string
-    (Json.Obj
-       [
-         ("key", Json.Str key);
-         ("dim", Json.of_int (Mat.rows e.unitary));
-         ("duration", Json.Num e.duration);
-         ("fidelity", Json.Num e.fidelity);
-         ("unitary", mat_to_json e.unitary);
-         ( "pulse",
-           match e.pulse with None -> Json.Null | Some p -> pulse_to_json p );
-       ])
-
-let record_of_line line =
-  match Json.parse line with
-  | Error m -> Error m
-  | Ok j -> (
-      match
-        ( Option.bind (Json.member "dim" j) Json.to_int,
-          Option.bind (Json.member "duration" j) Json.to_num,
-          Option.bind (Json.member "fidelity" j) Json.to_num,
-          Json.member "unitary" j )
-      with
-      | Some dim, Some duration, Some fidelity, Some uj when dim >= 1 -> (
-          match mat_of_json dim uj with
-          | None -> Error "bad unitary array"
-          | Some unitary ->
-              let pulse =
-                match Json.member "pulse" j with
-                | None | Some Json.Null -> None
-                | Some pj -> pulse_of_json pj
-              in
-              Ok { unitary; duration; fidelity; pulse })
-      | _ -> Error "missing record fields")
-
-let header_line match_global_phase =
-  Json.to_string
-    (Json.Obj
-       [
-         ("format", Json.Str format_name);
-         ("schema_version", Json.of_int schema_version);
-         ("match_global_phase", Json.Bool match_global_phase);
-       ])
-
-(* Header check: [Ok ()] to use the records, [Error reason] to ignore the
-   file's contents (the next flush rewrites it under the current header). *)
-let check_header match_global_phase line =
-  match Json.parse line with
-  | Error m -> Error ("unreadable header: " ^ m)
-  | Ok j -> (
-      match
-        ( Option.bind (Json.member "format" j) Json.to_str,
-          Option.bind (Json.member "schema_version" j) Json.to_int,
-          Json.member "match_global_phase" j )
-      with
-      | Some f, _, _ when f <> format_name -> Error ("foreign format " ^ f)
-      | _, Some v, _ when v <> schema_version ->
-          Error
-            (Printf.sprintf "schema_version %d (this build speaks %d)" v
-               schema_version)
-      | _, None, _ -> Error "missing schema_version"
-      | _, _, Some (Json.Bool p) when p <> match_global_phase ->
-          Error "different global-phase matching convention"
-      | _ -> Ok ())
-
-(* --- matching ------------------------------------------------------------- *)
-
-let canonical t u = if t.match_global_phase then Mat.canonical_phase u else u
-
-let entry_matches t (stored : Mat.t) probe =
-  if t.match_global_phase then Mat.equal_up_to_phase ~eps:1e-6 stored probe
+let entry_matches ~match_global_phase (stored : Mat.t) probe =
+  if match_global_phase then Mat.equal_up_to_phase ~eps:1e-6 stored probe
   else Mat.approx_equal ~eps:1e-6 stored probe
 
-(* --- open / load ----------------------------------------------------------- *)
+module Codec = struct
+  type nonrec entry = entry
 
-let rec mkdir_p dir =
-  let parent = Filename.dirname dir in
-  if parent <> dir && not (Sys.file_exists parent) then mkdir_p parent;
-  if not (Sys.file_exists dir) then
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  let format_name = "epoc-pulse-cache"
+  let schema_version = schema_version
+  let records_file = "pulses.jsonl"
 
-let read_lines file =
-  match In_channel.with_open_bin file In_channel.input_all with
-  | contents ->
-      List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
-  | exception Sys_error _ -> []
+  let canonical ~match_global_phase e =
+    if match_global_phase then { e with unitary = Mat.canonical_phase e.unitary }
+    else e
 
-let add_to_table t key entry =
-  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
-  Hashtbl.replace t.table key (bucket @ [ entry ])
+  let key e = Digest.to_hex (Library.fingerprint e.unitary)
 
-(* Load every valid record line; unparsable lines (a torn trailing write,
-   manual editing) are counted and skipped, never fatal. *)
-let load_records t lines =
-  List.iteri
-    (fun i line ->
-      match record_of_line line with
-      | Ok e ->
-          let cu = canonical t e.unitary in
-          add_to_table t (key_of cu) { e with unitary = cu };
-          t.loaded <- t.loaded + 1
-      | Error m ->
-          t.skipped <- t.skipped + 1;
-          Log.warn (fun f ->
-              f "cache %s: skipping unreadable record %d (%s)" (path t) (i + 2) m))
-    lines
+  let equal ~match_global_phase a b =
+    entry_matches ~match_global_phase a.unitary b.unitary
 
-let open_dir ?(match_global_phase = true) dir =
-  mkdir_p dir;
-  let t =
-    {
-      dir;
-      match_global_phase;
-      lock = Mutex.create ();
-      table = Hashtbl.create 64;
-      loaded = 0;
-      skipped = 0;
-      pending = [];
-    }
-  in
-  (match read_lines (path t) with
-  | [] -> ()
-  | header :: records -> (
-      match check_header match_global_phase header with
-      | Ok () -> load_records t records
-      | Error reason ->
-          Log.warn (fun f ->
-              f "cache %s: ignoring existing store (%s); it will be rewritten"
-                (path t) reason)));
-  Log.debug (fun f ->
-      f "cache %s: %d entries loaded, %d lines skipped" (path t) t.loaded
-        t.skipped);
-  t
+  let to_line ~key (e : entry) =
+    Json.to_string
+      (Json.Obj
+         [
+           ("key", Json.Str key);
+           ("dim", Json.of_int (Mat.rows e.unitary));
+           ("duration", Json.Num e.duration);
+           ("fidelity", Json.Num e.fidelity);
+           ("unitary", Mat_json.to_json e.unitary);
+           ( "pulse",
+             match e.pulse with None -> Json.Null | Some p -> pulse_to_json p );
+         ])
+
+  let of_line line =
+    match Json.parse line with
+    | Error m -> Error m
+    | Ok j -> (
+        match
+          ( Option.bind (Json.member "dim" j) Json.to_int,
+            Option.bind (Json.member "duration" j) Json.to_num,
+            Option.bind (Json.member "fidelity" j) Json.to_num,
+            Json.member "unitary" j )
+        with
+        | Some dim, Some duration, Some fidelity, Some uj when dim >= 1 -> (
+            match Mat_json.of_json dim uj with
+            | None -> Error "bad unitary array"
+            | Some unitary ->
+                let pulse =
+                  match Json.member "pulse" j with
+                  | None | Some Json.Null -> None
+                  | Some pj -> pulse_of_json pj
+                in
+                Ok { unitary; duration; fidelity; pulse })
+        | _ -> Error "missing record fields")
+end
+
+module P = Persistent.Make (Codec)
+
+type t = P.t
+
+let open_dir = P.open_dir
 
 (* --- queries --------------------------------------------------------------- *)
 
-let entry_count t =
-  locked t (fun () ->
-      Hashtbl.fold (fun _ b acc -> acc + List.length b) t.table 0)
+let entry_count = P.entry_count
+let pending_count = P.pending_count
+let loaded_count = P.loaded_count
+let skipped_count = P.skipped_count
+let merged_count = P.merged_count
 
-let pending_count t = locked t (fun () -> List.length t.pending)
-let loaded_count t = t.loaded
-let skipped_count t = t.skipped
+let canonical t u =
+  if P.match_global_phase t then Mat.canonical_phase u else u
 
 let find t (u : Mat.t) =
   let cu = canonical t u in
-  let key = key_of cu in
-  locked t (fun () ->
-      let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
-      List.find_opt (fun e -> entry_matches t e.unitary cu) bucket)
+  let probe = { unitary = cu; duration = 0.0; fidelity = 0.0; pulse = None } in
+  P.find t ~key:(Codec.key probe) (fun e ->
+      entry_matches ~match_global_phase:(P.match_global_phase t) e.unitary cu)
 
 (* Closest stored pulse of the same dimension under the global-phase-
    invariant Hilbert-Schmidt distance; only entries that carry control
@@ -298,33 +160,19 @@ let find t (u : Mat.t) =
 let nearest ?(max_distance = 0.15) t (u : Mat.t) =
   let cu = canonical t u in
   let dim = Mat.rows cu in
-  locked t (fun () ->
-      Hashtbl.fold
-        (fun _ bucket best ->
-          List.fold_left
-            (fun best e ->
-              if e.pulse = None || Mat.rows e.unitary <> dim then best
-              else
-                let d = Mat.hs_distance e.unitary cu in
-                match best with
-                | Some (_, bd) when bd <= d -> best
-                | _ when d <= max_distance -> Some (e, d)
-                | _ -> best)
-            best bucket)
-        t.table None)
+  P.fold t ~init:None (fun e best ->
+      if e.pulse = None || Mat.rows e.unitary <> dim then best
+      else
+        let d = Mat.hs_distance e.unitary cu in
+        match best with
+        | Some (_, bd) when bd <= d -> best
+        | _ when d <= max_distance -> Some (e, d)
+        | _ -> best)
 
 (* --- recording / flush ----------------------------------------------------- *)
 
 let record t (u : Mat.t) ~duration ~fidelity ?pulse () =
-  let cu = canonical t u in
-  let key = key_of cu in
-  locked t (fun () ->
-      let bucket = Option.value ~default:[] (Hashtbl.find_opt t.table key) in
-      if not (List.exists (fun e -> entry_matches t e.unitary cu) bucket) then begin
-        let e = { unitary = cu; duration; fidelity; pulse } in
-        Hashtbl.replace t.table key (bucket @ [ e ]);
-        t.pending <- record_to_line key e :: t.pending
-      end)
+  P.record t { unitary = u; duration; fidelity; pulse }
 
 (* Queue every library entry the store does not already hold.  Called at
    pipeline end, after the candidate forks have been absorbed back into
@@ -334,64 +182,4 @@ let absorb_library t (lib : Library.t) =
       record t e.Library.unitary ~duration:e.Library.duration
         ~fidelity:e.Library.fidelity ?pulse:e.Library.pulse ())
 
-let with_file_lock t f =
-  let lock_path = Filename.concat t.dir lock_file in
-  let fd = Unix.openfile lock_path [ Unix.O_CREAT; Unix.O_RDWR ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      Unix.lockf fd Unix.F_LOCK 0;
-      Fun.protect ~finally:(fun () -> Unix.lockf fd Unix.F_ULOCK 0) f)
-
-(* Persist pending records.  Under the locks, the record file is re-read
-   raw so entries appended by other invocations since [open_dir] survive;
-   our pending lines land after them (minus exact duplicates), and the
-   merged file replaces the old one atomically. *)
-let flush t =
-  let pending = locked t (fun () -> List.rev t.pending) in
-  if pending <> [] then begin
-    Mutex.lock flush_lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock flush_lock)
-      (fun () ->
-        with_file_lock t (fun () ->
-            let disk =
-              match read_lines (path t) with
-              | [] -> []
-              | header :: records -> (
-                  match check_header t.match_global_phase header with
-                  | Ok () ->
-                      List.filter
-                        (fun l -> Result.is_ok (record_of_line l))
-                        records
-                  | Error _ -> [])
-            in
-            let fresh =
-              List.filter (fun l -> not (List.mem l disk)) pending
-            in
-            let tmp =
-              Filename.concat t.dir
-                (Printf.sprintf ".%s.tmp.%d" records_file (Unix.getpid ()))
-            in
-            let oc = open_out_bin tmp in
-            (try
-               output_string oc (header_line t.match_global_phase);
-               output_char oc '\n';
-               List.iter
-                 (fun l ->
-                   output_string oc l;
-                   output_char oc '\n')
-                 (disk @ fresh);
-               close_out oc
-             with e ->
-               close_out_noerr oc;
-               (try Sys.remove tmp with Sys_error _ -> ());
-               raise e);
-            Unix.rename tmp (path t);
-            Log.debug (fun f ->
-                f "cache %s: flushed %d new record%s (%d on disk)" (path t)
-                  (List.length fresh)
-                  (if List.length fresh = 1 then "" else "s")
-                  (List.length disk + List.length fresh))));
-    locked t (fun () -> t.pending <- [])
-  end
+let flush = P.flush

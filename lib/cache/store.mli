@@ -19,7 +19,10 @@
 
     Flushes merge pending records with whatever other writers appended
     since the store was opened, write the merged file to a temp file in
-    the same directory and atomically [Unix.rename] it into place. *)
+    the same directory and atomically [Unix.rename] it into place.
+
+    The JSONL machinery itself lives in {!Persistent.Make}; this module
+    is its pulse instance (the other is {!Synth_store}). *)
 
 open Epoc_linalg
 open Epoc_pulse
@@ -90,3 +93,10 @@ val loaded_count : t -> int
 
 (** Number of unreadable lines skipped when the store was opened. *)
 val skipped_count : t -> int
+
+(** Number of distinct records on disk after the last {!flush} (or after
+    {!open_dir}, before any flush).  Unlike {!entry_count} this never
+    counts semantically equal records twice — e.g. after recovering a
+    torn write whose record a concurrent writer also re-solved — so it
+    is the value the pipeline reports as [cache.entries]. *)
+val merged_count : t -> int

@@ -1,0 +1,278 @@
+(* Persistent synthesis store: the second instance of [Persistent.Make].
+
+   A record is one synthesized block: the canonical block unitary (for
+   hit verification), the VUG + CNOT circuit QSearch produced, and the
+   attempt metadata (source, instantiation distance, search counters).
+   Circuits serialize as an op list; named gates round-trip through
+   (name, params) and [Unitary] gates carry their matrix inline, so a
+   replayed circuit is structurally identical — same gates, same float
+   bits — to the one the cold run synthesized. *)
+
+open Epoc_linalg
+open Epoc_pulse
+open Epoc_circuit
+open Epoc_synthesis
+module Json = Epoc_obs.Json
+
+let schema_version = 1
+
+type entry = {
+  unitary : Mat.t;
+  circuit : Circuit.t;
+  source : Synthesis.source;
+  distance : float;
+  expansions : int;
+  prunes : int;
+}
+
+(* --- gate / circuit (de)serialization -------------------------------------- *)
+
+let gate_to_json (g : Gate.t) =
+  let base = [ ("g", Json.Str (Gate.name g)) ] in
+  match g with
+  | Gate.Unitary { matrix; _ } ->
+      Json.Obj
+        (base
+        @ [
+            ("gd", Json.of_int (Mat.rows matrix));
+            ("m", Mat_json.to_json matrix);
+          ])
+  | _ -> (
+      match Gate.params g with
+      | [] -> Json.Obj base
+      | ps -> Json.Obj (base @ [ ("p", Json.Arr (List.map (fun v -> Json.Num v) ps)) ]))
+
+let gate_of_parts name (params : float list) (matrix : Mat.t option) :
+    Gate.t option =
+  match (name, params) with
+  | "id", [] -> Some Gate.I
+  | "x", [] -> Some Gate.X
+  | "y", [] -> Some Gate.Y
+  | "z", [] -> Some Gate.Z
+  | "h", [] -> Some Gate.H
+  | "s", [] -> Some Gate.S
+  | "sdg", [] -> Some Gate.Sdg
+  | "t", [] -> Some Gate.T
+  | "tdg", [] -> Some Gate.Tdg
+  | "sx", [] -> Some Gate.SX
+  | "sxdg", [] -> Some Gate.SXdg
+  | "rx", [ a ] -> Some (Gate.RX a)
+  | "ry", [ a ] -> Some (Gate.RY a)
+  | "rz", [ a ] -> Some (Gate.RZ a)
+  | "p", [ a ] -> Some (Gate.Phase a)
+  | "u3", [ a; b; c ] -> Some (Gate.U3 (a, b, c))
+  | "cx", [] -> Some Gate.CX
+  | "cy", [] -> Some Gate.CY
+  | "cz", [] -> Some Gate.CZ
+  | "ch", [] -> Some Gate.CH
+  | "swap", [] -> Some Gate.SWAP
+  | "iswap", [] -> Some Gate.ISWAP
+  | "crx", [ a ] -> Some (Gate.CRX a)
+  | "cry", [ a ] -> Some (Gate.CRY a)
+  | "crz", [ a ] -> Some (Gate.CRZ a)
+  | "cp", [ a ] -> Some (Gate.CPhase a)
+  | "rxx", [ a ] -> Some (Gate.RXX a)
+  | "ryy", [ a ] -> Some (Gate.RYY a)
+  | "rzz", [ a ] -> Some (Gate.RZZ a)
+  | "ccx", [] -> Some Gate.CCX
+  | "ccz", [] -> Some Gate.CCZ
+  | "cswap", [] -> Some Gate.CSWAP
+  | _ -> (
+      (* Anything else (VUGs, daggered composites) must carry its matrix. *)
+      match matrix with
+      | Some m -> Some (Gate.Unitary { name; matrix = m })
+      | None -> None)
+
+let gate_of_json j =
+  match Option.bind (Json.member "g" j) Json.to_str with
+  | None -> None
+  | Some name ->
+      let params =
+        match Json.member "p" j with
+        | Some pj ->
+            Option.value ~default:[]
+              (Option.map (List.filter_map Json.to_num) (Json.to_list pj))
+        | None -> []
+      in
+      let matrix =
+        match
+          ( Option.bind (Json.member "gd" j) Json.to_int,
+            Json.member "m" j )
+        with
+        | Some gd, Some mj when gd >= 1 -> Mat_json.of_json gd mj
+        | _ -> None
+      in
+      gate_of_parts name params matrix
+
+let op_to_json (op : Circuit.op) =
+  match gate_to_json op.Circuit.gate with
+  | Json.Obj fields ->
+      Json.Obj
+        (fields @ [ ("q", Json.Arr (List.map Json.of_int op.Circuit.qubits)) ])
+  | j -> j
+
+let op_of_json j =
+  match
+    ( gate_of_json j,
+      Option.bind (Json.member "q" j) Json.to_list )
+  with
+  | Some gate, Some qs ->
+      let qubits = List.filter_map Json.to_int qs in
+      if List.length qubits = List.length qs then
+        Some { Circuit.gate; qubits }
+      else None
+  | _ -> None
+
+let circuit_to_json (c : Circuit.t) =
+  Json.Obj
+    [
+      ("n", Json.of_int (Circuit.n_qubits c));
+      ("ops", Json.Arr (List.map op_to_json (Circuit.ops c)));
+    ]
+
+let circuit_of_json j =
+  match
+    ( Option.bind (Json.member "n" j) Json.to_int,
+      Option.bind (Json.member "ops" j) Json.to_list )
+  with
+  | Some n, Some ops when n >= 1 ->
+      let parsed = List.map op_of_json ops in
+      if List.exists Option.is_none parsed then None
+      else begin
+        (* [of_ops] validates arities and qubit ranges; a corrupt record
+           must surface as a skipped line, never an exception. *)
+        try Some (Circuit.of_ops n (List.filter_map Fun.id parsed))
+        with Invalid_argument _ -> None
+      end
+  | _ -> None
+
+let source_to_string = function
+  | Synthesis.Synthesized -> "synthesized"
+  | Synthesis.Fallback -> "fallback"
+
+let source_of_string = function
+  | "synthesized" -> Some Synthesis.Synthesized
+  | "fallback" -> Some Synthesis.Fallback
+  | _ -> None
+
+(* --- the codec -------------------------------------------------------------- *)
+
+let entry_matches ~match_global_phase (stored : Mat.t) probe =
+  if match_global_phase then Mat.equal_up_to_phase ~eps:1e-6 stored probe
+  else Mat.approx_equal ~eps:1e-6 stored probe
+
+module Codec = struct
+  type nonrec entry = entry
+
+  let format_name = "epoc-synth-cache"
+  let schema_version = schema_version
+  let records_file = "synth.jsonl"
+
+  let canonical ~match_global_phase e =
+    if match_global_phase then { e with unitary = Mat.canonical_phase e.unitary }
+    else e
+
+  let key e = Digest.to_hex (Library.fingerprint e.unitary)
+
+  let equal ~match_global_phase a b =
+    entry_matches ~match_global_phase a.unitary b.unitary
+
+  let to_line ~key (e : entry) =
+    Json.to_string
+      (Json.Obj
+         [
+           ("key", Json.Str key);
+           ("dim", Json.of_int (Mat.rows e.unitary));
+           ("source", Json.Str (source_to_string e.source));
+           ("distance", Json.Num e.distance);
+           ("expansions", Json.of_int e.expansions);
+           ("prunes", Json.of_int e.prunes);
+           ("unitary", Mat_json.to_json e.unitary);
+           ("circuit", circuit_to_json e.circuit);
+         ])
+
+  let of_line line =
+    match Json.parse line with
+    | Error m -> Error m
+    | Ok j -> (
+        match
+          ( Option.bind (Json.member "dim" j) Json.to_int,
+            Option.bind (Json.member "source" j) Json.to_str,
+            Option.bind (Json.member "distance" j) Json.to_num,
+            Json.member "unitary" j,
+            Json.member "circuit" j )
+        with
+        | Some dim, Some src, Some distance, Some uj, Some cj when dim >= 1
+          -> (
+            match
+              (Mat_json.of_json dim uj, circuit_of_json cj, source_of_string src)
+            with
+            | Some unitary, Some circuit, Some source ->
+                let int_field name =
+                  Option.value ~default:0
+                    (Option.bind (Json.member name j) Json.to_int)
+                in
+                Ok
+                  {
+                    unitary;
+                    circuit;
+                    source;
+                    distance;
+                    expansions = int_field "expansions";
+                    prunes = int_field "prunes";
+                  }
+            | None, _, _ -> Error "bad unitary array"
+            | _, None, _ -> Error "bad circuit"
+            | _, _, None -> Error ("unknown source " ^ src))
+        | _ -> Error "missing record fields")
+end
+
+module P = Persistent.Make (Codec)
+
+type t = P.t
+
+let open_dir = P.open_dir
+let entry_count = P.entry_count
+let pending_count = P.pending_count
+let loaded_count = P.loaded_count
+let skipped_count = P.skipped_count
+let merged_count = P.merged_count
+let flush = P.flush
+
+let probe_entry u =
+  {
+    unitary = u;
+    circuit = Circuit.empty 1;
+    source = Synthesis.Fallback;
+    distance = 0.0;
+    expansions = 0;
+    prunes = 0;
+  }
+
+let find t (u : Mat.t) =
+  let cu = if P.match_global_phase t then Mat.canonical_phase u else u in
+  P.find t ~key:(Codec.key (probe_entry cu)) (fun e ->
+      entry_matches ~match_global_phase:(P.match_global_phase t) e.unitary cu)
+
+let record t (u : Mat.t) (r : Synthesis.block_result) =
+  if r.Synthesis.failure = None then
+    P.record t
+      {
+        unitary = u;
+        circuit = r.Synthesis.circuit;
+        source = r.Synthesis.source;
+        distance = r.Synthesis.distance;
+        expansions = r.Synthesis.expansions;
+        prunes = r.Synthesis.prunes;
+      }
+
+let to_block_result (e : entry) : Synthesis.block_result =
+  {
+    Synthesis.circuit = e.circuit;
+    source = e.source;
+    distance = e.distance;
+    expansions = 0;
+    prunes = 0;
+    open_max = 0;
+    failure = None;
+  }

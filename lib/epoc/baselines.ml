@@ -82,6 +82,12 @@ let gate_flow =
         [ lower_pass; gate_pulses_pass; schedule_instructions_pass ]);
   }
 
+(* Session entry point: the baseline is just the shared driver over
+   [gate_flow], under the session's own config. *)
+let compile_gate_based session (circuit : Circuit.t) =
+  Pipeline.compile_flow session gate_flow circuit
+
+(* Deprecated optional-arg wrapper, kept for one release. *)
 let gate_based ?(config = Config.default) ?engine ?request_id ?library ?cache
     ?pool ?trace ?metrics ~name (circuit : Circuit.t) =
   Pipeline.run_flow ~config ?engine ?request_id ?library ?cache ?pool ?trace
@@ -103,6 +109,16 @@ let accqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
+(* Session entry point: the caller's session under the AccQOC config
+   transform ([Engine.with_config] re-derives the library, budget and
+   fault spec for the restricted config). *)
+let compile_accqoc_like session circuit =
+  let session =
+    Engine.with_config (accqoc_config (Engine.session_config session)) session
+  in
+  Pipeline.compile session circuit
+
+(* Deprecated optional-arg wrapper, kept for one release. *)
 let accqoc_like ?(config = Config.default) ?engine ?request_id ?library ?cache
     ?pool ?trace ?metrics ~name circuit =
   Pipeline.run ~config:(accqoc_config config) ?engine ?request_id ?library
@@ -145,17 +161,24 @@ let paqoc_config (base : Config.t) =
     match_global_phase = false;
   }
 
-let paqoc_like ?(config = Config.default) ?engine ?request_id ?library ?cache
-    ?pool ?trace ?metrics ~name circuit =
-  (* pattern mining informs the grouping budget: with frequent patterns
-     present, PAQOC invests in deeper program-aware groups *)
+(* The PAQOC config for [circuit]: pattern mining informs the grouping
+   budget — with frequent patterns present, PAQOC invests in deeper
+   program-aware groups. *)
+let paqoc_config_for config circuit =
   let patterns = mine_patterns circuit in
   let cfg = paqoc_config config in
-  let cfg =
-    if List.length patterns >= 3 then
-      { cfg with Config.partition = { Partition.qubit_limit = 2; op_limit = 8 };
-                 regroup_partition = { Partition.qubit_limit = 2; op_limit = 8 } }
-    else cfg
-  in
-  Pipeline.run ~config:cfg ?engine ?request_id ?library ?cache ?pool ?trace
-    ?metrics ~name circuit
+  if List.length patterns >= 3 then
+    { cfg with Config.partition = { Partition.qubit_limit = 2; op_limit = 8 };
+               regroup_partition = { Partition.qubit_limit = 2; op_limit = 8 } }
+  else cfg
+
+(* Session entry point. *)
+let compile_paqoc_like session circuit =
+  let cfg = paqoc_config_for (Engine.session_config session) circuit in
+  Pipeline.compile (Engine.with_config cfg session) circuit
+
+(* Deprecated optional-arg wrapper, kept for one release. *)
+let paqoc_like ?(config = Config.default) ?engine ?request_id ?library ?cache
+    ?pool ?trace ?metrics ~name circuit =
+  Pipeline.run ~config:(paqoc_config_for config circuit) ?engine ?request_id
+    ?library ?cache ?pool ?trace ?metrics ~name circuit

@@ -29,6 +29,14 @@ type t = {
   (* directory of the persistent pulse store (lib/cache); [None] keeps the
      library purely in-memory, as in the original paper *)
   cache_dir : string option;
+  (* directory of the persistent synthesis store; [None] re-synthesizes
+     every block from scratch *)
+  synth_cache_dir : string option;
+  (* AccQOC-style similarity ordering: chain pending GRAPE solves along a
+     greedy nearest-neighbor walk in Hilbert-Schmidt distance so each solve
+     warm-starts from the previous result.  Changes solver trajectories, so
+     it is off by default to keep the attempt-0 cold path bit-identical. *)
+  similarity_order : bool;
   dt : float;
   t_coherence : float;
   (* resilience: wall-clock budgets for the whole run and for each
@@ -79,6 +87,8 @@ let default =
       };
     match_global_phase = true;
     cache_dir = None;
+    synth_cache_dir = None;
+    similarity_order = false;
     dt = 0.5;
     t_coherence = 100_000.0;
     total_deadline = None;

@@ -32,6 +32,16 @@ type t = {
   cache_dir : string option;
       (** directory of the persistent pulse store (lib/cache); [None]
           keeps the library purely in-memory, as in the original paper *)
+  synth_cache_dir : string option;
+      (** directory of the persistent synthesis store
+          ({!Epoc_cache.Synth_store}); [None] re-synthesizes every block
+          from scratch *)
+  similarity_order : bool;
+      (** AccQOC-style similarity ordering: chain pending GRAPE solves
+          along a greedy nearest-neighbor walk in Hilbert-Schmidt
+          distance so each solve warm-starts from the previous result.
+          Changes solver trajectories (never correctness), so it is off
+          by default to keep the cold path bit-identical. *)
   dt : float;
   t_coherence : float;
   total_deadline : float option;

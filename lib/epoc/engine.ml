@@ -3,6 +3,7 @@
 
      - the domain pool (and its traffic counters),
      - the persistent pulse store (opened once, shared by all requests),
+     - the persistent synthesis store (same lifecycle),
      - the shared pulse library,
      - the hardware-model memo (replacing the old process-wide
        [Hardware.shared] table),
@@ -12,11 +13,11 @@
    Everything per-run — config, trace sink, per-run metrics registry,
    compute budget, fault spec, the session library handle — lives in a
    [session] created from the engine.  The compile path reads shared
-   state only through its session's engine, so there is zero
-   process-global mutation: two engines in one process are fully
-   isolated, and many concurrent sessions on one engine share hot state
-   safely (every engine-owned structure is internally synchronized —
-   see each module's header).
+   state only through its session, so there is zero process-global
+   mutation: two engines in one process are fully isolated, and many
+   concurrent sessions on one engine share hot state safely (every
+   engine-owned structure is internally synchronized — see each
+   module's header).
 
    One-shot entry points ([Pipeline.run] without [?engine]) build an
    ephemeral engine per call, which reproduces the old per-process
@@ -28,22 +29,25 @@ open Epoc_pulse
 open Epoc_qoc
 module Metrics = Epoc_obs.Metrics
 module Store = Epoc_cache.Store
+module Synth_store = Epoc_cache.Synth_store
 
 type t = {
   pool : Pool.t;
   library : Library.t; (* shared across sessions; thread-safe *)
   cache : Store.t option; (* persistent pulse store, opened once *)
+  synth : Synth_store.t option; (* persistent synthesis store, opened once *)
   hardware : Hardware.Memo.memo;
   metrics : Metrics.t; (* engine registry: infrastructure, not per-run *)
   flight : Epoc_obs.Flight.t; (* last-N completed requests, slow traces *)
   next_rid : int Atomic.t; (* request-id counter; unique per engine *)
 }
 
-(* [config] seeds the engine-owned resources: the store directory and
-   the phase-matching convention of the library and store.  The config
+(* [config] seeds the engine-owned resources: the store directories and
+   the phase-matching convention of the library and stores.  The config
    itself is *not* stored — it is a per-session value, so one engine can
    serve requests compiled under different configs (modes, deadlines). *)
-let create ?(config = Config.default) ?domains ?pool ?library ?cache () =
+let create ?(config = Config.default) ?domains ?pool ?library ?cache ?synth ()
+    =
   let metrics = Metrics.create () in
   let pool =
     match pool with Some p -> p | None -> Pool.create ?domains ~metrics ()
@@ -63,10 +67,21 @@ let create ?(config = Config.default) ?domains ?pool ?library ?cache () =
               dir)
           config.Config.cache_dir
   in
+  let synth =
+    match synth with
+    | Some _ as s -> s
+    | None ->
+        Option.map
+          (fun dir ->
+            Synth_store.open_dir
+              ~match_global_phase:config.Config.match_global_phase dir)
+          config.Config.synth_cache_dir
+  in
   {
     pool;
     library;
     cache;
+    synth;
     hardware = Hardware.Memo.create ();
     metrics;
     flight =
@@ -78,6 +93,7 @@ let create ?(config = Config.default) ?domains ?pool ?library ?cache () =
 let pool t = t.pool
 let library t = t.library
 let cache t = t.cache
+let synth t = t.synth
 let metrics t = t.metrics
 let flight t = t.flight
 
@@ -94,11 +110,13 @@ let hardware_for t (config : Config.t) k =
   Hardware.Memo.get t.hardware ~dt:config.Config.dt
     ~t_coherence:config.Config.t_coherence k
 
-(* Flush the persistent store once (no-op without a store, or with
+(* Flush both persistent stores once (no-op without stores, or with
    nothing pending).  Sessions flush after each run; the serve daemon
    also calls this on shutdown so a drained process leaves nothing
    unpersisted. *)
-let flush t = Option.iter Store.flush t.cache
+let flush t =
+  Option.iter Store.flush t.cache;
+  Option.iter Synth_store.flush t.synth
 
 (* --- sessions ------------------------------------------------------------ *)
 
@@ -106,44 +124,70 @@ let flush t = Option.iter Store.flush t.cache
    library by default; passing a private one isolates the request (the
    serve daemon does this so each job resolves exactly like a one-shot
    run, with cross-request reuse flowing through the engine store) and
-   the caller decides whether to absorb it back. *)
+   the caller decides whether to absorb it back.  [s_pool], [s_cache]
+   and [s_synth] are views of the engine's resources unless the session
+   was opened with overrides — that is how the deprecated
+   [Pipeline.run ?pool ?cache] wrappers keep their exact semantics on
+   top of the session API. *)
 type session = {
   s_engine : t;
   s_config : Config.t;
   s_name : string;
   s_request_id : string; (* stable identity of this request *)
   s_library : Library.t;
+  s_explicit_library : Library.t option; (* as passed by the caller *)
+  s_pool : Pool.t;
+  s_cache : Store.t option;
+  s_synth : Synth_store.t option;
   s_trace : Trace.t;
   s_metrics : Metrics.t; (* per-run registry: deterministic values only *)
   s_budget : Epoc_budget.t;
   s_fault : Epoc_fault.spec option;
 }
 
-let session ?(config = Config.default) ?request_id ?library ?trace ?metrics
-    ~name t =
+(* The session library for [config]: the caller's, or the engine's when
+   this request's matching convention agrees with it — a phase-sensitive
+   request (AccQOC/PAQOC configs) against a phase-invariant engine
+   library would otherwise alias distinct unitaries. *)
+let library_for t (config : Config.t) = function
+  | Some l -> l
+  | None ->
+      if
+        Library.match_global_phase t.library
+        = config.Config.match_global_phase
+      then t.library
+      else Library.create ~match_global_phase:config.Config.match_global_phase ()
+
+let session ?(config = Config.default) ?request_id ?library ?pool ?cache
+    ?synth ?trace ?metrics ~name t =
   {
     s_engine = t;
     s_config = config;
     s_name = name;
     s_request_id =
       (match request_id with Some id -> id | None -> next_request_id t);
-    s_library =
-      (match library with
-      | Some l -> l
-      | None ->
-          (* share the engine library only when this request's matching
-             convention agrees with it; a phase-sensitive request
-             (AccQOC/PAQOC configs) against a phase-invariant engine
-             library would otherwise alias distinct unitaries *)
-          if
-            Library.match_global_phase t.library
-            = config.Config.match_global_phase
-          then t.library
-          else
-            Library.create
-              ~match_global_phase:config.Config.match_global_phase ());
+    s_library = library_for t config library;
+    s_explicit_library = library;
+    s_pool = (match pool with Some p -> p | None -> t.pool);
+    s_cache = (match cache with Some _ as c -> c | None -> t.cache);
+    s_synth = (match synth with Some _ as s -> s | None -> t.synth);
     s_trace = (match trace with Some tr -> tr | None -> Trace.create ());
     s_metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    s_budget =
+      Epoc_budget.sub ?seconds:config.Config.total_deadline
+        Epoc_budget.unlimited;
+    s_fault = config.Config.fault;
+  }
+
+(* The same session under a different config: identity (engine, name,
+   request id), sinks and resource overrides carry over; the library,
+   budget and fault spec re-derive from the new config.  The baselines
+   use this to apply their config transforms to a caller's session. *)
+let with_config config s =
+  {
+    s with
+    s_config = config;
+    s_library = library_for s.s_engine config s.s_explicit_library;
     s_budget =
       Epoc_budget.sub ?seconds:config.Config.total_deadline
         Epoc_budget.unlimited;
@@ -155,6 +199,9 @@ let session_config s = s.s_config
 let session_name s = s.s_name
 let session_request_id s = s.s_request_id
 let session_library s = s.s_library
+let session_pool s = s.s_pool
+let session_cache s = s.s_cache
+let session_synth s = s.s_synth
 let session_trace s = s.s_trace
 let session_metrics s = s.s_metrics
 let session_budget s = s.s_budget

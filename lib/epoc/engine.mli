@@ -24,19 +24,21 @@ module Metrics = Epoc_obs.Metrics
 type t
 
 (** [create ()] builds an engine.  [config] seeds the engine-owned
-    resources — the store directory ([cache_dir]) and the
-    phase-matching convention of the library and store — but is not
-    retained: configs are per-session values, so one engine serves
-    requests compiled under different modes and deadlines.  [domains]
-    sizes the pool (when no [pool] is given); explicit [pool],
-    [library], [cache] override the constructed defaults.  The pool
-    constructed here records its traffic into the engine registry. *)
+    resources — the store directories ([cache_dir], [synth_cache_dir])
+    and the phase-matching convention of the library and stores — but
+    is not retained: configs are per-session values, so one engine
+    serves requests compiled under different modes and deadlines.
+    [domains] sizes the pool (when no [pool] is given); explicit
+    [pool], [library], [cache], [synth] override the constructed
+    defaults.  The pool constructed here records its traffic into the
+    engine registry. *)
 val create :
   ?config:Config.t ->
   ?domains:int ->
   ?pool:Pool.t ->
   ?library:Library.t ->
   ?cache:Epoc_cache.Store.t ->
+  ?synth:Epoc_cache.Synth_store.t ->
   unit ->
   t
 
@@ -45,6 +47,11 @@ val pool : t -> Pool.t
 val library : t -> Library.t
 
 val cache : t -> Epoc_cache.Store.t option
+
+(** The persistent synthesis store ({!Epoc_cache.Synth_store}), when one
+    is configured: synthesized per-block circuits keyed by block
+    fingerprint, consulted before QSearch runs. *)
+val synth : t -> Epoc_cache.Synth_store.t option
 
 (** The engine registry: pool traffic, solver throughput gauges and
     anything else infrastructure-scoped.  Never holds per-run values —
@@ -66,7 +73,7 @@ val next_request_id : t -> string
     memoized on the engine. *)
 val hardware_for : t -> Config.t -> int -> Hardware.t
 
-(** Flush the persistent store once (no-op without a store or with
+(** Flush both persistent stores once (no-op without stores or with
     nothing pending). *)
 val flush : t -> unit
 
@@ -85,18 +92,30 @@ type session
     library unless [library] supplies a private one (the serve daemon
     isolates each job this way so it resolves exactly like a one-shot
     run, with cross-request reuse flowing through the engine store).
-    [trace] and [metrics] default to fresh sinks; the budget derives
-    from [config.total_deadline] and the fault spec from
-    [config.fault]. *)
+    [pool], [cache] and [synth] override the engine's resources for
+    this session only — the deprecated [Pipeline.run ?pool ?cache]
+    wrappers are built on these.  [trace] and [metrics] default to
+    fresh sinks; the budget derives from [config.total_deadline] and
+    the fault spec from [config.fault]. *)
 val session :
   ?config:Config.t ->
   ?request_id:string ->
   ?library:Library.t ->
+  ?pool:Pool.t ->
+  ?cache:Epoc_cache.Store.t ->
+  ?synth:Epoc_cache.Synth_store.t ->
   ?trace:Trace.t ->
   ?metrics:Metrics.t ->
   name:string ->
   t ->
   session
+
+(** The same session under a different config: identity (engine, name,
+    request id), sinks and resource overrides carry over; the library,
+    budget and fault spec re-derive from the new config (an explicitly
+    passed library is kept).  The baselines use this to apply their
+    config transforms to a caller's session. *)
+val with_config : Config.t -> session -> session
 
 val session_engine : session -> t
 
@@ -107,6 +126,14 @@ val session_name : session -> string
 val session_request_id : session -> string
 
 val session_library : session -> Library.t
+
+(** The pool, pulse store and synthesis store this session compiles
+    with: the engine's, unless the session was opened with overrides. *)
+val session_pool : session -> Pool.t
+
+val session_cache : session -> Epoc_cache.Store.t option
+
+val session_synth : session -> Epoc_cache.Synth_store.t option
 
 val session_trace : session -> Trace.t
 

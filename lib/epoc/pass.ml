@@ -21,7 +21,10 @@ type ctx = {
          metric, retry and degradation of the run is attributable to it *)
   pool : Pool.t; (* engine-owned *)
   library : Library.t; (* session handle; forked per candidate *)
-  cache : Epoc_cache.Store.t option; (* engine-owned persistent store *)
+  cache : Epoc_cache.Store.t option; (* engine-owned persistent pulse store *)
+  synth : Epoc_cache.Synth_store.t option;
+      (* engine-owned persistent synthesis store; consulted before
+         QSearch, recorded into at pipeline end *)
   trace : Trace.t;
   metrics : Metrics.t; (* per-run registry (lib/obs), deterministic values *)
   process : Metrics.t;
@@ -43,9 +46,10 @@ let of_session (s : Engine.session) =
   {
     config;
     request_id = Engine.session_request_id s;
-    pool = Engine.pool engine;
+    pool = Engine.session_pool s;
     library = Engine.session_library s;
-    cache = Engine.cache engine;
+    cache = Engine.session_cache s;
+    synth = Engine.session_synth s;
     trace = Engine.session_trace s;
     metrics = Engine.session_metrics s;
     process = Engine.metrics engine;

@@ -26,6 +26,10 @@ type ctx = {
   library : Library.t;  (** session handle; forked per candidate *)
   cache : Epoc_cache.Store.t option;
       (** engine-owned persistent pulse store, when enabled *)
+  synth : Epoc_cache.Synth_store.t option;
+      (** engine-owned persistent synthesis store, when enabled;
+          consulted before QSearch runs, recorded into at pipeline
+          end *)
   trace : Trace.t;
   metrics : Metrics.t;
       (** per-run registry (lib/obs), deterministic values *)

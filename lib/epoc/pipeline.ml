@@ -32,6 +32,7 @@ open Epoc_pulse
 open Epoc_parallel
 module Metrics = Epoc_obs.Metrics
 module Store = Epoc_cache.Store
+module Synth_store = Epoc_cache.Synth_store
 
 type stage_stats = {
   input_depth : int;
@@ -141,36 +142,24 @@ let compile_candidate (ctx : Pass.ctx) passes ir0 ((optimized : Circuit.t), zx_u
   let ir = Ir.with_candidate ir0 optimized ~zx_used_graph in
   Pass.run_list ctx passes ir
 
-(* Run a flow on [circuit]: graph stage, candidate fan-out — each
-   candidate against a fork of the library and a private trace sink,
-   merged back in candidate order — and best-schedule selection.
+(* Compile [circuit] through a flow, in [session]: graph stage,
+   candidate fan-out — each candidate against a fork of the library and
+   a private trace sink, merged back in candidate order — and
+   best-schedule selection.
 
-   Shared state comes from [engine]; without one, an ephemeral engine is
-   built for this run (honouring explicit [pool]/[cache] and
-   [config.cache_dir]), which reproduces the old one-shot behaviour
-   exactly.  Explicit [pool]/[cache] also override an explicit engine's
-   resources for this run, and [library] overrides the session library
-   (the engine's shared one by default). *)
-let run_flow ?(config = Config.default) ?engine ?request_id ?library ?cache
-    ?pool ?trace ?metrics ~name flow (circuit : Circuit.t) =
+   This is the driver every entry point lands on.  Shared state (pool,
+   persistent stores, hardware memo, engine registry) is read through
+   the session; per-run state (config, library handle, trace, metrics,
+   budget, fault spec) is the session's own. *)
+let compile_flow (session : Engine.session) flow (circuit : Circuit.t) =
   let t0 = Unix.gettimeofday () in
-  let engine =
-    match engine with
-    | Some e -> e
-    | None -> Engine.create ~config ?pool ?cache ()
-  in
-  let session =
-    Engine.session ~config ?request_id ?library ?trace ?metrics ~name engine
-  in
+  let engine = Engine.session_engine session in
+  let config = Engine.session_config session in
+  let name = Engine.session_name session in
   let ctx = Pass.of_session session in
-  let ctx =
-    match pool with None -> ctx | Some p -> { ctx with Pass.pool = p }
-  in
-  let ctx =
-    match cache with None -> ctx | Some c -> { ctx with Pass.cache = Some c }
-  in
   let library = ctx.Pass.library in
   let cache = ctx.Pass.cache in
+  let synth_store = ctx.Pass.synth in
   let trace = ctx.Pass.trace in
   let metrics = ctx.Pass.metrics in
   let candidates =
@@ -248,14 +237,32 @@ let run_flow ?(config = Config.default) ?engine ?request_id ?library ?cache
         m "%s: %d block(s) degraded to gate-pulse playback" name
           stats.degraded_blocks);
   (* persist the run's new pulses: sweep the merged library into the
-     store and flush once, after all candidates were absorbed *)
+     store and flush once, after all candidates were absorbed.  The
+     gauge reports the merged on-disk entry count, which stays honest
+     after a torn-write recovery (skipped lines are not entries). *)
   Option.iter
     (fun store ->
       Store.absorb_library store library;
       Store.flush store;
       Metrics.set metrics "cache.entries"
-        (float_of_int (Store.entry_count store)))
+        (float_of_int (Store.merged_count store)))
     cache;
+  (* persist the run's fresh syntheses: candidates only probed the store
+     during compilation and carried their fresh results on the IR, so
+     recording here — in candidate order, then block order — keeps the
+     store writes outside every parallel region *)
+  Option.iter
+    (fun store ->
+      List.iter
+        (fun ir ->
+          List.iter
+            (fun (u, r) -> Synth_store.record store u r)
+            ir.Ir.synth_fresh)
+        compiled;
+      Synth_store.flush store;
+      Metrics.set metrics "synth.cache.entries"
+        (float_of_int (Synth_store.merged_count store)))
+    synth_store;
   let request_id = Engine.session_request_id session in
   (* flight-recorder entry: a bounded JSON summary of this request on the
      engine, plus the full Chrome trace when the compile was slow.  Both
@@ -289,6 +296,10 @@ let run_flow ?(config = Config.default) ?engine ?request_id ?library ?cache
           Json.of_int (Metrics.counter_value metrics "cache.near_hits") );
         ( "cache_misses",
           Json.of_int (Metrics.counter_value metrics "cache.misses") );
+        ( "synth_cache_hits",
+          Json.of_int (Metrics.counter_value metrics "synth.cache.hits") );
+        ( "synth_cache_misses",
+          Json.of_int (Metrics.counter_value metrics "synth.cache.misses") );
         ("stages_s", stage_breakdown);
       ]
   in
@@ -309,6 +320,27 @@ let run_flow ?(config = Config.default) ?engine ?request_id ?library ?cache
     trace;
     metrics;
   }
+
+(* Compile through the full EPOC flow, in [session]. *)
+let compile session (circuit : Circuit.t) = compile_flow session epoc_flow circuit
+
+(* Deprecated optional-arg wrappers.  They reproduce the pre-session
+   behaviour exactly: without [engine] an ephemeral engine is built for
+   this one call (honouring explicit [pool]/[cache] and the config's
+   store directories), and explicit [pool]/[cache] also override an
+   explicit engine's resources for this run via session overrides. *)
+let run_flow ?(config = Config.default) ?engine ?request_id ?library ?cache
+    ?pool ?trace ?metrics ~name flow (circuit : Circuit.t) =
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> Engine.create ~config ?pool ?cache ()
+  in
+  let session =
+    Engine.session ~config ?request_id ?library ?pool ?cache ?trace ?metrics
+      ~name engine
+  in
+  compile_flow session flow circuit
 
 (* Run the full EPOC pipeline on [circuit]. *)
 let run ?config ?engine ?request_id ?library ?cache ?pool ?trace ?metrics ~name

@@ -68,25 +68,35 @@ val pulse_for :
   Mat.t ->
   float * float
 
-(** Run a flow on a circuit: graph stage, candidate fan-out — each
-    candidate against a fork of the library and private trace/metrics
-    sinks, merged back in candidate order — and best-schedule selection.
+(** Compile a circuit through a flow, in a session: graph stage,
+    candidate fan-out — each candidate against a fork of the library and
+    private trace/metrics sinks, merged back in candidate order — and
+    best-schedule selection.  This is the driver every entry point lands
+    on; {!Engine.session} is the single carrier of shared and per-run
+    state (config, pool, stores, library, trace, metrics, budget).
 
-    Shared state (pool, persistent store, hardware memo, engine
-    registry) comes from [engine]; without one, an ephemeral engine is
-    built for this run — honouring explicit [pool]/[cache] and
-    [config.cache_dir] — which reproduces the old one-shot behaviour
-    exactly.  Explicit [pool]/[cache] also override an explicit
-    engine's resources for this run, and [library] overrides the
-    session library (the engine's shared one by default).  When a store
-    is attached, the run's new entries are flushed to disk before
-    returning.
+    When a pulse store is attached the run's new pulses are flushed to
+    disk before returning; when a synthesis store is attached the run's
+    fresh per-block syntheses (carried on the IR — candidate compilation
+    never writes shared state) are recorded and flushed the same way,
+    and warm reruns replay them instead of searching.
 
     Every run records a summary entry (and, past the engine's slow
     threshold, a full Chrome trace) into the engine's flight recorder,
-    keyed by the result's [request_id] — drawn from the engine unless
-    [request_id] supplies one (the serve daemon does, so the id is
-    known before the job is queued). *)
+    keyed by the result's [request_id]. *)
+val compile_flow : Engine.session -> flow -> Circuit.t -> result
+
+(** Compile a circuit through the full EPOC flow ({!compile_flow} over
+    the EPOC flow). *)
+val compile : Engine.session -> Circuit.t -> result
+
+(** Deprecated optional-arg wrapper over {!compile_flow}, kept for one
+    release: builds an ephemeral engine when [engine] is absent
+    (honouring explicit [pool]/[cache] and the config's store
+    directories, which reproduces the old one-shot behaviour exactly)
+    and opens a session with [pool]/[cache] as resource overrides.
+    New code should open an {!Engine.session} and call
+    {!compile_flow}. *)
 val run_flow :
   ?config:Config.t ->
   ?engine:Engine.t ->
@@ -101,8 +111,9 @@ val run_flow :
   Circuit.t ->
   result
 
-(** Run the full EPOC pipeline on a circuit ({!run_flow} over the EPOC
-    flow). *)
+(** Deprecated optional-arg wrapper: the full EPOC pipeline on a
+    circuit ({!run_flow} over the EPOC flow).  New code should use
+    {!compile}. *)
 val run :
   ?config:Config.t ->
   ?engine:Engine.t ->

@@ -23,6 +23,7 @@ open Epoc_pulse
 open Epoc_parallel
 module Metrics = Epoc_obs.Metrics
 module Store = Epoc_cache.Store
+module Synth_store = Epoc_cache.Synth_store
 
 let log_src = Logs.Src.create "epoc.pipeline" ~doc:"EPOC pipeline"
 
@@ -316,6 +317,38 @@ let compute_pulse ?metrics ?init ?fault ?(budget = Epoc_budget.unlimited)
            [ { pr_u = u; pr_vug = vug_circuit; pr_init = init;
                pr_site = site; pr_seed = seed } ])
 
+(* Greedy nearest-neighbor chain over the global-phase-invariant
+   Hilbert-Schmidt distance: AccQOC's similarity ordering.  Start at
+   index 0, repeatedly hop to the closest unvisited unitary (ties
+   resolved toward the lowest index), and return the visit order.  Pure
+   and sequential, so the chain — and everything solved along it — is
+   identical for any domain count. *)
+let similarity_chain (us : Mat.t array) : int array =
+  let n = Array.length us in
+  let order = Array.make n 0 in
+  if n > 0 then begin
+    let visited = Array.make n false in
+    visited.(0) <- true;
+    let cur = ref 0 in
+    for step = 1 to n - 1 do
+      let best = ref (-1) in
+      let best_d = ref infinity in
+      for j = 0 to n - 1 do
+        if not visited.(j) then begin
+          let d = Mat.hs_distance us.(!cur) us.(j) in
+          if d < !best_d then begin
+            best_d := d;
+            best := j
+          end
+        end
+      done;
+      visited.(!best) <- true;
+      order.(step) <- !best;
+      cur := !best
+    done
+  end;
+  order
+
 (* Two pulse instructions commute when every pair of their constituent
    gates sharing a qubit commutes syntactically (conservative). *)
 let instructions_commute ops_a ops_b =
@@ -489,26 +522,63 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
               Hashtbl.add by_width j.Ir.jk (ref [ j ]);
               order := j.Ir.jk :: !order)
         reps;
+      let req_of (j : Ir.pulse_job) =
+        {
+          pr_u = j.Ir.ju;
+          pr_vug = j.Ir.jlocal;
+          pr_init = j.Ir.jinit;
+          pr_site = Printf.sprintf "block%d" j.Ir.jid;
+          pr_seed = j.Ir.jid;
+        }
+      in
       List.iter
         (fun k ->
           let group = List.rev !(Hashtbl.find by_width k) in
-          let results =
-            compute_pulse_batch ~request_id ?metrics ?process_metrics ?fault
-              ~budget ~pool config (hardware k)
-              (List.map
-                 (fun (j : Ir.pulse_job) ->
-                   {
-                     pr_u = j.Ir.ju;
-                     pr_vug = j.Ir.jlocal;
-                     pr_init = j.Ir.jinit;
-                     pr_site = Printf.sprintf "block%d" j.Ir.jid;
-                     pr_seed = j.Ir.jid;
-                   })
-                 group)
-          in
-          List.iter2
-            (fun (j : Ir.pulse_job) v -> j.Ir.computed <- Some v)
-            group results)
+          if config.Config.similarity_order then begin
+            (* AccQOC similarity ordering: walk the group along a greedy
+               nearest-neighbor chain in Hilbert-Schmidt distance and
+               solve sequentially, seeding each solve with the previous
+               result's amplitudes unless the persistent store already
+               provided a (closer) warm start.  Sequential by design —
+               chaining is the point — and the chain is computed from
+               per-job state, so results stay independent of the domain
+               count. *)
+            let arr = Array.of_list group in
+            let chain =
+              similarity_chain
+                (Array.map
+                   (fun (j : Ir.pulse_job) ->
+                     Library.canonicalize library j.Ir.ju)
+                   arr)
+            in
+            let prev = ref None in
+            Array.iter
+              (fun idx ->
+                let j = arr.(idx) in
+                (match (j.Ir.jinit, !prev) with
+                | None, Some amps ->
+                    j.Ir.jinit <- Some amps;
+                    record (fun m -> Metrics.incr m "pulse.chained")
+                | _ -> ());
+                let r =
+                  List.hd
+                    (compute_pulse_batch ~request_id ?metrics ?process_metrics
+                       ?fault ~budget ~pool config (hardware k) [ req_of j ])
+                in
+                j.Ir.computed <- Some r;
+                match r.Ir.jr_pulse with
+                | Some p -> prev := Some p.Grape.amplitudes
+                | None -> ())
+              chain
+          end
+          else
+            let results =
+              compute_pulse_batch ~request_id ?metrics ?process_metrics ?fault
+                ~budget ~pool config (hardware k) (List.map req_of group)
+            in
+            List.iter2
+              (fun (j : Ir.pulse_job) v -> j.Ir.computed <- Some v)
+              group results)
         (List.rev !order)
   | Config.Estimate ->
       let computed =
@@ -590,7 +660,16 @@ let partition =
       })
 
 (* VUG synthesis per block — independent searches with fixed seeds,
-   fanned out over the pool — and reassembly into the VUG circuit. *)
+   fanned out over the pool — and reassembly into the VUG circuit.
+
+   When a synthesis store is attached, each block's unitary is looked up
+   *sequentially, in block order* before the fan-out (so store probes
+   and the synth.cache.* counters are independent of the domain count);
+   a verified hit replays the stored circuit with zeroed search counters
+   — no QSearch runs for that block — and misses synthesize in parallel
+   exactly as without a store.  Fresh results are not written here:
+   candidate compilation never mutates shared state; they ride the IR
+   ([synth_fresh]) to the driver, which records them at pipeline end. *)
 let synthesis =
   Pass.make "synthesis"
     ~counters:(fun _ (ir : Ir.t) ->
@@ -600,32 +679,70 @@ let synthesis =
       (* index before the fan-out: the block's position names its solve
          site ("synth<i>") for fault matching and deadline reports *)
       let indexed = List.mapi (fun i b -> (i, b)) ir.Ir.blocks in
-      let synth =
+      let m = ctx.Pass.metrics in
+      (* phase 1 (sequential): consult the synthesis store.  Each item
+         carries the block unitary (when a store is attached — it is
+         needed again to record fresh results) and the replayed result
+         on a hit. *)
+      let consulted =
+        match ctx.Pass.synth with
+        | Some store when config.Config.use_synthesis ->
+            List.map
+              (fun (i, b) ->
+                let local = Partition.block_circuit b in
+                let u = Circuit.unitary local in
+                match Synth_store.find store u with
+                | Some e ->
+                    Metrics.incr m "synth.cache.hits";
+                    ((i, b), Some u, Some (Synth_store.to_block_result e))
+                | None ->
+                    Metrics.incr m "synth.cache.misses";
+                    ((i, b), Some u, None))
+              indexed
+        | _ -> List.map (fun ib -> (ib, None, None)) indexed
+      in
+      (* phase 2 (parallel): synthesize the misses *)
+      let synth_full =
         Pool.map ctx.Pass.pool
-          (fun (i, b) ->
-            let local = Partition.block_circuit b in
+          (fun ((i, b), u, cached) ->
             let r =
-              if config.Config.use_synthesis then
-                let budget =
-                  Epoc_budget.sub ?seconds:config.Config.block_deadline
-                    ctx.Pass.budget
-                in
-                Synthesis.synthesize_block ~options:config.Config.synthesis
-                  ~budget ?fault:ctx.Pass.fault
-                  ~site:(Printf.sprintf "synth%d" i) local
-              else
-                {
-                  Synthesis.circuit = Synthesis.vug_form local;
-                  source = Synthesis.Fallback;
-                  distance = 0.0;
-                  expansions = 0;
-                  prunes = 0;
-                  open_max = 0;
-                  failure = None;
-                }
+              match cached with
+              | Some r -> r
+              | None ->
+                  let local = Partition.block_circuit b in
+                  if config.Config.use_synthesis then
+                    let budget =
+                      Epoc_budget.sub ?seconds:config.Config.block_deadline
+                        ctx.Pass.budget
+                    in
+                    Synthesis.synthesize_block ~options:config.Config.synthesis
+                      ~budget ?fault:ctx.Pass.fault
+                      ~site:(Printf.sprintf "synth%d" i) local
+                  else
+                    {
+                      Synthesis.circuit = Synthesis.vug_form local;
+                      source = Synthesis.Fallback;
+                      distance = 0.0;
+                      expansions = 0;
+                      prunes = 0;
+                      open_max = 0;
+                      failure = None;
+                    }
             in
-            (b, r))
-          indexed
+            (b, u, Option.is_some cached, r))
+          consulted
+      in
+      let synth = List.map (fun (b, _, _, r) -> (b, r)) synth_full in
+      (* fresh, clean results to persist at pipeline end (failures must
+         be re-attempted by a later run, never replayed) *)
+      let synth_fresh =
+        List.filter_map
+          (fun (_, u, was_cached, (r : Synthesis.block_result)) ->
+            match u with
+            | Some u when (not was_cached) && r.Synthesis.failure = None ->
+                Some (u, r)
+            | _ -> None)
+          synth_full
       in
       let vug_circuit =
         List.fold_left
@@ -635,8 +752,9 @@ let synthesis =
                  ~n:ir.Ir.n))
           (Circuit.empty ir.Ir.n) synth
       in
-      (* QSearch telemetry, recorded in block order after the fan-out *)
-      let m = ctx.Pass.metrics in
+      (* QSearch telemetry, recorded in block order after the fan-out;
+         replayed hits carry zeroed search counters, so a fully warm run
+         leaves the qsearch.* metrics untouched *)
       List.iter
         (fun (_, (r : Synthesis.block_result)) ->
           Metrics.incr m "synth.blocks";
@@ -658,7 +776,7 @@ let synthesis =
           Metrics.observe m "synth.cnots_per_block"
             (float_of_int (Circuit.count_gate "cx" r.Synthesis.circuit)))
         synth;
-      { ir with Ir.synth; vug_circuit })
+      { ir with Ir.synth; synth_fresh; vug_circuit })
 
 (* Commutation analysis on the synthesized VUG circuit. *)
 let reorder_vugs =

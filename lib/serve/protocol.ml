@@ -170,6 +170,12 @@ let result_response ~jid ?queue_wait_s ?worker ?drained
         ("compile_s", J.Num r.Epoc.Pipeline.compile_time);
         ( "degraded_blocks",
           J.of_int r.Epoc.Pipeline.stats.Epoc.Pipeline.degraded_blocks );
+        ( "synth_cache_hits",
+          J.of_int
+            (M.counter_value r.Epoc.Pipeline.metrics "synth.cache.hits") );
+        ( "synth_cache_misses",
+          J.of_int
+            (M.counter_value r.Epoc.Pipeline.metrics "synth.cache.misses") );
         ("stages", stages_json r);
         ("schedule", schedule_json r.Epoc.Pipeline.schedule);
         ("metrics", M.to_json r.Epoc.Pipeline.metrics);

@@ -116,18 +116,14 @@ let library_for flow (config : Config.t) =
   Library.create ~match_global_phase ()
 
 let run_named engine flow ~config ~request_id ~library ~name circuit =
+  let session =
+    Epoc.Engine.session ~config ~request_id ~library ~name engine
+  in
   match flow with
-  | "epoc" ->
-      Epoc.Pipeline.run ~config ~engine ~request_id ~library ~name circuit
-  | "gate" ->
-      Epoc.Baselines.gate_based ~config ~engine ~request_id ~library ~name
-        circuit
-  | "accqoc" ->
-      Epoc.Baselines.accqoc_like ~config ~engine ~request_id ~library ~name
-        circuit
-  | "paqoc" ->
-      Epoc.Baselines.paqoc_like ~config ~engine ~request_id ~library ~name
-        circuit
+  | "epoc" -> Epoc.Pipeline.compile session circuit
+  | "gate" -> Epoc.Baselines.compile_gate_based session circuit
+  | "accqoc" -> Epoc.Baselines.compile_accqoc_like session circuit
+  | "paqoc" -> Epoc.Baselines.compile_paqoc_like session circuit
   | other -> invalid_arg ("unknown flow " ^ other)
 
 (* [queue_wait_s], [worker] and [drained] ride on every response —

@@ -277,6 +277,195 @@ let test_warm_run_domain_determinism () =
   Alcotest.(check bool) "1 vs 4 domains identical" true (run 1 = run 4);
   rm_rf dir
 
+(* --- merged-entry accounting ------------------------------------------------ *)
+
+(* [merged_count] is the distinct on-disk record count after a flush —
+   the number the pipeline reports as cache.entries.  It must not count
+   skipped (torn) lines, and two handles recording the same unitary must
+   merge to one record. *)
+let test_merged_count () =
+  let dir = tmp_dir "merged" in
+  let s = Store.open_dir dir in
+  Store.record s (Gate.matrix Gate.X) ~duration:10.0 ~fidelity:0.999 ();
+  Store.record s (Gate.matrix Gate.H) ~duration:11.0 ~fidelity:0.998 ();
+  Store.flush s;
+  Alcotest.(check int) "two distinct records" 2 (Store.merged_count s);
+  (* a torn trailing write must not inflate the merged count *)
+  let oc = open_out_gen [ Open_append ] 0o644 (records_path dir) in
+  output_string oc "{\"key\": \"dead\", \"dim\": 2, \"dura";
+  close_out oc;
+  let s2 = Store.open_dir dir in
+  Alcotest.(check int) "torn line skipped" 1 (Store.skipped_count s2);
+  Store.record s2 (Gate.matrix Gate.Y) ~duration:12.0 ~fidelity:0.997 ();
+  Store.flush s2;
+  Alcotest.(check int) "merged excludes the torn line" 3
+    (Store.merged_count s2);
+  (* two handles, same unitary (different metadata): one on-disk record *)
+  let a = Store.open_dir dir and b = Store.open_dir dir in
+  Store.record a (Gate.matrix Gate.Z) ~duration:13.0 ~fidelity:0.996 ();
+  Store.record b (Gate.matrix Gate.Z) ~duration:14.0 ~fidelity:0.995 ();
+  Store.flush a;
+  Store.flush b;
+  Alcotest.(check int) "same unitary merges to one record" 4
+    (Store.merged_count b);
+  let s3 = Store.open_dir dir in
+  Alcotest.(check int) "reload agrees" 4 (Store.loaded_count s3);
+  rm_rf dir
+
+(* --- synthesis store --------------------------------------------------------- *)
+
+module Synth_store = Epoc_cache.Synth_store
+module Synthesis = Epoc_synthesis.Synthesis
+
+let synth_records_path dir = Filename.concat dir "synth.jsonl"
+
+let op gate qubits = { Circuit.gate; qubits }
+
+(* A VUG + CNOT circuit exercising every serialization shape: named
+   parameterless gates, parametrized gates, and a raw [Unitary]. *)
+let vug_circuit_2q =
+  let vug_matrix = Circuit.unitary (Circuit.of_ops 1 [ op Gate.H [ 0 ] ]) in
+  Circuit.of_ops 2
+    [
+      op (Gate.Unitary { name = "vug"; matrix = vug_matrix }) [ 0 ];
+      op Gate.CX [ 0; 1 ];
+      op (Gate.RZ 0.375) [ 1 ];
+      op (Gate.U3 (0.1, 0.2, 0.3)) [ 0 ];
+    ]
+
+let test_synth_roundtrip () =
+  let dir = tmp_dir "synth-roundtrip" in
+  let target = Circuit.unitary vug_circuit_2q in
+  let r =
+    {
+      Synthesis.circuit = vug_circuit_2q;
+      source = Synthesis.Synthesized;
+      distance = 3.2e-9;
+      expansions = 17;
+      prunes = 4;
+      open_max = 9;
+      failure = None;
+    }
+  in
+  let s = Synth_store.open_dir dir in
+  Alcotest.(check bool) "cold probe misses" true
+    (Synth_store.find s target = None);
+  Synth_store.record s target r;
+  Synth_store.flush s;
+  let s2 = Synth_store.open_dir dir in
+  Alcotest.(check int) "record reloads" 1 (Synth_store.loaded_count s2);
+  (match Synth_store.find s2 target with
+  | None -> Alcotest.fail "fingerprint hit missing after reopen"
+  | Some e ->
+      Alcotest.(check bool) "ops survive byte-for-byte" true
+        (Circuit.ops e.Synth_store.circuit = Circuit.ops vug_circuit_2q);
+      Alcotest.(check (float 1e-15)) "distance survives" 3.2e-9
+        e.Synth_store.distance;
+      Alcotest.(check int) "cold expansions kept as metadata" 17
+        e.Synth_store.expansions;
+      let br = Synth_store.to_block_result e in
+      Alcotest.(check bool) "replay is a success" true
+        (br.Synthesis.failure = None);
+      (* replayed results must not re-report search telemetry: the warm
+         run's qsearch.* metrics stay empty *)
+      Alcotest.(check int) "replay zeroes expansions" 0 br.Synthesis.expansions;
+      Alcotest.(check int) "replay zeroes open_max" 0 br.Synthesis.open_max);
+  (* phase-rotated probe hits under the default convention *)
+  let rotated = Mat.scale (Cx.make 0.0 1.0) target in
+  Alcotest.(check bool) "phase-rotated probe hits" true
+    (Synth_store.find s2 rotated <> None);
+  (* failure-carrying results are never recorded *)
+  Synth_store.record s2 (Gate.matrix Gate.X)
+    { r with Synthesis.failure = Some "deadline" };
+  Alcotest.(check int) "failed result not recorded" 0
+    (Synth_store.pending_count s2);
+  rm_rf dir
+
+let test_synth_corrupt_trailing () =
+  let dir = tmp_dir "synth-corrupt" in
+  let s = Synth_store.open_dir dir in
+  let target = Circuit.unitary vug_circuit_2q in
+  Synth_store.record s target
+    {
+      Synthesis.circuit = vug_circuit_2q;
+      source = Synthesis.Fallback;
+      distance = 0.0;
+      expansions = 0;
+      prunes = 0;
+      open_max = 0;
+      failure = None;
+    };
+  Synth_store.flush s;
+  let oc = open_out_gen [ Open_append ] 0o644 (synth_records_path dir) in
+  output_string oc "{\"key\": \"feed\", \"dim\": 4, \"circ";
+  close_out oc;
+  let s2 = Synth_store.open_dir dir in
+  Alcotest.(check int) "valid record loads" 1 (Synth_store.loaded_count s2);
+  Alcotest.(check int) "torn record skipped" 1 (Synth_store.skipped_count s2);
+  Alcotest.(check bool) "entry still found" true
+    (Synth_store.find s2 target <> None);
+  rm_rf dir
+
+(* Warm synthesis replay through the pipeline: the second run hits the
+   store for every block, runs no QSearch, and reproduces the cold
+   schedule byte-for-byte. *)
+let test_pipeline_warm_synthesis () =
+  let dir = tmp_dir "synth-pipeline" in
+  let circuit = Epoc_benchmarks.Benchmarks.find "simon" in
+  let cfg = { Config.default with Config.synth_cache_dir = Some dir } in
+  let run () =
+    let metrics = M.create () in
+    let engine = Engine.create ~config:cfg () in
+    let session = Engine.session ~config:cfg ~metrics ~name:"simon" engine in
+    (Pipeline.compile session circuit, metrics)
+  in
+  let cold, cold_m = run () in
+  Alcotest.(check int) "cold run has no hits" 0
+    (M.counter_value cold_m "synth.cache.hits");
+  Alcotest.(check bool) "cold run misses" true
+    (M.counter_value cold_m "synth.cache.misses" > 0);
+  Alcotest.(check bool) "cold run searched" true
+    (M.hist_value cold_m "qsearch.expansions" <> None);
+  let warm, warm_m = run () in
+  Alcotest.(check bool) "warm run hits" true
+    (M.counter_value warm_m "synth.cache.hits" > 0);
+  Alcotest.(check int) "warm run fully cached" 0
+    (M.counter_value warm_m "synth.cache.misses");
+  Alcotest.(check bool) "warm run never enters QSearch" true
+    (M.hist_value warm_m "qsearch.expansions" = None);
+  Alcotest.(check bool) "schedule byte-identical" true
+    (cold.Pipeline.schedule = warm.Pipeline.schedule);
+  Alcotest.(check bool) "latency identical" true
+    (cold.Pipeline.latency = warm.Pipeline.latency);
+  Alcotest.(check bool) "esp identical" true
+    (cold.Pipeline.esp = warm.Pipeline.esp);
+  rm_rf dir
+
+(* The warm synthesis path obeys the determinism contract: identical
+   results and hit counts for any domain count. *)
+let test_warm_synthesis_domain_determinism () =
+  let dir = tmp_dir "synth-determinism" in
+  let circuit = Epoc_benchmarks.Benchmarks.find "simon" in
+  let cfg = { Config.default with Config.synth_cache_dir = Some dir } in
+  ignore
+    (Pipeline.compile
+       (Engine.session ~config:cfg ~name:"simon" (Engine.create ~config:cfg ()))
+       circuit);
+  let run domains =
+    let pool = Epoc_parallel.Pool.create ~domains () in
+    let metrics = M.create () in
+    let engine = Engine.create ~config:cfg ~pool () in
+    let session = Engine.session ~config:cfg ~metrics ~name:"simon" engine in
+    let r = Pipeline.compile session circuit in
+    ( r.Pipeline.latency,
+      r.Pipeline.esp,
+      r.Pipeline.stats,
+      M.counter_value metrics "synth.cache.hits",
+      M.counter_value metrics "synth.cache.misses" )
+  in
+  Alcotest.(check bool) "1 vs 4 domains identical" true (run 1 = run 4);
+  rm_rf dir
+
 let () =
   Alcotest.run "cache"
     [
@@ -288,6 +477,18 @@ let () =
           Alcotest.test_case "header mismatch" `Quick test_header_mismatch;
           Alcotest.test_case "concurrent writers" `Quick test_lock_contention;
           Alcotest.test_case "nearest neighbor" `Quick test_nearest;
+          Alcotest.test_case "merged-entry accounting" `Quick
+            test_merged_count;
+        ] );
+      ( "synth-store",
+        [
+          Alcotest.test_case "round-trip" `Quick test_synth_roundtrip;
+          Alcotest.test_case "corrupted trailing record" `Quick
+            test_synth_corrupt_trailing;
+          Alcotest.test_case "pipeline warm synthesis" `Quick
+            test_pipeline_warm_synthesis;
+          Alcotest.test_case "warm-synthesis domain determinism" `Quick
+            test_warm_synthesis_domain_determinism;
         ] );
       ( "warm-start",
         [

@@ -189,6 +189,80 @@ let test_trace_structure () =
   Alcotest.(check bool) "json mentions events" true
     (String.length json > 0 && json.[0] = '{' && contains json "\"events\"")
 
+(* --- AccQOC similarity ordering ------------------------------------------ *)
+
+(* The greedy nearest-neighbor chain is a pure sequential function: it
+   must visit every index exactly once, start at 0, hop to the closest
+   unvisited unitary at each step, and return bit-identical output on
+   repeated calls.  RZ rotations give a hand-checkable distance
+   landscape: phase-invariant HS distance between RZ(a) and RZ(b) grows
+   with |a - b|. *)
+let test_similarity_chain () =
+  let module Mat = Epoc_linalg.Mat in
+  let module Circuit = Epoc_circuit.Circuit in
+  let rz theta =
+    Circuit.unitary
+      (Circuit.of_ops 1
+         [ { Circuit.gate = Epoc_circuit.Gate.RZ theta; qubits = [ 0 ] } ])
+  in
+  let us = Array.map rz [| 0.0; 1.5; 0.1; 0.2 |] in
+  let chain = Stages.similarity_chain us in
+  Alcotest.(check (array int))
+    "greedy chain hops to nearest angle" [| 0; 2; 3; 1 |] chain;
+  Alcotest.(check (array int))
+    "chain identical on repeated calls" chain (Stages.similarity_chain us);
+  let big = Array.init 7 (fun i -> rz (float_of_int (7 - i) *. 0.3)) in
+  let visited = Array.make 7 false in
+  Array.iter (fun i -> visited.(i) <- true) (Stages.similarity_chain big);
+  Alcotest.(check bool)
+    "chain is a permutation" true (Array.for_all Fun.id visited);
+  Alcotest.(check (array int)) "empty input" [||] (Stages.similarity_chain [||]);
+  Alcotest.(check (array int))
+    "singleton input" [| 0 |]
+    (Stages.similarity_chain [| rz 0.4 |])
+
+let grape_run ~similarity_order ~domains bench =
+  let c = Epoc_benchmarks.Benchmarks.find bench in
+  let config =
+    { Config.default with Config.qoc_mode = Config.Grape; similarity_order }
+  in
+  let pool = Epoc_parallel.Pool.create ~domains () in
+  let metrics = Epoc_obs.Metrics.create () in
+  let engine = Engine.create ~config ~pool () in
+  let session = Engine.session ~config ~metrics ~name:bench engine in
+  (Pipeline.compile session c, metrics)
+
+(* Chained solves are sequential by design, so the similarity-ordered
+   pipeline must stay bit-identical for any domain count — same contract
+   as every other flow. *)
+let test_similarity_order_determinism () =
+  let r1, _ = grape_run ~similarity_order:true ~domains:1 "simon" in
+  let r4, _ = grape_run ~similarity_order:true ~domains:4 "simon" in
+  Alcotest.(check (float 0.0))
+    "latency identical" r1.Pipeline.latency r4.Pipeline.latency;
+  Alcotest.(check (float 0.0)) "esp identical" r1.Pipeline.esp r4.Pipeline.esp;
+  Alcotest.(check bool)
+    "schedule identical" true
+    (r1.Pipeline.schedule = r4.Pipeline.schedule);
+  Alcotest.(check bool)
+    "stats identical" true (r1.Pipeline.stats = r4.Pipeline.stats)
+
+(* Warm-starting each GRAPE solve from its nearest neighbor's converged
+   amplitudes must not cost quality under the same iteration budget:
+   the chained run's ESP stays at least as good as the independent
+   (cold-init) batch, and the chained counter proves seeding happened. *)
+let test_similarity_warm_start_quality () =
+  let cold, _ = grape_run ~similarity_order:false ~domains:2 "simon" in
+  let chained, m = grape_run ~similarity_order:true ~domains:2 "simon" in
+  Alcotest.(check bool)
+    "chain seeded at least one solve" true
+    (Epoc_obs.Metrics.counter_value m "pulse.chained" > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "chained esp %.17g >= cold esp %.17g" chained.Pipeline.esp
+       cold.Pipeline.esp)
+    true
+    (chained.Pipeline.esp >= cold.Pipeline.esp)
+
 (* The gate-based baseline through the shared driver still yields a trace
    with its own pass list. *)
 let test_gate_flow_trace () =
@@ -220,5 +294,14 @@ let () =
             test_trace_structure;
           Alcotest.test_case "gate flow traces its pass list" `Quick
             test_gate_flow_trace;
+        ] );
+      ( "similarity",
+        [
+          Alcotest.test_case "greedy nearest-neighbor chain" `Quick
+            test_similarity_chain;
+          Alcotest.test_case "ordered grape domain determinism" `Quick
+            test_similarity_order_determinism;
+          Alcotest.test_case "warm-start chain quality" `Quick
+            test_similarity_warm_start_quality;
         ] );
     ]

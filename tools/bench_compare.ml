@@ -39,20 +39,24 @@ let load path =
   | Ok v -> v
   | Error m -> die "bench_compare: %s: %s" path m
 
-(* The bench JSON shape this build understands (bench/main.ml writes the
-   same number).  Both inputs must carry it: silently mis-parsing a file
+(* The bench JSON shapes this build understands (bench/main.ml writes
+   the newest).  Both inputs must carry one: silently mis-parsing a file
    produced by a different shape is worse than failing.  v2 added
-   per-benchmark degraded_blocks/retries. *)
-let supported_schema_version = 2
+   per-benchmark degraded_blocks/retries; v3 added synth_cache_sweep
+   (additive, so a v2 baseline still compares cleanly — the sweep checks
+   just skip). *)
+let supported_schema_versions = [ 2; 3 ]
 
 let check_schema path json =
   match Option.bind (J.member "schema_version" json) J.to_int with
-  | Some v when v = supported_schema_version -> ()
+  | Some v when List.mem v supported_schema_versions -> ()
   | Some v ->
       die
         "bench_compare: %s: schema_version %d not supported (this build \
-         speaks %d); regenerate the file with the matching bench harness"
-        path v supported_schema_version
+         speaks %s); regenerate the file with the matching bench harness"
+        path v
+        (String.concat ", "
+           (List.map string_of_int supported_schema_versions))
   | None ->
       die
         "bench_compare: %s: missing schema_version — the file predates the \
@@ -185,6 +189,42 @@ let compare_grape gate base cand =
   compare_grape_field gate ~what:"grape_micro/batch"
     ~field:"batch_iters_per_s" base cand
 
+(* synth_cache_sweep (v3+): a correctness gate on the candidate alone —
+   the warm run must replay the cold schedule exactly (identical
+   latency/ESP), hit the store, and never enter QSearch.  Skipped when
+   the candidate predates the section. *)
+let check_synth_sweep gate cand =
+  match Option.bind (J.member "synth_cache_sweep" cand) J.to_list with
+  | None -> ()
+  | Some rows ->
+      List.iter
+        (fun row ->
+          let name =
+            Option.value ~default:"?"
+              (Option.bind (J.member "name" row) J.to_str)
+          in
+          let side s field =
+            Option.bind (J.member s row) (num_field field)
+          in
+          let fail what =
+            Printf.printf "REGRESSION %-40s %s\n"
+              (Printf.sprintf "synth_cache/%s" name) what;
+            gate.regressions <- gate.regressions + 1
+          in
+          (match (side "cold" "latency_ns", side "warm" "latency_ns") with
+          | Some c, Some w when c <> w -> fail "warm latency differs from cold"
+          | _ -> ());
+          (match (side "cold" "esp", side "warm" "esp") with
+          | Some c, Some w when c <> w -> fail "warm ESP differs from cold"
+          | _ -> ());
+          (match side "warm" "synth_cache_hits" with
+          | Some h when h <= 0.0 -> fail "warm run missed the synthesis cache"
+          | _ -> ());
+          match side "warm" "qsearch_expansions" with
+          | Some e when e > 0.0 -> fail "warm run still ran QSearch"
+          | _ -> ())
+        rows
+
 let () =
   let threshold = ref 20.0 in
   let min_ms = ref 2.0 in
@@ -243,6 +283,7 @@ let () =
           (benchmarks baseline)
       end;
       compare_grape gate baseline candidate;
+      if not !grape_only then check_synth_sweep gate candidate;
       Printf.printf
         "bench_compare: %d regression%s, %d warning%s (threshold %.0f%%, \
          floor %.1f ms)\n"
