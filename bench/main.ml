@@ -376,8 +376,73 @@ let json_file = "BENCH_pipeline.json"
 (* Version of the bench JSON shape; tools/bench_compare.exe refuses files
    whose version it does not speak.  v2 adds per-benchmark
    degraded_blocks/retries (the resilience counters); v3 adds the
-   synth_cache_sweep section (cold/warm synthesis-cache runs). *)
-let bench_schema_version = 3
+   synth_cache_sweep section (cold/warm synthesis-cache runs); v4 adds
+   the device_sweep section (per-device latency/ESP over the bundled
+   zoo) and per-benchmark ir_roundtrip flags. *)
+let bench_schema_version = 4
+
+(* --- pulse-IR round trip ---------------------------------------------------- *)
+
+(* Export a schedule to portable pulse-IR and re-import it; the round
+   trip must be byte-identical (the exporter's golden contract).  Runs
+   on every bench schedule so a codec regression fails the harness, not
+   just the unit tests. *)
+let ir_roundtrip ?device ~name (s : Epoc_pulse.Schedule.t) =
+  let text =
+    Epoc_pulseir.Pulseir.to_string (Epoc_pulseir.Pulseir.export ?device ~name s)
+  in
+  Epoc_pulseir.Pulseir.to_string (Epoc_pulseir.Pulseir.of_string text) = text
+
+(* --- device-zoo sweep ------------------------------------------------------- *)
+
+(* Architecture-aware compilation across the bundled device zoo: the
+   same circuit compiled per device, next to the default chain model.
+   Latency and ESP differ per topology because partitioning and
+   regrouping follow each device's real coupling subgraph. *)
+let device_sweep_benchmarks = [ "qaoa"; "bb84" ]
+
+type device_run = {
+  dr_device : string;
+  dr_latency : float;
+  dr_esp : float;
+  dr_pulses : int;
+  dr_compile_s : float;
+  dr_ir_ok : bool;
+}
+
+let device_sweep () =
+  let module D = Epoc_device.Device in
+  List.map
+    (fun name ->
+      let c = Epoc_benchmarks.Benchmarks.find name in
+      let run ?device config =
+        let r = compile_once ~config ~name c in
+        {
+          dr_device =
+            (match device with
+            | None -> "default"
+            | Some d -> d.D.name);
+          dr_latency = r.Pipeline.latency;
+          dr_esp = r.Pipeline.esp;
+          dr_pulses = r.Pipeline.stats.Pipeline.pulse_count;
+          dr_compile_s = r.Pipeline.compile_time;
+          dr_ir_ok = ir_roundtrip ?device ~name r.Pipeline.schedule;
+        }
+      in
+      let runs =
+        run Config.default
+        :: List.map
+             (fun d -> run ~device:d (Config.with_device d Config.default))
+             (D.Registry.builtins ())
+      in
+      (name, runs))
+    device_sweep_benchmarks
+
+let device_run_json (r : device_run) =
+  Printf.sprintf
+    "{\"device\": \"%s\", \"latency_ns\": %.3f, \"esp\": %.6f, \
+     \"pulses\": %d, \"compile_s\": %.6f, \"ir_roundtrip\": %b}"
+    r.dr_device r.dr_latency r.dr_esp r.dr_pulses r.dr_compile_s r.dr_ir_ok
 
 (* --- persistent-cache cold/warm sweep ------------------------------------- *)
 
@@ -565,6 +630,8 @@ let bench_json () =
   (* cold/warm synthesis-cache sweep (estimated pulses; QSearch is the
      cost being cached, so the pulse mode does not matter) *)
   let synth_sweep = synth_cache_sweep () in
+  (* per-device latency/ESP over the bundled zoo, IR round trip included *)
+  let dev_sweep = device_sweep () in
   let total_s = Unix.gettimeofday () -. t0 in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
@@ -581,7 +648,7 @@ let bench_json () =
            "    {\"name\": \"%s\", \"qubits\": %d, \"gates\": %d, \
             \"compile_s\": %.6f, \"latency_ns\": %.3f, \"esp\": %.6f, \
             \"pulses\": %d, \"blocks\": %d, \"degraded_blocks\": %d, \
-            \"retries\": %d, \"library\": {\"hits\": %d, \
+            \"retries\": %d, \"ir_roundtrip\": %b, \"library\": {\"hits\": %d, \
             \"misses\": %d, \"entries\": %d}, \"stages\": [%s], \
             \"metrics\": %s}%s\n"
            name (Circuit.n_qubits c) (Circuit.gate_count c)
@@ -589,6 +656,7 @@ let bench_json () =
            r.Pipeline.stats.Pipeline.pulse_count r.Pipeline.stats.Pipeline.blocks
            r.Pipeline.stats.Pipeline.degraded_blocks
            r.Pipeline.stats.Pipeline.retries
+           (ir_roundtrip ~name r.Pipeline.schedule)
            s.Epoc_pulse.Library.hits s.Epoc_pulse.Library.misses
            s.Epoc_pulse.Library.entries
            (stage_rows r.Pipeline.trace)
@@ -613,6 +681,15 @@ let bench_json () =
            name (synth_run_json cold) (synth_run_json warm)
            (if i = List.length synth_sweep - 1 then "" else ",")))
     synth_sweep;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"device_sweep\": [\n";
+  List.iteri
+    (fun i (name, runs) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"name\": \"%s\", \"runs\": [%s]}%s\n" name
+           (String.concat ", " (List.map device_run_json runs))
+           (if i = List.length dev_sweep - 1 then "" else ",")))
+    dev_sweep;
   Buffer.add_string b "  ],\n";
   Buffer.add_string b
     (Printf.sprintf
@@ -660,6 +737,25 @@ let bench_json () =
         (if cold.sr_latency = warm.sr_latency then "identical" else "DIFFERS")
         (if cold.sr_esp = warm.sr_esp then "identical" else "DIFFERS"))
     synth_sweep;
+  Printf.printf "\ndevice-zoo sweep (latency/ESP per topology, IR round trip):\n";
+  List.iter
+    (fun (name, runs) ->
+      List.iter
+        (fun r ->
+          Printf.printf
+            "%-12s %-12s latency %10.1f ns   esp %7.4f   pulses %3d   ir %s\n"
+            name r.dr_device r.dr_latency r.dr_esp r.dr_pulses
+            (if r.dr_ir_ok then "ok" else "FAILED"))
+        runs)
+    dev_sweep;
+  (if
+     List.exists
+       (fun (_, runs) -> List.exists (fun r -> not r.dr_ir_ok) runs)
+       dev_sweep
+   then begin
+     Printf.eprintf "error: pulse-IR round trip failed in the device sweep\n";
+     exit 1
+   end);
   Printf.printf "\nwrote %s (total wall %.3f s, %d domain%s)\n" json_file total_s
     (Pool.domains pool)
     (if Pool.domains pool = 1 then "" else "s")

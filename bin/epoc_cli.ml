@@ -14,7 +14,14 @@
                 live status of a running daemon: queue, request
                 counters, latency and the flight recorder's recent jobs
    epoc list                 list builtin benchmarks
-   epoc zx <file|bench:name> run only the graph optimization stage *)
+   epoc devices [--dump NAME] list the device zoo / print a device file
+   epoc ir <file.json>       validate a pulse-IR file (strict import +
+                             byte-identical re-export)
+   epoc zx <file|bench:name> run only the graph optimization stage
+
+   compile/report/serve take --device NAME|FILE (or EPOC_DEVICE) to
+   target a zoo device or device file, and compile --export-ir FILE
+   writes the winning schedule as portable pulse-IR JSON. *)
 
 open Cmdliner
 module T = Epoc.Trace
@@ -138,6 +145,34 @@ let cache_arg =
   Arg.(value & opt (some string) None
        & info [ "cache" ] ~docv:"DIR" ~env:(Cmd.Env.info "EPOC_CACHE") ~doc)
 
+let device_arg =
+  let doc =
+    "Target device: a registered zoo name (see epoc devices) or a path to \
+     a device JSON file. Partitioning and pulse generation then follow the \
+     device's coupling graph and calibrations instead of the default \
+     contiguous-chain model."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "device" ] ~docv:"NAME|FILE"
+           ~env:(Cmd.Env.info "EPOC_DEVICE") ~doc)
+
+(* Resolve a --device spec against [registry]; [Ok None] when no device
+   was requested (the legacy chain model). *)
+let resolve_device registry = function
+  | None -> Ok None
+  | Some spec -> (
+      match Epoc_device.Device.Registry.resolve registry spec with
+      | Ok d -> Ok (Some d)
+      | Error m -> Error m)
+
+let export_ir_arg =
+  let doc =
+    "Write the compiled schedule as portable pulse-IR JSON (waveforms, \
+     placements, device provenance) to $(docv)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "export-ir" ] ~docv:"FILE" ~doc)
+
 let synth_cache_arg =
   let doc =
     "Persistent synthesis cache directory: per-block synthesized circuits \
@@ -189,6 +224,12 @@ let write_file path contents =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
     ~synth_cache_dir ~similarity_order ~deadline ~block_deadline ~retries
@@ -264,9 +305,9 @@ let report (r : Epoc.Pipeline.result) show =
   if show then Format.printf "@.%a@." Epoc_pulse.Schedule.pp r.Epoc.Pipeline.schedule
 
 let compile_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width cache_dir
-      synth_cache_dir similarity_order deadline block_deadline retries strict
-      fault verbosity schedule trace trace_json gc chrome =
+  let run spec flow device_spec export_ir grape no_zx no_synth no_regroup
+      width cache_dir synth_cache_dir similarity_order deadline block_deadline
+      retries strict fault verbosity schedule trace trace_json gc chrome =
     setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -284,31 +325,49 @@ let compile_cmd =
         let sink = T.create ~gc () in
         let metrics = M.create () in
         let engine = Epoc.Engine.create ~config () in
-        let result =
-          run_flow_named flow ~engine ~config ~trace:sink ~metrics ~name:spec
-            circuit
-        in
-        (match chrome with
-        | None -> ()
-        | Some file ->
-            write_file file (T.to_chrome_json result.Epoc.Pipeline.trace);
-            Printf.eprintf "wrote chrome trace to %s\n" file);
-        if trace_json then
-          print_endline (T.to_json result.Epoc.Pipeline.trace)
-        else begin
-          report result schedule;
-          if trace then
-            Format.printf "@.%a@." T.pp result.Epoc.Pipeline.trace
-        end;
-        exit_status ~strict result
+        (match resolve_device (Epoc.Engine.devices engine) device_spec with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            1
+        | Ok device ->
+            let config =
+              match device with
+              | None -> config
+              | Some d -> Epoc.Config.with_device d config
+            in
+            let result =
+              run_flow_named flow ~engine ~config ~trace:sink ~metrics
+                ~name:spec circuit
+            in
+            (match chrome with
+            | None -> ()
+            | Some file ->
+                write_file file (T.to_chrome_json result.Epoc.Pipeline.trace);
+                Printf.eprintf "wrote chrome trace to %s\n" file);
+            (match export_ir with
+            | None -> ()
+            | Some file ->
+                write_file file
+                  (Epoc_pulseir.Pulseir.to_string
+                     (Epoc_pulseir.Pulseir.export ?device ~name:spec
+                        result.Epoc.Pipeline.schedule));
+                Printf.eprintf "wrote pulse IR to %s\n" file);
+            if trace_json then
+              print_endline (T.to_json result.Epoc.Pipeline.trace)
+            else begin
+              report result schedule;
+              if trace then
+                Format.printf "@.%a@." T.pp result.Epoc.Pipeline.trace
+            end;
+            exit_status ~strict result)
   in
   let term =
     Term.(
-      const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ cache_arg $ synth_cache_arg
-      $ similarity_order_arg $ deadline_arg $ block_deadline_arg $ retries_arg
-      $ strict_arg $ fault_arg $ verbose $ show_schedule $ show_trace
-      $ show_trace_json $ trace_gc $ trace_chrome)
+      const run $ circuit_arg $ flow_arg $ device_arg $ export_ir_arg
+      $ grape_arg $ no_zx $ no_synthesis $ no_regroup $ partition_width
+      $ cache_arg $ synth_cache_arg $ similarity_order_arg $ deadline_arg
+      $ block_deadline_arg $ retries_arg $ strict_arg $ fault_arg $ verbose
+      $ show_schedule $ show_trace $ show_trace_json $ trace_gc $ trace_chrome)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit to a pulse schedule.") term
 
@@ -436,9 +495,9 @@ let report_text (r : Epoc.Pipeline.result) metrics ~process =
   dump "metrics (engine)" process
 
 let report_cmd =
-  let run spec flow grape no_zx no_synth no_regroup width cache_dir
-      synth_cache_dir similarity_order deadline block_deadline retries strict
-      fault verbosity json prometheus chrome =
+  let run spec flow device_spec grape no_zx no_synth no_regroup width
+      cache_dir synth_cache_dir similarity_order deadline block_deadline
+      retries strict fault verbosity json prometheus chrome =
     setup_logs verbosity;
     match load spec with
     | exception Epoc_qasm.Qasm.Parse_error m ->
@@ -457,26 +516,36 @@ let report_cmd =
         let metrics = M.create () in
         let engine = Epoc.Engine.create ~config () in
         let process = Epoc.Engine.metrics engine in
-        let result =
-          run_flow_named flow ~engine ~config ~trace:sink ~metrics ~name:spec
-            circuit
-        in
-        (match chrome with
-        | None -> ()
-        | Some file ->
-            write_file file (T.to_chrome_json result.Epoc.Pipeline.trace);
-            Printf.eprintf "wrote chrome trace to %s\n" file);
-        if prometheus then
-          (* same exposition shape as the daemon's {"cmd":"prometheus"}:
-             engine registry under epoc_, per-run values under epoc_run_ *)
-          print_string
-            (M.to_prometheus ~prefix:"epoc_" process
-            ^ M.to_prometheus ~prefix:"epoc_run_" metrics)
-        else if json then
-          print_endline
-            (J.to_string ~indent:true (report_json result metrics ~process))
-        else report_text result metrics ~process;
-        exit_status ~strict result
+        (match resolve_device (Epoc.Engine.devices engine) device_spec with
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            1
+        | Ok device ->
+            let config =
+              match device with
+              | None -> config
+              | Some d -> Epoc.Config.with_device d config
+            in
+            let result =
+              run_flow_named flow ~engine ~config ~trace:sink ~metrics
+                ~name:spec circuit
+            in
+            (match chrome with
+            | None -> ()
+            | Some file ->
+                write_file file (T.to_chrome_json result.Epoc.Pipeline.trace);
+                Printf.eprintf "wrote chrome trace to %s\n" file);
+            if prometheus then
+              (* same exposition shape as the daemon's {"cmd":"prometheus"}:
+                 engine registry under epoc_, per-run values under epoc_run_ *)
+              print_string
+                (M.to_prometheus ~prefix:"epoc_" process
+                ^ M.to_prometheus ~prefix:"epoc_run_" metrics)
+            else if json then
+              print_endline
+                (J.to_string ~indent:true (report_json result metrics ~process))
+            else report_text result metrics ~process;
+            exit_status ~strict result)
   in
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
@@ -492,11 +561,11 @@ let report_cmd =
   in
   let term =
     Term.(
-      const run $ circuit_arg $ flow_arg $ grape_arg $ no_zx $ no_synthesis
-      $ no_regroup $ partition_width $ cache_arg $ synth_cache_arg
-      $ similarity_order_arg $ deadline_arg $ block_deadline_arg $ retries_arg
-      $ strict_arg $ fault_arg $ verbose $ json_flag $ prometheus_flag
-      $ trace_chrome)
+      const run $ circuit_arg $ flow_arg $ device_arg $ grape_arg $ no_zx
+      $ no_synthesis $ no_regroup $ partition_width $ cache_arg
+      $ synth_cache_arg $ similarity_order_arg $ deadline_arg
+      $ block_deadline_arg $ retries_arg $ strict_arg $ fault_arg $ verbose
+      $ json_flag $ prometheus_flag $ trace_chrome)
   in
   Cmd.v
     (Cmd.info "report"
@@ -538,9 +607,9 @@ let slow_trace_arg =
     & info [ "slow-trace" ] ~docv:"SEC" ~doc)
 
 let serve_cmd =
-  let run socket workers flight slow_trace grape no_zx no_synth no_regroup
-      width cache_dir synth_cache_dir similarity_order deadline block_deadline
-      retries fault verbosity =
+  let run socket workers flight slow_trace device_spec grape no_zx no_synth
+      no_regroup width cache_dir synth_cache_dir similarity_order deadline
+      block_deadline retries fault verbosity =
     setup_logs verbosity;
     let config =
       config_of ~grape ~no_zx ~no_synth ~no_regroup ~width ~cache_dir
@@ -554,14 +623,26 @@ let serve_cmd =
         slow_trace_s = slow_trace;
       }
     in
-    Epoc_serve.Server.run { Epoc_serve.Server.socket; workers; config }
+    (* daemon-wide default device; jobs can override per request with
+       {"device": ...}, resolved against the engine's registry *)
+    match resolve_device (Epoc_device.Device.Registry.create ()) device_spec with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | Ok device ->
+        let config =
+          match device with
+          | None -> config
+          | Some d -> Epoc.Config.with_device d config
+        in
+        Epoc_serve.Server.run { Epoc_serve.Server.socket; workers; config }
   in
   let term =
     Term.(
       const run $ socket_arg $ workers_arg $ flight_arg $ slow_trace_arg
-      $ grape_arg $ no_zx $ no_synthesis $ no_regroup $ partition_width
-      $ cache_arg $ synth_cache_arg $ similarity_order_arg $ deadline_arg
-      $ block_deadline_arg $ retries_arg $ fault_arg $ verbose)
+      $ device_arg $ grape_arg $ no_zx $ no_synthesis $ no_regroup
+      $ partition_width $ cache_arg $ synth_cache_arg $ similarity_order_arg
+      $ deadline_arg $ block_deadline_arg $ retries_arg $ fault_arg $ verbose)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -736,6 +817,95 @@ let list_cmd =
     (Cmd.info "list" ~doc:"List builtin benchmark circuits.")
     Term.(const run $ const ())
 
+(* --- epoc devices --------------------------------------------------------- *)
+
+let devices_cmd =
+  let run dump =
+    let registry = Epoc_device.Device.Registry.create () in
+    match dump with
+    | Some spec -> (
+        match Epoc_device.Device.Registry.resolve registry spec with
+        | Ok d ->
+            print_string (Epoc_device.Device.to_string d);
+            0
+        | Error m ->
+            Printf.eprintf "error: %s\n" m;
+            1)
+    | None ->
+        List.iter
+          (fun name ->
+            match Epoc_device.Device.Registry.find registry name with
+            | None -> ()
+            | Some d ->
+                Printf.printf "%-12s %3d qubits, %3d couplings, dt %.2f ns\n"
+                  name d.Epoc_device.Device.n
+                  (List.length d.Epoc_device.Device.edges)
+                  d.Epoc_device.Device.dt)
+          (Epoc_device.Device.Registry.names registry);
+        0
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"NAME|FILE"
+          ~doc:
+            "Print the device-file JSON of one device instead of the list \
+             (the exact bytes a file under devices/ holds).")
+  in
+  Cmd.v
+    (Cmd.info "devices"
+       ~doc:
+         "List the bundled device zoo (or dump one device file with \
+          --dump).")
+    Term.(const run $ dump_arg)
+
+(* --- epoc ir -------------------------------------------------------------- *)
+
+let ir_cmd =
+  let run file =
+    match read_file file with
+    | exception Sys_error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    | text -> (
+        match Epoc_pulseir.Pulseir.of_string text with
+        | exception Invalid_argument m ->
+            Printf.eprintf "error: %s\n" m;
+            1
+        | ir ->
+            let reprinted = Epoc_pulseir.Pulseir.to_string ir in
+            if reprinted <> text then begin
+              Printf.eprintf
+                "error: %s: import -> export is not byte-identical\n" file;
+              1
+            end
+            else begin
+              let s = ir.Epoc_pulseir.Pulseir.ir_schedule in
+              Printf.printf "name     : %s\n" ir.Epoc_pulseir.Pulseir.ir_name;
+              Printf.printf "device   : %s\n"
+                (match ir.Epoc_pulseir.Pulseir.ir_device with
+                | None -> "- (default chain model)"
+                | Some (name, n) -> Printf.sprintf "%s (%d qubits)" name n);
+              Printf.printf "qubits   : %d\n" s.Epoc_pulse.Schedule.n;
+              Printf.printf "pulses   : %d\n"
+                (Epoc_pulse.Schedule.instruction_count s);
+              Printf.printf "latency  : %s ns\n"
+                (J.number_to_string (Epoc_pulse.Schedule.latency s));
+              0
+            end)
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Pulse-IR JSON file to verify.")
+  in
+  Cmd.v
+    (Cmd.info "ir"
+       ~doc:
+         "Validate a pulse-IR file: strict import, ASAP-consistency \
+          checks and a byte-identical re-export.")
+    Term.(const run $ file_arg)
+
 let zx_cmd =
   let run spec verbosity =
     setup_logs verbosity;
@@ -768,4 +938,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; report_cmd; serve_cmd; top_cmd; list_cmd; zx_cmd ]))
+          [
+            compile_cmd; report_cmd; serve_cmd; top_cmd; list_cmd;
+            devices_cmd; ir_cmd; zx_cmd;
+          ]))

@@ -53,9 +53,14 @@ let () =
   Format.printf "@.";
 
   (* full pipeline: regrouping + pulses (Fig. 7b/c) *)
-  let grouped = Epoc.Pipeline.run ~name:"bell" circuit in
+  let engine = Epoc.Engine.create () in
+  let grouped =
+    Epoc.Pipeline.compile (Epoc.Engine.session ~name:"bell" engine) circuit
+  in
   let ungrouped =
-    Epoc.Pipeline.run ~config:Epoc.Config.no_regroup ~name:"bell" circuit
+    Epoc.Pipeline.compile
+      (Epoc.Engine.session ~config:Epoc.Config.no_regroup ~name:"bell" engine)
+      circuit
   in
   Format.printf "== pulse generation (Fig. 7b vs 7c) ==@.";
   Format.printf "without regrouping: %2d pulses, latency %.1f ns@."

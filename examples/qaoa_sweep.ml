@@ -7,6 +7,7 @@
 open Epoc
 
 let () =
+  let engine = Engine.create () in
   Printf.printf "%6s %3s | %10s %10s %10s | %8s %8s\n" "qubits" "p" "gate(ns)"
     "paqoc(ns)" "epoc(ns)" "f_paqoc" "f_epoc";
   List.iter
@@ -15,9 +16,10 @@ let () =
         (fun p ->
           let c = Epoc_benchmarks.Benchmarks.qaoa ~p n in
           let name = Printf.sprintf "qaoa-%d-%d" n p in
-          let g = Baselines.gate_based ~name c in
-          let pq = Baselines.paqoc_like ~name c in
-          let e = Pipeline.run ~name c in
+          let session () = Engine.session ~name engine in
+          let g = Baselines.compile_gate_based (session ()) c in
+          let pq = Baselines.compile_paqoc_like (session ()) c in
+          let e = Pipeline.compile (session ()) c in
           Printf.printf "%6d %3d | %10.1f %10.1f %10.1f | %8.4f %8.4f\n%!" n p
             g.Pipeline.latency pq.Pipeline.latency e.Pipeline.latency
             pq.Pipeline.esp e.Pipeline.esp)

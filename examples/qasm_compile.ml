@@ -37,7 +37,11 @@ let () =
       exit 1
   | circuit ->
       Format.printf "parsed circuit:@.%a@.@." Epoc_circuit.Circuit.pp circuit;
-      let r = Epoc.Pipeline.run ~name:"qasm" circuit in
+      let r =
+        Epoc.Pipeline.compile
+          (Epoc.Engine.session ~name:"qasm" (Epoc.Engine.create ()))
+          circuit
+      in
       Format.printf "schedule:@.%a@." Epoc_pulse.Schedule.pp r.Epoc.Pipeline.schedule;
       Format.printf "@.latency %.1f ns, ESP %.4f, compiled in %.3f s@."
         r.Epoc.Pipeline.latency r.Epoc.Pipeline.esp r.Epoc.Pipeline.compile_time

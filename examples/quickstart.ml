@@ -16,11 +16,14 @@ let () =
   Format.printf "input circuit:@.%a@.@." Circuit.pp ghz;
 
   (* 2. compile with the full EPOC pipeline (ZX + partition + synthesis +
-     regrouping + pulse generation) *)
-  let epoc = Pipeline.run ~name:"ghz" ghz in
+     regrouping + pulse generation) through an engine session *)
+  let engine = Engine.create () in
+  let epoc = Pipeline.compile (Engine.session ~name:"ghz" engine) ghz in
 
   (* 3. compare with the traditional gate-by-gate pulse playback *)
-  let gate_based = Baselines.gate_based ~name:"ghz" ghz in
+  let gate_based =
+    Baselines.compile_gate_based (Engine.session ~name:"ghz" engine) ghz
+  in
 
   Format.printf "EPOC schedule:@.%a@." Epoc_pulse.Schedule.pp
     epoc.Pipeline.schedule;

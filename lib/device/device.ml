@@ -1,0 +1,493 @@
+(* First-class device descriptions: name, qubit count, explicit coupling
+   graph with per-pair strengths, drive limits, anharmonicity/crosstalk
+   terms and gate-time calibrations.
+
+   A device is pure data about a backend — it never builds Hamiltonians
+   (a 12-qubit heavy-hex drift would be a 4096x4096 matrix; the QOC
+   layer instantiates 2^k block models on demand from the coupling
+   subgraph instead).  Devices come from three places: the built-in
+   generators (line / grid / heavy-hex), JSON device files under
+   devices/, and programmatic [make].  All three funnel through one
+   validator, so a device value in hand is always well-formed: indices
+   in range, no self-loops or duplicate pairs, positive coupling
+   strengths and a connected coupling graph.
+
+   Device files are strict, mirroring the cache-store header discipline:
+   a schema-version field is required and unknown fields are errors (a
+   misspelled calibration key must not silently become a default). *)
+
+module J = Epoc_obs.Json
+
+(* Coupling (or crosstalk) term between two qubits, strength in GHz.
+   Normalized so [e_a < e_b]. *)
+type edge = { e_a : int; e_b : int; e_ghz : float }
+
+type t = {
+  name : string;
+  n : int;
+  edges : edge list; (* coupling graph, sorted by (a, b) *)
+  drive_ghz : float; (* max drive amplitude per qubit, GHz *)
+  dt : float; (* control slot duration, ns *)
+  t_coherence : float; (* effective coherence time, ns *)
+  anharmonicity_ghz : float; (* transmon anharmonicity (provenance) *)
+  crosstalk : edge list; (* parasitic ZZ on non-coupled pairs, GHz *)
+  gate_times : (string * float) list; (* calibrated gate durations, ns *)
+}
+
+let schema_version = 1
+
+(* --- validation --------------------------------------------------------- *)
+
+let norm_edge a b ghz =
+  if a <= b then { e_a = a; e_b = b; e_ghz = ghz }
+  else { e_a = b; e_b = a; e_ghz = ghz }
+
+let sort_edges es =
+  List.sort (fun x y -> compare (x.e_a, x.e_b) (y.e_a, y.e_b)) es
+
+let check_edges ~what ~n ~strict_positive edges =
+  let rec go seen = function
+    | [] -> Ok ()
+    | e :: rest ->
+        if e.e_a < 0 || e.e_a >= n || e.e_b < 0 || e.e_b >= n then
+          Error
+            (Fmt.str "%s pair (%d, %d) out of range for %d qubits" what e.e_a
+               e.e_b n)
+        else if e.e_a = e.e_b then
+          Error (Fmt.str "%s pair (%d, %d) is a self-loop" what e.e_a e.e_b)
+        else if List.mem (e.e_a, e.e_b) seen then
+          Error (Fmt.str "duplicate %s pair (%d, %d)" what e.e_a e.e_b)
+        else if strict_positive && e.e_ghz <= 0.0 then
+          Error
+            (Fmt.str "%s strength %g for pair (%d, %d) must be positive" what
+               e.e_ghz e.e_a e.e_b)
+        else if (not strict_positive) && e.e_ghz < 0.0 then
+          Error
+            (Fmt.str "%s strength %g for pair (%d, %d) must be non-negative"
+               what e.e_ghz e.e_a e.e_b)
+        else go ((e.e_a, e.e_b) :: seen) rest
+  in
+  go [] edges
+
+(* Adjacency lists of the coupling graph, neighbors ascending. *)
+let adjacency d =
+  let adj = Array.make d.n [] in
+  List.iter
+    (fun e ->
+      adj.(e.e_a) <- e.e_b :: adj.(e.e_a);
+      adj.(e.e_b) <- e.e_a :: adj.(e.e_b))
+    d.edges;
+  Array.map (List.sort_uniq compare) adj
+
+let connected_with ~n edges =
+  if n = 0 then true
+  else
+    let adj = Array.make n [] in
+    List.iter
+      (fun e ->
+        adj.(e.e_a) <- e.e_b :: adj.(e.e_a);
+        adj.(e.e_b) <- e.e_a :: adj.(e.e_b))
+      edges;
+    let seen = Array.make n false in
+    let rec dfs q =
+      if not seen.(q) then begin
+        seen.(q) <- true;
+        List.iter dfs adj.(q)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+
+let validate d =
+  if d.name = "" then Error "device name must be non-empty"
+  else if d.n < 1 then Error "device needs at least one qubit"
+  else if d.drive_ghz <= 0.0 then
+    Error (Fmt.str "drive_ghz %g must be positive" d.drive_ghz)
+  else if d.dt <= 0.0 then Error (Fmt.str "dt %g must be positive" d.dt)
+  else if d.t_coherence <= 0.0 then
+    Error (Fmt.str "t_coherence %g must be positive" d.t_coherence)
+  else
+    match check_edges ~what:"coupling" ~n:d.n ~strict_positive:true d.edges with
+    | Error _ as e -> e
+    | Ok () -> (
+        match
+          check_edges ~what:"crosstalk" ~n:d.n ~strict_positive:false
+            d.crosstalk
+        with
+        | Error _ as e -> e
+        | Ok () ->
+            if d.n > 1 && d.edges = [] then
+              Error "multi-qubit device has an empty coupling graph"
+            else if not (connected_with ~n:d.n d.edges) then
+              Error
+                (Fmt.str "coupling graph of %S is disconnected (%d qubits)"
+                   d.name d.n)
+            else if List.exists (fun (_, t) -> t <= 0.0) d.gate_times then
+              Error "gate times must be positive"
+            else Ok ())
+
+let make ?(drive_ghz = 0.05) ?(dt = 0.5) ?(t_coherence = 100_000.0)
+    ?(anharmonicity_ghz = 0.0) ?(crosstalk = []) ?(gate_times = []) ~name
+    ~qubits:n ~coupling () =
+  let edges =
+    sort_edges (List.map (fun (a, b, g) -> norm_edge a b g) coupling)
+  in
+  let crosstalk =
+    sort_edges (List.map (fun (a, b, g) -> norm_edge a b g) crosstalk)
+  in
+  let gate_times = List.sort compare gate_times in
+  let d =
+    {
+      name;
+      n;
+      edges;
+      drive_ghz;
+      dt;
+      t_coherence;
+      anharmonicity_ghz;
+      crosstalk;
+      gate_times;
+    }
+  in
+  match validate d with
+  | Ok () -> d
+  | Error m -> invalid_arg (Fmt.str "Device.make: %s" m)
+
+(* --- generators --------------------------------------------------------- *)
+
+let uniform_coupling ghz pairs = List.map (fun (a, b) -> (a, b, ghz)) pairs
+
+let line ?(coupling_ghz = 0.005) ?drive_ghz ?dt ?t_coherence ?name n =
+  let name = Option.value name ~default:(Fmt.str "line%d" n) in
+  let pairs = List.init (max 0 (n - 1)) (fun i -> (i, i + 1)) in
+  make ?drive_ghz ?dt ?t_coherence ~name ~qubits:n
+    ~coupling:(uniform_coupling coupling_ghz pairs)
+    ()
+
+let grid ?(coupling_ghz = 0.005) ?drive_ghz ?dt ?t_coherence ?name ~rows ~cols
+    () =
+  if rows < 1 || cols < 1 then invalid_arg "Device.grid: need rows, cols >= 1";
+  let name = Option.value name ~default:(Fmt.str "grid%dx%d" rows cols) in
+  let idx r c = (r * cols) + c in
+  let pairs = ref [] in
+  for r = rows - 1 downto 0 do
+    for c = cols - 1 downto 0 do
+      if c + 1 < cols then pairs := (idx r c, idx r (c + 1)) :: !pairs;
+      if r + 1 < rows then pairs := (idx r c, idx (r + 1) c) :: !pairs
+    done
+  done;
+  make ?drive_ghz ?dt ?t_coherence ~name ~qubits:(rows * cols)
+    ~coupling:(uniform_coupling coupling_ghz !pairs)
+    ()
+
+(* Heavy-hex row of [cells] hexagons (IBM-style).  Corner qubits sit on a
+   brick-wall frame — two rows of 2*cells+1 corners joined by vertical
+   rungs at even columns — and every frame edge carries one extra
+   "heavy" qubit in its middle, so corners have degree <= 3 and edge
+   qubits degree 2.  One cell is the 12-qubit distance-1 unit cell;
+   [cells] hexagons give 9*cells + 3 qubits. *)
+let heavy_hex ?(coupling_ghz = 0.005) ?drive_ghz ?dt ?t_coherence ?name
+    ?(cells = 1) () =
+  if cells < 1 then invalid_arg "Device.heavy_hex: need cells >= 1";
+  let w = (2 * cells) + 1 in
+  let top j = j and bottom j = w + j in
+  let frame =
+    List.concat
+      [
+        List.init (w - 1) (fun j -> (top j, top (j + 1)));
+        List.init (w - 1) (fun j -> (bottom j, bottom (j + 1)));
+        List.init (cells + 1) (fun i -> (top (2 * i), bottom (2 * i)));
+      ]
+  in
+  let next = ref (2 * w) in
+  let pairs =
+    List.concat_map
+      (fun (u, v) ->
+        let m = !next in
+        incr next;
+        [ (u, m); (m, v) ])
+      frame
+  in
+  let n = !next in
+  let name = Option.value name ~default:(Fmt.str "heavyhex%d" n) in
+  make ?drive_ghz ?dt ?t_coherence ~name ~qubits:n
+    ~coupling:(uniform_coupling coupling_ghz pairs)
+    ()
+
+(* --- graph queries ------------------------------------------------------ *)
+
+let pairs d = List.map (fun e -> (e.e_a, e.e_b)) d.edges
+
+let strength_ghz d a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  List.find_map
+    (fun e -> if e.e_a = a && e.e_b = b then Some e.e_ghz else None)
+    d.edges
+
+let coupled d a b = strength_ghz d a b <> None
+
+let neighbors d q =
+  if q < 0 || q >= d.n then invalid_arg "Device.neighbors: qubit out of range";
+  (adjacency d).(q)
+
+(* BFS from [a], neighbors visited in ascending order so parent pointers
+   (and therefore [shortest_path]) are deterministic. *)
+let bfs d a =
+  let dist = Array.make d.n (-1) and parent = Array.make d.n (-1) in
+  let adj = adjacency d in
+  dist.(a) <- 0;
+  let q = Queue.create () in
+  Queue.add a q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  (dist, parent)
+
+let distance d a b =
+  if a < 0 || a >= d.n || b < 0 || b >= d.n then
+    invalid_arg "Device.distance: qubit out of range";
+  let dist, _ = bfs d a in
+  if dist.(b) < 0 then None else Some dist.(b)
+
+let shortest_path d a b =
+  if a < 0 || a >= d.n || b < 0 || b >= d.n then
+    invalid_arg "Device.shortest_path: qubit out of range";
+  let dist, parent = bfs d a in
+  if dist.(b) < 0 then None
+  else
+    let rec walk acc v = if v = a then a :: acc else walk (v :: acc) parent.(v)
+    in
+    Some (walk [] b)
+
+let connected_subset d qubits =
+  match List.sort_uniq compare qubits with
+  | [] -> true
+  | sorted ->
+      List.iter
+        (fun q ->
+          if q < 0 || q >= d.n then
+            invalid_arg "Device.connected_subset: qubit out of range")
+        sorted;
+      let inside q = List.mem q sorted in
+      let induced =
+        List.filter (fun e -> inside e.e_a && inside e.e_b) d.edges
+      in
+      let index q =
+        let rec go i = function
+          | [] -> assert false
+          | x :: _ when x = q -> i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 sorted
+      in
+      connected_with ~n:(List.length sorted)
+        (List.map
+           (fun e -> { e with e_a = index e.e_a; e_b = index e.e_b })
+           induced)
+
+(* --- JSON codec --------------------------------------------------------- *)
+
+(* Field order is fixed so [to_string] output is stable byte-for-byte;
+   optional fields are always emitted (a device file round-trips to
+   itself). *)
+let to_json d =
+  let edge_json e =
+    J.Arr [ J.of_int e.e_a; J.of_int e.e_b; J.Num e.e_ghz ]
+  in
+  J.Obj
+    [
+      ("epoc_device", J.of_int schema_version);
+      ("name", J.Str d.name);
+      ("qubits", J.of_int d.n);
+      ("drive_ghz", J.Num d.drive_ghz);
+      ("dt", J.Num d.dt);
+      ("t_coherence_ns", J.Num d.t_coherence);
+      ("anharmonicity_ghz", J.Num d.anharmonicity_ghz);
+      ("coupling", J.Arr (List.map edge_json d.edges));
+      ("crosstalk", J.Arr (List.map edge_json d.crosstalk));
+      ( "gate_times_ns",
+        J.Obj (List.map (fun (g, t) -> (g, J.Num t)) d.gate_times) );
+    ]
+
+let to_string d = J.to_string ~indent:true (to_json d) ^ "\n"
+
+let known_fields =
+  [
+    "epoc_device";
+    "name";
+    "qubits";
+    "drive_ghz";
+    "dt";
+    "t_coherence_ns";
+    "anharmonicity_ghz";
+    "coupling";
+    "crosstalk";
+    "gate_times_ns";
+  ]
+
+let parse_edges what json =
+  match J.to_list json with
+  | None -> Error (Fmt.str "%S must be an array of [a, b, ghz] triples" what)
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match J.to_list item with
+            | Some [ a; b; g ] -> (
+                match (J.to_int a, J.to_int b, J.to_num g) with
+                | Some a, Some b, Some g -> go (norm_edge a b g :: acc) rest
+                | _ ->
+                    Error
+                      (Fmt.str "%S entries must be [int, int, number]" what))
+            | _ ->
+                Error (Fmt.str "%S entries must be [a, b, ghz] triples" what))
+      in
+      go [] items
+
+let of_json json =
+  match json with
+  | J.Obj fields -> (
+      let unknown =
+        List.filter (fun (k, _) -> not (List.mem k known_fields)) fields
+      in
+      match unknown with
+      | (k, _) :: _ -> Error (Fmt.str "unknown device field %S" k)
+      | [] -> (
+          let field k = J.member k json in
+          let num k = Option.bind (field k) J.to_num in
+          match Option.bind (field "epoc_device") J.to_int with
+          | None -> Error "missing \"epoc_device\" (schema version, int)"
+          | Some v when v <> schema_version ->
+              Error
+                (Fmt.str "unsupported device schema version %d (expected %d)" v
+                   schema_version)
+          | Some _ -> (
+              match
+                ( Option.bind (field "name") J.to_str,
+                  Option.bind (field "qubits") J.to_int,
+                  field "coupling" )
+              with
+              | None, _, _ -> Error "missing \"name\" (string)"
+              | _, None, _ -> Error "missing \"qubits\" (int)"
+              | _, _, None -> Error "missing \"coupling\" (array)"
+              | Some name, Some n, Some coupling_json -> (
+                  let parsed_coupling = parse_edges "coupling" coupling_json in
+                  let parsed_crosstalk =
+                    match field "crosstalk" with
+                    | None -> Ok []
+                    | Some j -> parse_edges "crosstalk" j
+                  in
+                  let gate_times =
+                    match field "gate_times_ns" with
+                    | None -> Ok []
+                    | Some (J.Obj gs) ->
+                        let rec go acc = function
+                          | [] -> Ok (List.sort compare acc)
+                          | (g, J.Num t) :: rest -> go ((g, t) :: acc) rest
+                          | (g, _) :: _ ->
+                              Error
+                                (Fmt.str "gate time for %S must be a number" g)
+                        in
+                        go [] gs
+                    | Some _ -> Error "\"gate_times_ns\" must be an object"
+                  in
+                  match (parsed_coupling, parsed_crosstalk, gate_times) with
+                  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+                  | Ok edges, Ok crosstalk, Ok gate_times ->
+                      let d =
+                        {
+                          name;
+                          n;
+                          edges = sort_edges edges;
+                          drive_ghz = Option.value (num "drive_ghz") ~default:0.05;
+                          dt = Option.value (num "dt") ~default:0.5;
+                          t_coherence =
+                            Option.value (num "t_coherence_ns")
+                              ~default:100_000.0;
+                          anharmonicity_ghz =
+                            Option.value (num "anharmonicity_ghz") ~default:0.0;
+                          crosstalk = sort_edges crosstalk;
+                          gate_times;
+                        }
+                      in
+                      (match validate d with
+                      | Ok () -> Ok d
+                      | Error m -> Error m)))))
+  | _ -> Error "device file must be a JSON object"
+
+let of_string s =
+  match J.parse s with
+  | Error m -> Error (Fmt.str "parse: %s" m)
+  | Ok json -> of_json json
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | s -> (
+      match of_string s with
+      | Error m -> Error (Fmt.str "%s: %s" path m)
+      | Ok d -> Ok d)
+
+(* --- registry ----------------------------------------------------------- *)
+
+module Registry = struct
+  type device = t
+
+  type registry = {
+    devices : (string, device) Hashtbl.t;
+    lock : Mutex.t;
+  }
+
+  let builtins () =
+    [ line 8; grid ~rows:3 ~cols:3 (); heavy_hex ~cells:1 () ]
+
+  let create () =
+    let r = { devices = Hashtbl.create 8; lock = Mutex.create () } in
+    List.iter (fun d -> Hashtbl.replace r.devices d.name d) (builtins ());
+    r
+
+  let with_lock r f =
+    Mutex.lock r.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
+
+  let register r d = with_lock r (fun () -> Hashtbl.replace r.devices d.name d)
+
+  let find r name = with_lock r (fun () -> Hashtbl.find_opt r.devices name)
+
+  let names r =
+    with_lock r (fun () ->
+        List.sort compare
+          (Hashtbl.fold (fun k _ acc -> k :: acc) r.devices []))
+
+  (* Resolve a [--device] argument: a registered name, else a device-file
+     path.  File loads are registered, so later references by the
+     device's declared name hit the registry. *)
+  let resolve r spec =
+    match find r spec with
+    | Some d -> Ok d
+    | None ->
+        if Sys.file_exists spec then (
+          match of_file spec with
+          | Ok d ->
+              register r d;
+              Ok d
+          | Error m -> Error m)
+        else
+          Error
+            (Fmt.str "unknown device %S (registered: %s; or pass a device file)"
+               spec
+               (String.concat ", " (names r)))
+end

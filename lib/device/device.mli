@@ -1,0 +1,180 @@
+(** First-class device descriptions and the device zoo.
+
+    A {!t} captures what the compiler needs to know about a backend:
+    qubit count, the explicit coupling graph with per-pair strengths,
+    drive limits, anharmonicity/crosstalk terms and per-gate calibrated
+    durations.  It is pure data — the QOC layer builds 2^k Hamiltonian
+    models per partition block from the coupling subgraph
+    ({!Epoc_qoc.Hardware.of_device}); a device itself never holds a
+    matrix, so a 100-qubit device value is as cheap as a 2-qubit one.
+
+    Devices come from the generators ({!line}, {!grid}, {!heavy_hex}),
+    from JSON device files under [devices/] ({!of_file}), or from
+    {!make}.  Every path runs the same validation: a value of type {!t}
+    always has in-range indices, no self-loops or duplicate pairs,
+    positive coupling strengths and a connected coupling graph.
+
+    Device files are strict, like the cache-store headers: the
+    [epoc_device] schema-version field is required and unknown fields
+    are rejected rather than ignored. *)
+
+(** Coupling (or crosstalk) term between two qubits, strength in GHz.
+    Normalized so [e_a < e_b]. *)
+type edge = { e_a : int; e_b : int; e_ghz : float }
+
+type t = {
+  name : string;
+  n : int;  (** qubit count *)
+  edges : edge list;  (** coupling graph, sorted by [(a, b)] *)
+  drive_ghz : float;  (** max drive amplitude per qubit, GHz *)
+  dt : float;  (** control slot duration, ns *)
+  t_coherence : float;  (** effective coherence time, ns *)
+  anharmonicity_ghz : float;
+      (** transmon anharmonicity; provenance only — the two-level block
+          models cannot represent it dynamically *)
+  crosstalk : edge list;  (** parasitic ZZ on non-coupled pairs, GHz *)
+  gate_times : (string * float) list;
+      (** calibrated gate durations (ns), sorted by gate name *)
+}
+
+(** Device-file schema version, written as the [epoc_device] field. *)
+val schema_version : int
+
+(** Build and validate a device.  [coupling] lists [(a, b, ghz)]
+    triples; pairs are normalized to [a < b] and sorted.  Defaults
+    match the historical hardware model: drive 0.05 GHz, dt 0.5 ns,
+    t_coherence 100 us.
+
+    @raise Invalid_argument when validation fails (out-of-range pair,
+    self-loop, duplicate, non-positive strength, disconnected coupling
+    graph, ...). *)
+val make :
+  ?drive_ghz:float ->
+  ?dt:float ->
+  ?t_coherence:float ->
+  ?anharmonicity_ghz:float ->
+  ?crosstalk:(int * int * float) list ->
+  ?gate_times:(string * float) list ->
+  name:string ->
+  qubits:int ->
+  coupling:(int * int * float) list ->
+  unit ->
+  t
+
+(** {1 Topology generators} *)
+
+(** Linear chain of [n] qubits, uniform coupling (default 0.005 GHz).
+    Default name [line<n>]. *)
+val line :
+  ?coupling_ghz:float ->
+  ?drive_ghz:float ->
+  ?dt:float ->
+  ?t_coherence:float ->
+  ?name:string ->
+  int ->
+  t
+
+(** [rows] x [cols] square lattice, row-major qubit numbering.  Default
+    name [grid<rows>x<cols>]. *)
+val grid :
+  ?coupling_ghz:float ->
+  ?drive_ghz:float ->
+  ?dt:float ->
+  ?t_coherence:float ->
+  ?name:string ->
+  rows:int ->
+  cols:int ->
+  unit ->
+  t
+
+(** Heavy-hex row of [cells] hexagons (IBM-style): a brick-wall corner
+    frame with one extra qubit on every frame edge, so corners have
+    degree at most 3 and edge qubits degree 2.  [cells = 1] is the
+    12-qubit distance-1 unit cell; [cells] hexagons give
+    [9*cells + 3] qubits.  Default name [heavyhex<n>]. *)
+val heavy_hex :
+  ?coupling_ghz:float ->
+  ?drive_ghz:float ->
+  ?dt:float ->
+  ?t_coherence:float ->
+  ?name:string ->
+  ?cells:int ->
+  unit ->
+  t
+
+(** {1 Coupling-graph queries} *)
+
+(** Coupled pairs [(a, b)] with [a < b], sorted. *)
+val pairs : t -> (int * int) list
+
+(** Coupling strength of a pair in GHz, [None] when not coupled.
+    Order-insensitive. *)
+val strength_ghz : t -> int -> int -> float option
+
+val coupled : t -> int -> int -> bool
+
+(** Neighbors of a qubit, ascending. *)
+val neighbors : t -> int -> int list
+
+(** Hop distance in the coupling graph; [None] when unreachable (never
+    on a validated device — the graph is connected).  Deterministic. *)
+val distance : t -> int -> int -> int option
+
+(** One shortest path [a; ...; b], deterministic (BFS visits neighbors
+    in ascending order). *)
+val shortest_path : t -> int -> int -> int list option
+
+(** Whether the induced coupling subgraph on [qubits] is connected.
+    The empty and singleton subsets count as connected. *)
+val connected_subset : t -> int list -> bool
+
+(** {1 Device files} *)
+
+(** Fixed-field-order JSON document; {!to_string} output re-parses to
+    an equal device (round-trip). *)
+val to_json : t -> Epoc_obs.Json.t
+
+(** Indented JSON document with a trailing newline — the on-disk
+    device-file format. *)
+val to_string : t -> string
+
+(** Strict parse: requires [epoc_device], [name], [qubits] and
+    [coupling]; rejects unknown fields, bad topology and non-positive
+    coupling strengths.  Missing optional fields take the {!make}
+    defaults. *)
+val of_json : Epoc_obs.Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result
+
+val of_file : string -> (t, string) result
+
+(** {1 Registry}
+
+    Engine-owned name → device table, preloaded with the bundled zoo
+    (line8, grid3x3, heavyhex12).  Thread-safe. *)
+module Registry : sig
+  type device = t
+
+  type registry
+
+  (** The bundled zoo, freshly generated: [line 8],
+      [grid ~rows:3 ~cols:3 ()], [heavy_hex ~cells:1 ()] — the same
+      devices as the files under [devices/]. *)
+  val builtins : unit -> device list
+
+  (** A registry preloaded with {!builtins}. *)
+  val create : unit -> registry
+
+  (** Register (or replace) a device under its declared name. *)
+  val register : registry -> device -> unit
+
+  val find : registry -> string -> device option
+
+  (** Registered names, sorted. *)
+  val names : registry -> string list
+
+  (** Resolve a [--device] argument: a registered name, else a
+      device-file path (loaded files are registered as a side effect).
+      The error message lists the registered names. *)
+  val resolve : registry -> string -> (device, string) result
+end

@@ -1,5 +1,5 @@
 (* Comparison flows for the evaluation, all running through the shared
-   pass driver ([Pipeline.run_flow]) with their own pass lists, so the
+   pass driver ([Pipeline.compile_flow]) with their own pass lists, so the
    shared logic — partitioning, pulse-library interaction, ASAP
    scheduling — exists exactly once.
 
@@ -59,6 +59,7 @@ let gate_pulses_pass =
                   duration;
                   fidelity;
                   label = Gate.name op.Circuit.gate;
+                  pulse = None;
                 })
           (Circuit.ops ir.Ir.circuit)
       in
@@ -87,12 +88,6 @@ let gate_flow =
 let compile_gate_based session (circuit : Circuit.t) =
   Pipeline.compile_flow session gate_flow circuit
 
-(* Deprecated optional-arg wrapper, kept for one release. *)
-let gate_based ?(config = Config.default) ?engine ?request_id ?library ?cache
-    ?pool ?trace ?metrics ~name (circuit : Circuit.t) =
-  Pipeline.run_flow ~config ?engine ?request_id ?library ?cache ?pool ?trace
-    ?metrics ~name gate_flow circuit
-
 (* --- AccQOC-like ------------------------------------------------------------ *)
 
 let accqoc_config (base : Config.t) =
@@ -117,12 +112,6 @@ let compile_accqoc_like session circuit =
     Engine.with_config (accqoc_config (Engine.session_config session)) session
   in
   Pipeline.compile session circuit
-
-(* Deprecated optional-arg wrapper, kept for one release. *)
-let accqoc_like ?(config = Config.default) ?engine ?request_id ?library ?cache
-    ?pool ?trace ?metrics ~name circuit =
-  Pipeline.run ~config:(accqoc_config config) ?engine ?request_id ?library
-    ?cache ?pool ?trace ?metrics ~name circuit
 
 (* --- PAQOC-like -------------------------------------------------------------- *)
 
@@ -176,9 +165,3 @@ let paqoc_config_for config circuit =
 let compile_paqoc_like session circuit =
   let cfg = paqoc_config_for (Engine.session_config session) circuit in
   Pipeline.compile (Engine.with_config cfg session) circuit
-
-(* Deprecated optional-arg wrapper, kept for one release. *)
-let paqoc_like ?(config = Config.default) ?engine ?request_id ?library ?cache
-    ?pool ?trace ?metrics ~name circuit =
-  Pipeline.run ~config:(paqoc_config_for config circuit) ?engine ?request_id
-    ?library ?cache ?pool ?trace ?metrics ~name circuit

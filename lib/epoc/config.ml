@@ -55,6 +55,12 @@ type t = {
      never capture) *)
   flight_capacity : int;
   slow_trace_s : float option;
+  (* target device ([None] = the historical default chain model, kept
+     bit-identical).  Set via [with_device] so [dt]/[t_coherence] stay
+     consistent with the device's calibration; partitioning, block
+     hardware models, library/store keys and pulse-IR provenance all
+     read it *)
+  device : Epoc_device.Device.t option;
 }
 
 let default =
@@ -97,6 +103,20 @@ let default =
     fault = None;
     flight_capacity = 64;
     slow_trace_s = None;
+    device = None;
+  }
+
+(* Select a device: the one entry point for device-aware compilation.
+   The device's slot duration and coherence time override the config's —
+   every consumer of [dt]/[t_coherence] (width-keyed hardware memo, ESP,
+   budget pricing) then agrees with the block models built from the
+   device's coupling graph. *)
+let with_device d config =
+  {
+    config with
+    device = Some d;
+    dt = d.Epoc_device.Device.dt;
+    t_coherence = d.Epoc_device.Device.t_coherence;
   }
 
 (* Reference EPOC configuration with real GRAPE pulses. *)

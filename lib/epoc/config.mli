@@ -66,10 +66,23 @@ type t = {
       (** slow threshold, seconds: a request whose compile wall clock
           meets it gets its full Chrome trace captured in the flight
           recorder ([None] = never capture) *)
+  device : Epoc_device.Device.t option;
+      (** target device; [None] is the historical default chain model
+          (bit-identical to pre-device releases).  Set it through
+          {!with_device}, which keeps [dt]/[t_coherence] consistent
+          with the device calibration. *)
 }
 
 (** Paper defaults with the analytic latency model ([Estimate]). *)
 val default : t
+
+(** Select a device: sets [device] and overrides [dt]/[t_coherence]
+    from its calibration, so the width-keyed hardware memo, ESP and
+    budget pricing agree with the block models built from the device's
+    coupling graph.  The one entry point for device-aware compilation —
+    the CLI ([--device]/[EPOC_DEVICE]), the serve protocol's ["device"]
+    field and the bench device sweep all go through it. *)
+val with_device : Epoc_device.Device.t -> t -> t
 
 (** Reference EPOC configuration with real GRAPE pulses. *)
 val grape : t

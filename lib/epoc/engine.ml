@@ -19,10 +19,10 @@
    engine-owned structure is internally synchronized — see each
    module's header).
 
-   One-shot entry points ([Pipeline.run] without [?engine]) build an
-   ephemeral engine per call, which reproduces the old per-process
-   behaviour exactly; the [epoc serve] daemon keeps one engine for its
-   whole lifetime, which is the point. *)
+   One-shot callers build an ephemeral engine per call, which
+   reproduces the old per-process behaviour exactly; the [epoc serve]
+   daemon keeps one engine for its whole lifetime, which is the
+   point. *)
 
 open Epoc_parallel
 open Epoc_pulse
@@ -37,6 +37,8 @@ type t = {
   cache : Store.t option; (* persistent pulse store, opened once *)
   synth : Synth_store.t option; (* persistent synthesis store, opened once *)
   hardware : Hardware.Memo.memo;
+  devices : Epoc_device.Device.Registry.registry;
+      (* device zoo: builtins plus loaded device files; name -> device *)
   metrics : Metrics.t; (* engine registry: infrastructure, not per-run *)
   flight : Epoc_obs.Flight.t; (* last-N completed requests, slow traces *)
   next_rid : int Atomic.t; (* request-id counter; unique per engine *)
@@ -83,6 +85,7 @@ let create ?(config = Config.default) ?domains ?pool ?library ?cache ?synth ()
     cache;
     synth;
     hardware = Hardware.Memo.create ();
+    devices = Epoc_device.Device.Registry.create ();
     metrics;
     flight =
       Epoc_obs.Flight.create ~capacity:config.Config.flight_capacity
@@ -94,6 +97,7 @@ let pool t = t.pool
 let library t = t.library
 let cache t = t.cache
 let synth t = t.synth
+let devices t = t.devices
 let metrics t = t.metrics
 let flight t = t.flight
 
@@ -105,10 +109,21 @@ let next_request_id t =
   Printf.sprintf "r%d" (Atomic.fetch_and_add t.next_rid 1)
 
 (* Hardware model under [config]'s physical parameters, memoized on the
-   engine. *)
+   engine.  Width-keyed: the default chain topology (used by the
+   baselines' reference gate times, and by every block when no device is
+   configured). *)
 let hardware_for t (config : Config.t) k =
   Hardware.Memo.get t.hardware ~dt:config.Config.dt
     ~t_coherence:config.Config.t_coherence k
+
+(* Block-keyed hardware model: the 2^k model of one partition block.
+   Without a device this is exactly the width-keyed chain (bit-identical
+   legacy path); with one it is the device's coupling subgraph on the
+   block's global qubits, memoized per (device, block). *)
+let hardware_for_block t (config : Config.t) qubits =
+  match config.Config.device with
+  | None -> hardware_for t config (List.length qubits)
+  | Some d -> Hardware.Memo.get_block t.hardware d ~qubits
 
 (* Flush both persistent stores once (no-op without stores, or with
    nothing pending).  Sessions flush after each run; the serve daemon
@@ -126,9 +141,8 @@ let flush t =
    run, with cross-request reuse flowing through the engine store) and
    the caller decides whether to absorb it back.  [s_pool], [s_cache]
    and [s_synth] are views of the engine's resources unless the session
-   was opened with overrides — that is how the deprecated
-   [Pipeline.run ?pool ?cache] wrappers keep their exact semantics on
-   top of the session API. *)
+   was opened with overrides (one-shot callers with a private pool or
+   store use these). *)
 type session = {
   s_engine : t;
   s_config : Config.t;
@@ -148,11 +162,18 @@ type session = {
 (* The session library for [config]: the caller's, or the engine's when
    this request's matching convention agrees with it — a phase-sensitive
    request (AccQOC/PAQOC configs) against a phase-invariant engine
-   library would otherwise alias distinct unitaries. *)
+   library would otherwise alias distinct unitaries.  Device runs get a
+   private library too: the engine's shared table feeds the persistent
+   store at flush time, and both are calibrated to the default chain
+   model — a device block's pulse priced on a different coupling
+   subgraph must never leak into them (within the run, entries are
+   additionally tagged with the block's coupling context). *)
 let library_for t (config : Config.t) = function
   | Some l -> l
   | None ->
-      if
+      if config.Config.device <> None then
+        Library.create ~match_global_phase:config.Config.match_global_phase ()
+      else if
         Library.match_global_phase t.library
         = config.Config.match_global_phase
       then t.library

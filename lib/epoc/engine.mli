@@ -12,9 +12,8 @@
     fork/absorb discipline keeps per-run results bit-identical to solo
     runs for any domain count.
 
-    [Pipeline.run] without [?engine] builds an ephemeral engine per
-    call (the old one-shot behaviour); the [epoc serve] daemon keeps
-    one engine for its whole lifetime. *)
+    One-shot callers build an ephemeral engine per call; the
+    [epoc serve] daemon keeps one engine for its whole lifetime. *)
 
 open Epoc_parallel
 open Epoc_pulse
@@ -53,6 +52,12 @@ val cache : t -> Epoc_cache.Store.t option
     fingerprint, consulted before QSearch runs. *)
 val synth : t -> Epoc_cache.Synth_store.t option
 
+(** The engine's device zoo ({!Epoc_device.Device.Registry}): the
+    bundled builtins plus any device files loaded through it.  The CLI
+    and the serve daemon resolve [--device NAME|FILE] / the job
+    ["device"] field against this registry. *)
+val devices : t -> Epoc_device.Device.Registry.registry
+
 (** The engine registry: pool traffic, solver throughput gauges and
     anything else infrastructure-scoped.  Never holds per-run values —
     those live in each session's registry. *)
@@ -61,7 +66,7 @@ val metrics : t -> Metrics.t
 (** The engine's flight recorder: the last [config.flight_capacity]
     completed requests, each with a JSON summary, plus the full Chrome
     trace of any request slower than [config.slow_trace_s].  Recorded
-    by {!Pipeline.run_flow} on every compile through this engine. *)
+    by {!Pipeline.compile_flow} on every compile through this engine. *)
 val flight : t -> Epoc_obs.Flight.t
 
 (** The next request id on this engine (["r1"], ["r2"], ...).  Ids are
@@ -70,8 +75,17 @@ val flight : t -> Epoc_obs.Flight.t
 val next_request_id : t -> string
 
 (** Hardware model for [k] qubits under [config]'s physical parameters,
-    memoized on the engine. *)
+    memoized on the engine.  Width-keyed: the default chain topology
+    (the baselines' reference gate times, and every block when no
+    device is configured). *)
 val hardware_for : t -> Config.t -> int -> Hardware.t
+
+(** Hardware model of one partition block (global qubit indices).
+    Without a configured device this is {!hardware_for} on the block
+    width — the bit-identical legacy path; with one it is the device's
+    coupling subgraph on those qubits ({!Hardware.of_device}), memoized
+    per (device, block). *)
+val hardware_for_block : t -> Config.t -> int list -> Hardware.t
 
 (** Flush both persistent stores once (no-op without stores or with
     nothing pending). *)
@@ -93,8 +107,7 @@ type session
     isolates each job this way so it resolves exactly like a one-shot
     run, with cross-request reuse flowing through the engine store).
     [pool], [cache] and [synth] override the engine's resources for
-    this session only — the deprecated [Pipeline.run ?pool ?cache]
-    wrappers are built on these.  [trace] and [metrics] default to
+    this session only.  [trace] and [metrics] default to
     fresh sinks; the budget derives from [config.total_deadline] and
     the fault spec from [config.fault]. *)
 val session :

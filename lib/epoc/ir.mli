@@ -37,6 +37,9 @@ type pulse_job = {
   jid : int;  (** batch-order id, names the solve site ([block<jid>]) *)
   ju : Mat.t;  (** group unitary *)
   jk : int;  (** group qubit count *)
+  jqubits : int list;
+      (** the group's global qubits (ascending) — selects the block
+          hardware model under a configured device *)
   jlocal : Circuit.t;  (** group circuit on local qubits *)
   mutable resolved : (float * float) option;  (** (duration, fidelity) *)
   mutable batch_rep : pulse_job option;  (** earlier in-batch equivalent *)
@@ -49,6 +52,11 @@ type pulse_job = {
   mutable jretries : int;
       (** retry attempts burned by this job's own computation (reps
           only) *)
+  mutable jpulse : Epoc_qoc.Grape.pulse option;
+      (** the resolved control amplitudes (Grape mode), stashed at
+          resolution time so the schedule can attach waveforms to its
+          instructions without re-probing the library (an extra probe
+          would mutate the hit/miss counters) *)
 }
 
 (** A regroup candidate: every group paired with its pulse job, or [None]

@@ -38,7 +38,13 @@ type ctx = {
           infrastructure values that must stay out of the per-run
           registry *)
   hardware : int -> Hardware.t;
-      (** engine memo per (dt, t_coherence, k) *)
+      (** width-keyed engine memo per (dt, t_coherence, k): the default
+          chain model, used for reference gate times *)
+  hardware_block : int list -> Hardware.t;
+      (** block-keyed model on the configured device's coupling
+          subgraph (global qubit indices, via
+          {!Engine.hardware_for_block}); identical to
+          [hardware (List.length qs)] when no device is configured *)
   budget : Epoc_budget.t;
       (** run-level deadline from [Config.total_deadline] (unlimited
           when unset), started when the session was opened; block

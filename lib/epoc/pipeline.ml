@@ -14,7 +14,7 @@
 
    Parallelism: the expensive stages fan out over an [Epoc_parallel.Pool]
    — per-block synthesis, per-regrouping schedule construction, the
-   numeric half of pulse generation, and (in [run]) the candidate
+   numeric half of pulse generation, and the candidate
    representations.  Every parallel region is either pure (fixed RNG
    seeds, no shared mutable state) or works on a forked library that is
    absorbed in a fixed order, and all fan-outs preserve item order, so
@@ -239,14 +239,19 @@ let compile_flow (session : Engine.session) flow (circuit : Circuit.t) =
   (* persist the run's new pulses: sweep the merged library into the
      store and flush once, after all candidates were absorbed.  The
      gauge reports the merged on-disk entry count, which stays honest
-     after a torn-write recovery (skipped lines are not entries). *)
-  Option.iter
-    (fun store ->
-      Store.absorb_library store library;
-      Store.flush store;
-      Metrics.set metrics "cache.entries"
-        (float_of_int (Store.merged_count store)))
-    cache;
+     after a torn-write recovery (skipped lines are not entries).
+     Device runs never feed the store: their pulses are priced on the
+     device's coupling subgraphs, not the default chain model the store
+     is calibrated to (resolution skipped the store probes for the same
+     reason). *)
+  if config.Config.device = None then
+    Option.iter
+      (fun store ->
+        Store.absorb_library store library;
+        Store.flush store;
+        Metrics.set metrics "cache.entries"
+          (float_of_int (Store.merged_count store)))
+      cache;
   (* persist the run's fresh syntheses: candidates only probed the store
      during compilation and carried their fresh results on the IR, so
      recording here — in candidate order, then block order — keeps the
@@ -323,27 +328,3 @@ let compile_flow (session : Engine.session) flow (circuit : Circuit.t) =
 
 (* Compile through the full EPOC flow, in [session]. *)
 let compile session (circuit : Circuit.t) = compile_flow session epoc_flow circuit
-
-(* Deprecated optional-arg wrappers.  They reproduce the pre-session
-   behaviour exactly: without [engine] an ephemeral engine is built for
-   this one call (honouring explicit [pool]/[cache] and the config's
-   store directories), and explicit [pool]/[cache] also override an
-   explicit engine's resources for this run via session overrides. *)
-let run_flow ?(config = Config.default) ?engine ?request_id ?library ?cache
-    ?pool ?trace ?metrics ~name flow (circuit : Circuit.t) =
-  let engine =
-    match engine with
-    | Some e -> e
-    | None -> Engine.create ~config ?pool ?cache ()
-  in
-  let session =
-    Engine.session ~config ?request_id ?library ?pool ?cache ?trace ?metrics
-      ~name engine
-  in
-  compile_flow session flow circuit
-
-(* Run the full EPOC pipeline on [circuit]. *)
-let run ?config ?engine ?request_id ?library ?cache ?pool ?trace ?metrics ~name
-    (circuit : Circuit.t) =
-  run_flow ?config ?engine ?request_id ?library ?cache ?pool ?trace ?metrics
-    ~name epoc_flow circuit

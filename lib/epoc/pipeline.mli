@@ -11,7 +11,6 @@ open Epoc_linalg
 open Epoc_circuit
 open Epoc_qoc
 open Epoc_pulse
-open Epoc_parallel
 module Metrics = Epoc_obs.Metrics
 
 type stage_stats = {
@@ -89,40 +88,3 @@ val compile_flow : Engine.session -> flow -> Circuit.t -> result
 (** Compile a circuit through the full EPOC flow ({!compile_flow} over
     the EPOC flow). *)
 val compile : Engine.session -> Circuit.t -> result
-
-(** Deprecated optional-arg wrapper over {!compile_flow}, kept for one
-    release: builds an ephemeral engine when [engine] is absent
-    (honouring explicit [pool]/[cache] and the config's store
-    directories, which reproduces the old one-shot behaviour exactly)
-    and opens a session with [pool]/[cache] as resource overrides.
-    New code should open an {!Engine.session} and call
-    {!compile_flow}. *)
-val run_flow :
-  ?config:Config.t ->
-  ?engine:Engine.t ->
-  ?request_id:string ->
-  ?library:Library.t ->
-  ?cache:Epoc_cache.Store.t ->
-  ?pool:Pool.t ->
-  ?trace:Trace.t ->
-  ?metrics:Metrics.t ->
-  name:string ->
-  flow ->
-  Circuit.t ->
-  result
-
-(** Deprecated optional-arg wrapper: the full EPOC pipeline on a
-    circuit ({!run_flow} over the EPOC flow).  New code should use
-    {!compile}. *)
-val run :
-  ?config:Config.t ->
-  ?engine:Engine.t ->
-  ?request_id:string ->
-  ?library:Library.t ->
-  ?cache:Epoc_cache.Store.t ->
-  ?pool:Pool.t ->
-  ?trace:Trace.t ->
-  ?metrics:Metrics.t ->
-  name:string ->
-  Circuit.t ->
-  result

@@ -447,8 +447,24 @@ let list_schedule (items : (Schedule.instruction * Circuit.op list) list) =
    Returns (jobs, representatives) counts for the stage report. *)
 let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
     ?(budget = Epoc_budget.unlimited) (config : Config.t) pool library
-    ~hardware jobs =
+    ~hardware_block jobs =
   let record f = Option.iter f metrics in
+  (* Device runs never touch the persistent store: its entries are priced
+     on the default chain model, and a device block's pulses must not
+     feed it either.  The session library is private under a device
+     (Engine.library_for), and entries are tagged below, so every layer
+     of reuse is scoped to the device's coupling contexts. *)
+  let cache = if config.Config.device = None then cache else None in
+  (* The block hardware model for a job, and the library tag scoping its
+     entries to that model's coupling context.  Legacy runs (no device)
+     use the empty historical tag without building the model, keeping
+     memo traffic identical. *)
+  let hw_of (j : Ir.pulse_job) = hardware_block j.Ir.jqubits in
+  let tag_of (j : Ir.pulse_job) =
+    match config.Config.device with
+    | None -> ""
+    | Some _ -> (hw_of j).Hardware.context
+  in
   (* Library miss: try the persistent store.  [true] = the store resolved
      the job (entry copied into the library), so it is not a rep. *)
   let consult_cache (j : Ir.pulse_job) =
@@ -462,6 +478,7 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
             Library.add library j.Ir.ju ~duration:e.Store.duration
               ~fidelity:e.Store.fidelity ?pulse:e.Store.pulse ();
             j.Ir.resolved <- Some (e.Store.duration, e.Store.fidelity);
+            j.Ir.jpulse <- e.Store.pulse;
             true
         | None ->
             record (fun m -> Metrics.incr m "cache.misses");
@@ -482,16 +499,22 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
   let reps = ref [] in
   List.iter
     (fun (j : Ir.pulse_job) ->
+      let tag = tag_of j in
       let cu = Library.canonicalize library j.Ir.ju in
-      let key = Library.fingerprint cu in
+      (* equivalence is scoped to the hardware context: two blocks with
+         the same unitary but different coupling subgraphs need distinct
+         pulses, so the tag prefixes the bucket key *)
+      let key = tag ^ Library.fingerprint cu in
       let bucket = Option.value ~default:[] (Hashtbl.find_opt rep_tbl key) in
       match
         List.find_opt (fun (cu', _) -> Library.matches library cu' cu) bucket
       with
       | Some (_, r) -> j.Ir.batch_rep <- Some r
       | None -> (
-          match Library.find library j.Ir.ju with
-          | Some e -> j.Ir.resolved <- Some (e.Library.duration, e.Library.fidelity)
+          match Library.find ~tag library j.Ir.ju with
+          | Some e ->
+              j.Ir.resolved <- Some (e.Library.duration, e.Library.fidelity);
+              j.Ir.jpulse <- e.Library.pulse
           | None ->
               if not (consult_cache j) then begin
                 Hashtbl.replace rep_tbl key ((cu, j) :: bucket);
@@ -500,27 +523,33 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
     jobs;
   let reps = List.rev !reps in
   (* warm the hardware memo before fanning out: phase 2 only reads it *)
-  List.iter (fun (j : Ir.pulse_job) -> ignore (hardware j.Ir.jk)) reps;
+  List.iter (fun (j : Ir.pulse_job) -> ignore (hw_of j)) reps;
   (match config.Config.qoc_mode with
   | Config.Grape ->
-      (* group the representatives by block width (equal widths share a
-         Hilbert-space dimension) in first-occurrence order, and resolve
-         each group as one batched computation: every retry round runs
-         one lockstep GRAPE batch over the group, chunked across [pool]
-         inside the solver.  Grouping and batching are value-transparent
-         (each job's solve is bit-identical to a solo run), so results
-         and telemetry match the per-job fan-out this replaces. *)
+      (* group the representatives by block width and hardware context
+         (equal widths share a Hilbert-space dimension; under a device,
+         blocks on different coupling subgraphs have different
+         Hamiltonians and must not share a batch) in first-occurrence
+         order, and resolve each group as one batched computation: every
+         retry round runs one lockstep GRAPE batch over the group,
+         chunked across [pool] inside the solver.  Without a device the
+         context is always "" and the grouping degenerates to the
+         historical width-keyed one.  Grouping and batching are
+         value-transparent (each job's solve is bit-identical to a solo
+         run), so results and telemetry match the per-job fan-out this
+         replaces. *)
       let order = ref [] in
-      let by_width : (int, Ir.pulse_job list ref) Hashtbl.t =
+      let by_group : (int * string, Ir.pulse_job list ref) Hashtbl.t =
         Hashtbl.create 8
       in
       List.iter
         (fun (j : Ir.pulse_job) ->
-          match Hashtbl.find_opt by_width j.Ir.jk with
+          let key = (j.Ir.jk, tag_of j) in
+          match Hashtbl.find_opt by_group key with
           | Some l -> l := j :: !l
           | None ->
-              Hashtbl.add by_width j.Ir.jk (ref [ j ]);
-              order := j.Ir.jk :: !order)
+              Hashtbl.add by_group key (ref [ j ]);
+              order := key :: !order)
         reps;
       let req_of (j : Ir.pulse_job) =
         {
@@ -532,8 +561,9 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
         }
       in
       List.iter
-        (fun k ->
-          let group = List.rev !(Hashtbl.find by_width k) in
+        (fun key ->
+          let group = List.rev !(Hashtbl.find by_group key) in
+          let hw = hw_of (List.hd group) in
           if config.Config.similarity_order then begin
             (* AccQOC similarity ordering: walk the group along a greedy
                nearest-neighbor chain in Hilbert-Schmidt distance and
@@ -563,7 +593,7 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
                 let r =
                   List.hd
                     (compute_pulse_batch ~request_id ?metrics ?process_metrics
-                       ?fault ~budget ~pool config (hardware k) [ req_of j ])
+                       ?fault ~budget ~pool config hw [ req_of j ])
                 in
                 j.Ir.computed <- Some r;
                 match r.Ir.jr_pulse with
@@ -574,7 +604,7 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
           else
             let results =
               compute_pulse_batch ~request_id ?metrics ?process_metrics ?fault
-                ~budget ~pool config (hardware k) (List.map req_of group)
+                ~budget ~pool config hw (List.map req_of group)
             in
             List.iter2
               (fun (j : Ir.pulse_job) v -> j.Ir.computed <- Some v)
@@ -589,7 +619,7 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
                keeps the determinism contract *)
             compute_pulse ?metrics ?init:j.Ir.jinit ?fault ~budget
               ~site:(Printf.sprintf "block%d" j.Ir.jid)
-              ~seed:j.Ir.jid config (hardware j.Ir.jk)
+              ~seed:j.Ir.jid config (hw_of j)
               ~vug_circuit:j.Ir.jlocal j.Ir.ju)
           reps
       in
@@ -601,9 +631,10 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
       if j.Ir.resolved = None then
         match j.Ir.batch_rep with
         | Some r -> (
-            match Library.find library j.Ir.ju with
+            match Library.find ~tag:(tag_of j) library j.Ir.ju with
             | Some e ->
-                j.Ir.resolved <- Some (e.Library.duration, e.Library.fidelity)
+                j.Ir.resolved <- Some (e.Library.duration, e.Library.fidelity);
+                j.Ir.jpulse <- e.Library.pulse
             | None ->
                 (* the representative degraded (nothing was added to the
                    library), so this alias plays gate pulses too *)
@@ -613,9 +644,12 @@ let resolve_pulses ?(request_id = "-") ?metrics ?process_metrics ?cache ?fault
             let r = Option.get j.Ir.computed in
             j.Ir.jretries <- r.Ir.jr_retries;
             if r.Ir.jr_fallback then j.Ir.jfallback <- true
-            else
-              Library.add library j.Ir.ju ~duration:r.Ir.jr_duration
-                ~fidelity:r.Ir.jr_fidelity ?pulse:r.Ir.jr_pulse ();
+            else begin
+              Library.add ~tag:(tag_of j) library j.Ir.ju
+                ~duration:r.Ir.jr_duration ~fidelity:r.Ir.jr_fidelity
+                ?pulse:r.Ir.jr_pulse ();
+              j.Ir.jpulse <- r.Ir.jr_pulse
+            end;
             j.Ir.resolved <- Some (r.Ir.jr_duration, r.Ir.jr_fidelity))
     jobs;
   (List.length jobs, List.length reps)
@@ -646,7 +680,14 @@ let reorder_gates =
     (fun _ctx ir ->
       { ir with Ir.circuit = Reorder.commutation_aware ir.Ir.circuit })
 
-(* Greedy partition of the current gate-level circuit. *)
+(* The device coupling graph restricting partition merges, when the
+   session compiles for a concrete device; [None] keeps the historical
+   all-to-all grouping. *)
+let device_coupling (config : Config.t) =
+  Option.map Epoc_device.Device.pairs config.Config.device
+
+(* Greedy partition of the current gate-level circuit, restricted to the
+   device's coupling subgraph when one is configured. *)
 let partition =
   Pass.make "partition"
     ~counters:(fun _ (ir : Ir.t) ->
@@ -656,7 +697,7 @@ let partition =
         ir with
         Ir.blocks =
           Partition.partition ~config:ctx.Pass.config.Config.partition
-            ir.Ir.circuit;
+            ?coupling:(device_coupling ctx.Pass.config) ir.Ir.circuit;
       })
 
 (* VUG synthesis per block — independent searches with fixed seeds,
@@ -827,7 +868,7 @@ let regroup_sweep =
                      config.Config.regroup_partition with
                      Partition.qubit_limit = w;
                    }
-                 ir.Ir.vug_circuit)
+                 ?coupling:(device_coupling config) ir.Ir.vug_circuit)
              widths
       in
       { ir with Ir.groupings = List.map as_grouping groupings })
@@ -865,6 +906,7 @@ let pulses =
                         Ir.jid;
                         ju = u;
                         jk = k;
+                        jqubits = List.sort compare g.Partition.qubits;
                         jlocal = local;
                         resolved = None;
                         batch_rep = None;
@@ -872,6 +914,7 @@ let pulses =
                         computed = None;
                         jfallback = false;
                         jretries = 0;
+                        jpulse = None;
                       } )
                 end)
               grouping)
@@ -883,7 +926,7 @@ let pulses =
           ~metrics:ctx.Pass.metrics ~process_metrics:ctx.Pass.process
           ?cache:ctx.Pass.cache ?fault:ctx.Pass.fault ~budget:ctx.Pass.budget
           ctx.Pass.config ctx.Pass.pool ctx.Pass.library
-          ~hardware:ctx.Pass.hardware jobs
+          ~hardware_block:ctx.Pass.hardware_block jobs
       in
       Metrics.incr ~by:n_jobs ctx.Pass.metrics "pulse.jobs";
       Metrics.incr ~by:n_computed ctx.Pass.metrics "pulse.computed";
@@ -920,6 +963,7 @@ let schedule =
                           label =
                             (if j.Ir.jfallback then Fmt.str "fb%d" j.Ir.jk
                              else Fmt.str "g%d" j.Ir.jk);
+                          pulse = j.Ir.jpulse;
                         },
                         g.Partition.ops ))
                     job)

@@ -1,0 +1,115 @@
+(** Concrete passes of the EPOC pipeline (paper Figure 3) over the
+    {!Ir.t} compilation IR, plus the pulse-resolution engine they share.
+
+    Determinism contract (also stated in lib/epoc/pipeline.ml): every
+    parallel fan-out is pure or works on forked state merged in a fixed
+    order and preserves item order, so results are bit-identical for any
+    domain count.
+
+    Schedule-entry contract (what the pulse-IR exporter relies on): the
+    [schedule] pass builds one {!Epoc_pulse.Schedule.instruction} per
+    non-virtual group of the winning regrouping — [qubits] are the
+    group's global qubits, [duration]/[fidelity] the resolved pulse
+    values, [label] is ["g<k>"] (or ["fb<k>"] for a degraded block
+    playing gate pulses), and [pulse] carries the resolved GRAPE
+    amplitudes exactly when the resolution produced them (Grape mode,
+    not degraded) — stashed at resolution time, never re-probed from the
+    library. *)
+
+open Epoc_linalg
+open Epoc_circuit
+open Epoc_qoc
+open Epoc_pulse
+open Epoc_parallel
+module Metrics = Epoc_obs.Metrics
+
+val log_src : Logs.Src.t
+
+module Log : Logs.LOG
+
+(** Calibrated per-gate pulse table [(duration ns, fidelity)]: virtual
+    Z-family gates are free, others priced from the hardware model's
+    reference times.  Shared by the gate-based baseline flow and the
+    graceful-degradation fallback. *)
+val gate_pulse : Hardware.t -> Gate.t -> float * float
+
+(** Per-gate pulse playback price of one block-local circuit
+    [(duration, fidelity)]: the graceful-degradation target when a
+    block's GRAPE retries are exhausted — block-local ASAP critical
+    path of the per-gate pulses, product of their fidelities. *)
+val gate_fallback : Hardware.t -> Circuit.t -> float * float
+
+(** Pulse duration + fidelity (+ control amplitudes, in Grape mode) for
+    one regrouped unitary on a block hardware model.  [init] seeds the
+    GRAPE ascent with cached near-neighbor amplitudes; [site] and
+    [seed] key fault matching and retry jitter.  Recoverable solver
+    failures retry up to [config.max_retries] times, then degrade to
+    gate-pulse playback ([jr_fallback = true]). *)
+val compute_pulse :
+  ?metrics:Metrics.t ->
+  ?init:float array array ->
+  ?fault:Epoc_fault.spec ->
+  ?budget:Epoc_budget.t ->
+  ?site:string ->
+  ?seed:int ->
+  Config.t ->
+  Hardware.t ->
+  vug_circuit:Circuit.t ->
+  Mat.t ->
+  Ir.job_result
+
+(** Greedy nearest-neighbor visit order over the global-phase-invariant
+    Hilbert-Schmidt distance (AccQOC's similarity ordering), starting at
+    index 0, ties toward the lowest index.  Pure and sequential. *)
+val similarity_chain : Mat.t array -> int array
+
+(** Resolve a batch of pulse jobs in place against [library], returning
+    [(jobs, fresh computations)].  Three phases: a sequential probe
+    (library, then — legacy runs only — the persistent store), a
+    parallel/batched compute of the unresolved representatives grouped
+    by (width, hardware context), and a sequential writeback.  Under a
+    device config ([config.device <> None]) the job's block model comes
+    from [hardware_block] on its global qubits, library keys are tagged
+    with the block's coupling context, and the persistent store is
+    never consulted. *)
+val resolve_pulses :
+  ?request_id:string ->
+  ?metrics:Metrics.t ->
+  ?process_metrics:Metrics.t ->
+  ?cache:Epoc_cache.Store.t ->
+  ?fault:Epoc_fault.spec ->
+  ?budget:Epoc_budget.t ->
+  Config.t ->
+  Pool.t ->
+  Library.t ->
+  hardware_block:(int list -> Hardware.t) ->
+  Ir.pulse_job list ->
+  int * int
+
+(** First minimum by schedule latency; ties keep the earliest candidate.
+    @raise Invalid_argument on an empty list. *)
+val best_by_latency : (Schedule.t * 'a) list -> Schedule.t * 'a
+
+(** {1 Passes}
+
+    Each pass owns one stage of the IR; see the implementation header
+    for the stage-by-stage dataflow. *)
+
+val reorder_gates : Pass.t
+
+(** Greedy partition of the current gate-level circuit, restricted to
+    the device's coupling subgraph when the config carries one. *)
+val partition : Pass.t
+
+val synthesis : Pass.t
+val reorder_vugs : Pass.t
+val regroup_trivial : Pass.t
+val regroup_sweep : Pass.t
+
+(** Annotate every group of every regrouping with its pulse job and
+    resolve the whole batch through {!resolve_pulses}. *)
+val pulses : Pass.t
+
+(** Build one ASAP schedule per regrouping and keep the lowest-latency
+    one, attaching each job's resolved waveform to its instruction. *)
+val schedule : Pass.t

@@ -56,11 +56,96 @@ let default_config = { qubit_limit = 3; op_limit = 64 }
 type open_block = {
   mutable bq : int list; (* sorted *)
   mutable seq_ops : (int * Circuit.op) list; (* any order; sorted at the end *)
+  mutable cost : int; (* distance-weighted op cost charged against op_limit *)
   mutable closed : bool;
   mutable index : int; (* output order *)
 }
 
 let union_sorted a b = List.sort_uniq compare (a @ b)
+
+(* --- coupling-graph helpers (architecture-aware partitioning) ----------- *)
+
+(* All-pairs hop distances of a coupling graph, as a query function.
+   [m] covers every circuit qubit and every coupling endpoint; a pair
+   with no connecting path reports distance [m] (an effectively
+   prohibitive op cost, so such gates end up in singleton blocks). *)
+let coupling_distances ~m coupling =
+  let adj = Array.make m [] in
+  List.iter
+    (fun (a, b) ->
+      if a >= 0 && a < m && b >= 0 && b < m && a <> b then begin
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b)
+      end)
+    coupling;
+  let dist = Array.make_matrix m m (-1) in
+  for s = 0 to m - 1 do
+    let d = dist.(s) in
+    d.(s) <- 0;
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if d.(v) < 0 then begin
+            d.(v) <- d.(u) + 1;
+            Queue.add v q
+          end)
+        adj.(u)
+    done
+  done;
+  fun a b ->
+    if a < 0 || a >= m || b < 0 || b >= m then m
+    else if dist.(a).(b) < 0 then m
+    else dist.(a).(b)
+
+(* Whether the induced coupling subgraph on [qubits] (sorted) is
+   connected; singleton and empty sets count as connected. *)
+let subset_connected coupling qubits =
+  match qubits with
+  | [] | [ _ ] -> true
+  | first :: _ ->
+      let inside q = List.mem q qubits in
+      let seen = ref [ first ] in
+      let frontier = ref [ first ] in
+      while !frontier <> [] do
+        let next =
+          List.concat_map
+            (fun u ->
+              List.filter_map
+                (fun (a, b) ->
+                  if a = u && inside b && not (List.mem b !seen) then Some b
+                  else if b = u && inside a && not (List.mem a !seen) then
+                    Some a
+                  else None)
+                coupling)
+            !frontier
+        in
+        let next = List.sort_uniq compare next in
+        seen := List.sort_uniq compare (next @ !seen);
+        frontier := next
+      done;
+      List.for_all (fun q -> List.mem q !seen) qubits
+
+(* Cost one op charges against [op_limit]: 1 when no coupling graph is
+   given (the historical pure op count), else the largest hop distance
+   between any two of the op's qubits, floored at 1 — a two-qubit gate
+   across the device consumes budget proportional to the interaction
+   routing it implies, so distant gates close blocks sooner and
+   regrouping prefers topologically tight unitaries. *)
+let op_cost dist (op : Circuit.op) =
+  match dist with
+  | None -> 1
+  | Some d ->
+      let rec pairs_max acc = function
+        | [] | [ _ ] -> acc
+        | q :: rest ->
+            pairs_max
+              (List.fold_left (fun m q' -> max m (d q q')) acc rest)
+              rest
+      in
+      pairs_max 1 (List.sort compare op.Circuit.qubits)
 
 (* Soundness of the scan:
    - appending a gate to the open block holding all its qubits is safe:
@@ -70,13 +155,32 @@ let union_sorted a b = List.sort_uniq compare (a @ b)
      when every holder is "fully current" (each of its qubits still points
      at it): then no block created in between touches any of their qubits,
      so the earlier holders' ops commute forward to the merge position. *)
-let partition ?(config = default_config) (c : Circuit.t) =
+let partition ?(config = default_config) ?coupling (c : Circuit.t) =
   if config.qubit_limit < 1 then invalid_arg "Partition: qubit_limit < 1";
   if config.op_limit < 1 then invalid_arg "Partition: op_limit < 1";
+  let dist =
+    match coupling with
+    | None -> None
+    | Some pairs ->
+        let m =
+          List.fold_left
+            (fun m (a, b) -> max m (max a b + 1))
+            (Circuit.n_qubits c) pairs
+        in
+        Some (coupling_distances ~m pairs)
+  in
   let all_blocks = ref [] in
   let counter = ref 0 in
   let fresh qs seq op =
-    let b = { bq = qs; seq_ops = [ (seq, op) ]; closed = false; index = !counter } in
+    let b =
+      {
+        bq = qs;
+        seq_ops = [ (seq, op) ];
+        cost = op_cost dist op;
+        closed = false;
+        index = !counter;
+      }
+    in
     incr counter;
     all_blocks := b :: !all_blocks;
     b
@@ -99,13 +203,24 @@ let partition ?(config = default_config) (c : Circuit.t) =
       let total_qubits =
         List.fold_left (fun acc b -> union_sorted acc b.bq) qs holders
       in
-      let total_ops =
-        1 + List.fold_left (fun acc b -> acc + List.length b.seq_ops) 0 holders
+      let this_cost = op_cost dist op in
+      let total_cost =
+        this_cost + List.fold_left (fun acc b -> acc + b.cost) 0 holders
+      in
+      (* With a coupling graph, merged blocks must stay connected on the
+         device: a disconnected union has no entangling path inside the
+         block, so its unitary could only be realized by routing outside
+         the block.  Single-op blocks are exempt (a gate must land
+         somewhere; the QOC layer bridges it with virtual couplings). *)
+      let union_connected =
+        match coupling with
+        | None -> true
+        | Some pairs -> subset_connected pairs total_qubits
       in
       let mergeable =
         List.for_all (fun b -> (not b.closed) && fully_current b) holders
         && List.length total_qubits <= config.qubit_limit
-        && total_ops <= config.op_limit
+        && total_cost <= config.op_limit && union_connected
       in
       match (holders, mergeable) with
       | [], _ ->
@@ -119,12 +234,15 @@ let partition ?(config = default_config) (c : Circuit.t) =
               if b != target then begin
                 target.seq_ops <- b.seq_ops @ target.seq_ops;
                 target.bq <- union_sorted target.bq b.bq;
+                target.cost <- target.cost + b.cost;
                 b.seq_ops <- [];
+                b.cost <- 0;
                 b.closed <- true
               end)
             hs;
           target.bq <- union_sorted target.bq qs;
           target.seq_ops <- (seq, op) :: target.seq_ops;
+          target.cost <- target.cost + this_cost;
           List.iter (fun q -> Hashtbl.replace current q target) target.bq
       | hs, false ->
           (* close every involved block and start a new one; a gate wider

@@ -36,8 +36,21 @@ val default_config : config
     earlier block commutes with every later block because later blocks
     never touch the gate's qubits.
 
+    [coupling] makes the scan architecture-aware: pairs are the
+    device's coupling graph (global qubit indices).  Merges are then
+    restricted to unions whose induced coupling subgraph is connected,
+    and each op charges its largest intra-op hop distance (floored at
+    1) against [op_limit] instead of a flat 1 — distant gates consume
+    budget proportional to the interaction routing they imply, so
+    blocks stay topologically tight.  Single-op blocks are exempt from
+    the connectivity restriction (a gate must land somewhere; the QOC
+    layer bridges unrouted pairs with virtual couplings).  Without
+    [coupling], behaviour is the historical topology-blind scan,
+    unchanged.
+
     @raise Invalid_argument when either limit is below 1. *)
-val partition : ?config:config -> Circuit.t -> block list
+val partition :
+  ?config:config -> ?coupling:(int * int) list -> Circuit.t -> block list
 
 (** The paper's GroupQubits procedure: seed a group with a qubit and
     its interaction neighbours, capped at the limit.  Exposed for

@@ -1,0 +1,17 @@
+(** Estimated success probability (paper eq. 3, extended with
+    decoherence).
+
+    ESP = prod_i f_i over the schedule's instructions, where each
+    pulse's fidelity combines the QOC convergence fidelity with a
+    decoherence factor exp(-k T / T_coh) for a pulse of duration T on k
+    qubits — the mechanism behind the paper's Figure 10 (fewer, larger
+    pulses accumulate less error than many fine-grained ones). *)
+
+(** One instruction's decoherence-weighted fidelity:
+    [fidelity * exp (-k * duration / t_coherence)] where [k] is the
+    instruction's qubit count. *)
+val pulse_fidelity : t_coherence:float -> Schedule.instruction -> float
+
+(** Product of {!pulse_fidelity} over all placed instructions; 1.0 for
+    an empty schedule. *)
+val of_schedule : t_coherence:float -> Schedule.t -> float

@@ -73,9 +73,19 @@ let matches lib stored probe =
   if lib.match_global_phase then Mat.equal_up_to_phase ~eps:1e-6 stored probe
   else Mat.approx_equal ~eps:1e-6 stored probe
 
-let find lib (u : Mat.t) =
+(* Bucket key of a canonical unitary under a hardware-context tag.  The
+   empty tag is the historical key (a bare matrix fingerprint), so
+   legacy lookups and persisted fingerprints are unchanged; device runs
+   tag entries with the block's coupling context
+   ("<device>[qubits]") because the same unitary priced on different
+   coupling subgraphs yields different pulses. *)
+let key_of ?(tag = "") cu =
+  let fp = fingerprint cu in
+  if tag = "" then fp else Digest.string (tag ^ fp)
+
+let find ?tag lib (u : Mat.t) =
   let cu = canonicalize lib u in
-  let key = fingerprint cu in
+  let key = key_of ?tag cu in
   locked lib (fun () ->
       let bucket = Option.value ~default:[] (Hashtbl.find_opt lib.table key) in
       match List.find_opt (fun e -> matches lib e.unitary cu) bucket with
@@ -86,9 +96,9 @@ let find lib (u : Mat.t) =
           lib.misses <- lib.misses + 1;
           None)
 
-let add lib (u : Mat.t) ~duration ~fidelity ?pulse () =
+let add ?tag lib (u : Mat.t) ~duration ~fidelity ?pulse () =
   let cu = canonicalize lib u in
-  let key = fingerprint cu in
+  let key = key_of ?tag cu in
   locked lib (fun () ->
       let bucket = Option.value ~default:[] (Hashtbl.find_opt lib.table key) in
       Hashtbl.replace lib.table key

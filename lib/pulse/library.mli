@@ -51,11 +51,18 @@ val canonicalize : t -> Mat.t -> Mat.t
 val matches : t -> Mat.t -> Mat.t -> bool
 
 (** Lookup, counting a hit or a miss.  The probe is phase-canonicalized
-    when the library matches phases. *)
-val find : t -> Mat.t -> entry option
+    when the library matches phases.  [tag] scopes the key to a
+    hardware context (a device block's coupling subgraph, via
+    [Hardware.context]): the same unitary priced on different coupling
+    graphs yields different pulses, so tagged entries never alias
+    across contexts.  The default empty tag is the historical key, so
+    legacy traffic is unchanged. *)
+val find : ?tag:string -> t -> Mat.t -> entry option
 
-(** Insert a pulse for [u] (stored under its canonical phase). *)
+(** Insert a pulse for [u] (stored under its canonical phase), keyed
+    under [tag] like {!find}. *)
 val add :
+  ?tag:string ->
   t ->
   Mat.t ->
   duration:float ->

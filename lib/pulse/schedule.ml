@@ -10,6 +10,10 @@ type instruction = {
   duration : float; (* ns *)
   fidelity : float; (* realized pulse fidelity *)
   label : string;
+  pulse : Epoc_qoc.Grape.pulse option;
+  (* the control amplitudes realizing this instruction (Grape mode;
+     [None] in Estimate mode and for degraded gate-pulse playback) —
+     the waveform payload of the pulse-IR exporter *)
 }
 
 type placed = { instruction : instruction; start : float }

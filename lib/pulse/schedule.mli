@@ -1,0 +1,50 @@
+(** Pulse schedules: placing block pulses on qubit lines.
+
+    A pulse instruction occupies all of its qubit lines for its duration;
+    {!schedule} places instructions ASAP in program order and the circuit
+    latency is the critical path over qubit lines — exactly the
+    qubit-line utilization model the paper's latency numbers use.
+
+    The records are concrete: the pulse-IR exporter (lib/pulseir) and the
+    serve protocol serialize placements field by field, and the contract
+    they rely on is stated here — [placed] is in placement order, every
+    [start] is the ASAP start under the preceding instructions, and
+    [latency] is the max line occupancy. *)
+
+type instruction = {
+  qubits : int list;  (** global qubit indices *)
+  duration : float;  (** ns *)
+  fidelity : float;  (** realized pulse fidelity *)
+  label : string;
+  pulse : Epoc_qoc.Grape.pulse option;
+      (** the control amplitudes realizing this instruction (Grape
+          mode; [None] in Estimate mode and for degraded gate-pulse
+          playback) — the waveform payload of the pulse-IR exporter *)
+}
+
+type placed = { instruction : instruction; start : float  (** ns *) }
+
+type t = {
+  n : int;  (** qubit-line count *)
+  placed : placed list;  (** in placement order *)
+  latency : float;  (** critical path, ns *)
+}
+
+(** ASAP placement in list order: each instruction starts at the max
+    busy-time of its qubit lines. *)
+val schedule : n:int -> instruction list -> t
+
+val latency : t -> float
+val instruction_count : t -> int
+
+(** Mean busy fraction of the qubit lines (1.0 for an empty schedule):
+    the parallelism measure behind the paper's "utilization rate of the
+    qubit lines" argument. *)
+val utilization : t -> float
+
+val pp : Format.formatter -> t -> unit
+
+(** Structured counters of a built schedule, for the pass pipeline's
+    trace sink.  Latency is rounded to whole ns and utilization to
+    percent, since trace counters are integers. *)
+val counters : t -> (string * int) list

@@ -1,0 +1,253 @@
+(* Portable pulse-IR: a schema-versioned JSON form of a compiled pulse
+   schedule, decoupled from the in-process [Schedule.t] so schedules can
+   leave the process (archival, cross-tool exchange, hardware backends)
+   and come back.
+
+   Design rules, shared with the device codec (lib/device) and the cache
+   headers (lib/cache):
+
+   - a leading schema-version field ("epoc_pulse_ir") guards against
+     silent misreads by older/newer tools;
+   - the printer emits fields in one fixed order with [Json]'s
+     round-tripping float syntax, so export -> import -> export is
+     byte-identical — the golden-test contract;
+   - the reader is strict: unknown fields, missing fields and
+     kind-mismatches are [Invalid_argument], never best-effort.
+
+   Waveforms are exported per instruction as named channels (the GRAPE
+   control labels: "x0", "y0", ...) with raw rad/ns samples; instructions
+   without a pulse payload (Estimate mode, degraded gate-pulse playback)
+   carry an explicit null waveform, so the distinction survives the
+   round trip. *)
+
+module J = Epoc_obs.Json
+module Schedule = Epoc_pulse.Schedule
+module Grape = Epoc_qoc.Grape
+module Device = Epoc_device.Device
+
+let schema_version = 1
+
+type t = {
+  ir_name : string;
+  ir_device : (string * int) option; (* provenance: device name, qubits *)
+  ir_schedule : Schedule.t;
+}
+
+(* --- export ------------------------------------------------------------- *)
+
+let waveform_json (p : Grape.pulse) =
+  J.Obj
+    [
+      ("dt_ns", J.Num p.Grape.dt);
+      ( "channels",
+        J.Arr
+          (List.mapi
+             (fun i label ->
+               J.Obj
+                 [
+                   ("name", J.Str label);
+                   ( "samples",
+                     J.Arr
+                       (Array.to_list
+                          (Array.map (fun a -> J.Num a) p.Grape.amplitudes.(i)))
+                   );
+                 ])
+             (Array.to_list p.Grape.labels)) );
+    ]
+
+let placed_json (p : Schedule.placed) =
+  let i = p.Schedule.instruction in
+  J.Obj
+    [
+      ("qubits", J.Arr (List.map J.of_int i.Schedule.qubits));
+      ("start_ns", J.Num p.Schedule.start);
+      ("duration_ns", J.Num i.Schedule.duration);
+      ("fidelity", J.Num i.Schedule.fidelity);
+      ("label", J.Str i.Schedule.label);
+      ( "waveform",
+        match i.Schedule.pulse with
+        | Some p -> waveform_json p
+        | None -> J.Null );
+    ]
+
+let export ?device ~name (s : Schedule.t) =
+  {
+    ir_name = name;
+    ir_device =
+      Option.map (fun (d : Device.t) -> (d.Device.name, d.Device.n)) device;
+    ir_schedule = s;
+  }
+
+let to_json ir =
+  let s = ir.ir_schedule in
+  J.Obj
+    [
+      ("epoc_pulse_ir", J.of_int schema_version);
+      ("name", J.Str ir.ir_name);
+      ( "device",
+        match ir.ir_device with
+        | None -> J.Null
+        | Some (name, n) ->
+            J.Obj [ ("name", J.Str name); ("qubits", J.of_int n) ] );
+      ("qubits", J.of_int s.Schedule.n);
+      ("latency_ns", J.Num (Schedule.latency s));
+      ("instructions", J.Arr (List.map placed_json s.Schedule.placed));
+    ]
+
+let to_string ir = J.to_string ~indent:true (to_json ir) ^ "\n"
+
+(* --- import ------------------------------------------------------------- *)
+
+let fail fmt = Fmt.kstr invalid_arg ("Pulseir: " ^^ fmt)
+
+let check_fields ~ctx known = function
+  | J.Obj fields ->
+      List.iter
+        (fun (k, _) ->
+          if not (List.mem k known) then fail "%s: unknown field %S" ctx k)
+        fields;
+      fields
+  | _ -> fail "%s: expected an object" ctx
+
+let get ~ctx fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> fail "%s: missing field %S" ctx k
+
+let num ~ctx k v =
+  match J.to_num v with Some f -> f | None -> fail "%s: %S: expected a number" ctx k
+
+let str ~ctx k v =
+  match J.to_str v with Some s -> s | None -> fail "%s: %S: expected a string" ctx k
+
+let int ~ctx k v =
+  match J.to_int v with Some i -> i | None -> fail "%s: %S: expected an integer" ctx k
+
+let arr ~ctx k v =
+  match J.to_list v with Some l -> l | None -> fail "%s: %S: expected an array" ctx k
+
+let channel_of_json j =
+  let ctx = "waveform channel" in
+  let fields = check_fields ~ctx [ "name"; "samples" ] j in
+  let name = str ~ctx "name" (get ~ctx fields "name") in
+  let samples =
+    Array.of_list
+      (List.map
+         (fun v -> num ~ctx "samples" v)
+         (arr ~ctx "samples" (get ~ctx fields "samples")))
+  in
+  (name, samples)
+
+let waveform_of_json j =
+  let ctx = "waveform" in
+  let fields = check_fields ~ctx [ "dt_ns"; "channels" ] j in
+  let dt = num ~ctx "dt_ns" (get ~ctx fields "dt_ns") in
+  let channels =
+    List.map channel_of_json (arr ~ctx "channels" (get ~ctx fields "channels"))
+  in
+  (match channels with
+  | [] -> fail "%s: no channels" ctx
+  | (_, first) :: rest ->
+      List.iter
+        (fun (name, s) ->
+          if Array.length s <> Array.length first then
+            fail "%s: channel %S sample count mismatch" ctx name)
+        rest);
+  {
+    Grape.dt;
+    labels = Array.of_list (List.map fst channels);
+    amplitudes = Array.of_list (List.map snd channels);
+  }
+
+let instruction_of_json j =
+  let ctx = "instruction" in
+  let fields =
+    check_fields ~ctx
+      [ "qubits"; "start_ns"; "duration_ns"; "fidelity"; "label"; "waveform" ]
+      j
+  in
+  let qubits =
+    List.map (int ~ctx "qubits") (arr ~ctx "qubits" (get ~ctx fields "qubits"))
+  in
+  let start = num ~ctx "start_ns" (get ~ctx fields "start_ns") in
+  let instruction =
+    {
+      Schedule.qubits;
+      duration = num ~ctx "duration_ns" (get ~ctx fields "duration_ns");
+      fidelity = num ~ctx "fidelity" (get ~ctx fields "fidelity");
+      label = str ~ctx "label" (get ~ctx fields "label");
+      pulse =
+        (match get ~ctx fields "waveform" with
+        | J.Null -> None
+        | w -> Some (waveform_of_json w));
+    }
+  in
+  (instruction, start)
+
+let of_json j =
+  let ctx = "pulse IR" in
+  let fields =
+    check_fields ~ctx
+      [
+        "epoc_pulse_ir"; "name"; "device"; "qubits"; "latency_ns";
+        "instructions";
+      ]
+      j
+  in
+  let version = int ~ctx "epoc_pulse_ir" (get ~ctx fields "epoc_pulse_ir") in
+  if version <> schema_version then
+    fail "unsupported schema version %d (supported: %d)" version schema_version;
+  let name = str ~ctx "name" (get ~ctx fields "name") in
+  let device =
+    match get ~ctx fields "device" with
+    | J.Null -> None
+    | d ->
+        let dctx = "device provenance" in
+        let dfields = check_fields ~ctx:dctx [ "name"; "qubits" ] d in
+        Some
+          ( str ~ctx:dctx "name" (get ~ctx:dctx dfields "name"),
+            int ~ctx:dctx "qubits" (get ~ctx:dctx dfields "qubits") )
+  in
+  let n = int ~ctx "qubits" (get ~ctx fields "qubits") in
+  let latency = num ~ctx "latency_ns" (get ~ctx fields "latency_ns") in
+  let placed =
+    List.map instruction_of_json
+      (arr ~ctx "instructions" (get ~ctx fields "instructions"))
+  in
+  List.iter
+    (fun ((i : Schedule.instruction), _) ->
+      List.iter
+        (fun q ->
+          if q < 0 || q >= n then
+            fail "instruction %S: qubit %d out of range [0, %d)" i.Schedule.label
+              q n)
+        i.Schedule.qubits)
+    placed;
+  (* rebuild through the scheduler: the ASAP placement is derived state,
+     so an IR with inconsistent starts or latency is rejected rather
+     than trusted *)
+  let s = Schedule.schedule ~n (List.map fst placed) in
+  List.iter2
+    (fun ((i : Schedule.instruction), start) (p : Schedule.placed) ->
+      if p.Schedule.start <> start then
+        fail "instruction %S: start %s inconsistent with ASAP placement %s"
+          i.Schedule.label
+          (J.number_to_string start)
+          (J.number_to_string p.Schedule.start))
+    placed s.Schedule.placed;
+  if Schedule.latency s <> latency then
+    fail "latency %s inconsistent with schedule %s"
+      (J.number_to_string latency)
+      (J.number_to_string (Schedule.latency s));
+  { ir_name = name; ir_device = device; ir_schedule = s }
+
+let of_string text =
+  match J.parse text with
+  | Ok j -> of_json j
+  | Error e -> fail "parse error: %s" e
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

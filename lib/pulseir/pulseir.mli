@@ -1,0 +1,49 @@
+(** Portable pulse-IR: a schema-versioned JSON form of a compiled pulse
+    schedule.
+
+    The IR decouples a schedule from the in-process representation so it
+    can leave the process (archival, cross-tool exchange, hardware
+    backends) and come back.  The codec follows the repo's persistent
+    formats (device files, cache headers):
+
+    - a leading ["epoc_pulse_ir"] schema-version field;
+    - fixed field order and round-tripping float syntax, so
+      export -> import -> export is byte-identical;
+    - a strict reader: unknown fields, missing fields, kind mismatches,
+      out-of-range qubits and placements inconsistent with ASAP
+      scheduling all raise [Invalid_argument].
+
+    Waveforms are per-instruction named channels (the GRAPE control
+    labels) with raw rad/ns samples; instructions without a pulse
+    payload (Estimate mode, degraded gate-pulse playback) carry an
+    explicit null waveform and import back as [pulse = None]. *)
+
+(** Version of the document schema this build reads and writes. *)
+val schema_version : int
+
+type t = {
+  ir_name : string;  (** circuit/request name recorded at export *)
+  ir_device : (string * int) option;
+      (** device provenance: name and qubit count of the device the
+          schedule was compiled for; [None] for the default chain
+          model *)
+  ir_schedule : Epoc_pulse.Schedule.t;
+}
+
+(** Wrap a schedule for export, stamping provenance from [device] when
+    the compile targeted one. *)
+val export :
+  ?device:Epoc_device.Device.t -> name:string -> Epoc_pulse.Schedule.t -> t
+
+val to_json : t -> Epoc_obs.Json.t
+
+(** The serialized document: indented JSON plus a trailing newline.
+    Byte-stable for a given value. *)
+val to_string : t -> string
+
+(** Strict readers.  @raise Invalid_argument on anything malformed. *)
+
+val of_json : Epoc_obs.Json.t -> t
+
+val of_string : string -> t
+val of_file : string -> t

@@ -4,20 +4,39 @@
      H(t) = H0 + sum_j u_j(t) H_j
    with an always-on ZZ coupling drift on coupled pairs and amplitude-
    limited X/Y drives per qubit:
-     H0  = (J/2) * sum_(a,b) Z_a Z_b
+     H0  = sum_(a,b) (J_ab/2) * Z_a Z_b
      H_j in { X_q / 2, Y_q / 2 }  (one pair per qubit)
    Units: time in ns, energies in rad/ns.  Default parameters give the
    usual scales: a pi rotation at full drive takes ~10 ns, a CZ-equivalent
    interaction ~ pi/J = 50 ns, matching superconducting literature values
    (Krantz et al., "A quantum engineer's guide to superconducting qubits").
 
-   The drift and control Hamiltonians are built eagerly in [make] and
-   stored on the record: GRAPE reads them once per [optimize] call, and
-   the pipeline memoizes [make] per qubit count, so the Pauli embeddings
-   are no longer rebuilt for every group of every candidate. *)
+   Coupling is per pair: [couplings] carries (a, b, J_ab), and
+   [coupling_strength] keeps the model's representative J (the minimum
+   over pairs — the slowest entangler prices the conservative reference
+   durations).  The historical uniform-J chain built by [make] stays
+   bit-identical: same pair order, same per-pair scalar.
+
+   Models are built two ways.  [make] is the default chain used when no
+   device is configured.  [of_device] instantiates the 2^k model of one
+   partition block from a device's coupling subgraph — the full device
+   never becomes a Hamiltonian (a 12-qubit drift would already be
+   4096x4096); only block-sized models exist.  Blocks whose induced
+   subgraph is disconnected (a two-qubit gate between non-adjacent
+   device qubits — there is no router) get virtual couplings along
+   shortest parent-graph paths with J_eff = J_path / distance, the
+   pulse-level routing abstraction that replaces the old blind chain
+   fallback in [sub_block].
+
+   The drift and control Hamiltonians are built eagerly and stored on
+   the record: GRAPE reads them once per [optimize] call, and the
+   pipeline memoizes models per (parameters, width) and per
+   (device, block) in [Memo], so the Pauli embeddings are not rebuilt
+   for every group of every candidate. *)
 
 open Epoc_linalg
 open Epoc_circuit
+module Device = Epoc_device.Device
 
 type control = { label : string; matrix : Mat.t }
 
@@ -26,8 +45,10 @@ type t = {
   dt : float; (* GRAPE slot duration, ns *)
   drive_limit : float; (* max |u_j|, rad/ns *)
   coupling : (int * int) list; (* coupled qubit pairs *)
-  coupling_strength : float; (* J, rad/ns *)
+  couplings : (int * int * float) list; (* (a, b, J_ab) in rad/ns *)
+  coupling_strength : float; (* representative J (min over pairs), rad/ns *)
   t_coherence : float; (* effective coherence time, ns (for ESP) *)
+  context : string; (* cache-key tag: "" for the default chain model *)
   drift_h : Mat.t; (* precomputed H0 (2^n x 2^n) *)
   controls_h : control list; (* precomputed H_j *)
 }
@@ -58,12 +79,16 @@ let zz n a b =
   let first = if a = 0 || b = 0 then pauli_z else Mat.identity 2 in
   build 1 first
 
-let build_drift ~n ~coupling ~coupling_strength =
+(* ZZ drift from per-pair strengths.  Zero-strength terms are skipped
+   entirely (adding a zero-scaled matrix could still flip signed zeros
+   and would cost a 2^n x 2^n add for nothing). *)
+let build_drift ~n ~couplings =
   let dim = 1 lsl n in
   List.fold_left
-    (fun acc (a, b) ->
-      Mat.add acc (Mat.scale_re (coupling_strength /. 2.0) (zz n a b)))
-    (Mat.zeros dim dim) coupling
+    (fun acc (a, b, j) ->
+      if j = 0.0 then acc
+      else Mat.add acc (Mat.scale_re (j /. 2.0) (zz n a b)))
+    (Mat.zeros dim dim) couplings
 
 (* Control Hamiltonians: X/2 and Y/2 on each qubit. *)
 let build_controls ~n =
@@ -75,6 +100,11 @@ let build_controls ~n =
       ])
     (List.init n Fun.id)
 
+let min_strength ~default couplings =
+  List.fold_left
+    (fun acc (_, _, j) -> if j > 0.0 then Float.min acc j else acc)
+    default couplings
+
 (* Default: linear-chain coupling. *)
 let make ?(dt = 0.5) ?(drive_ghz = 0.05) ?(coupling_ghz = 0.005)
     ?(t_coherence = 100_000.0) ?coupling n =
@@ -85,14 +115,17 @@ let make ?(dt = 0.5) ?(drive_ghz = 0.05) ?(coupling_ghz = 0.005)
     | None -> List.init (max 0 (n - 1)) (fun i -> (i, i + 1))
   in
   let coupling_strength = two_pi *. coupling_ghz in
+  let couplings = List.map (fun (a, b) -> (a, b, coupling_strength)) coupling in
   {
     n;
     dt;
     drive_limit = two_pi *. drive_ghz;
     coupling;
+    couplings;
     coupling_strength;
     t_coherence;
-    drift_h = build_drift ~n ~coupling ~coupling_strength;
+    context = "";
+    drift_h = build_drift ~n ~couplings;
     controls_h = build_controls ~n;
   }
 
@@ -101,17 +134,203 @@ let drift hw = hw.drift_h
 
 let controls hw = hw.controls_h
 
-(* Restrict the device to a contiguous sub-block of [k] qubits; used when
-   running QOC on a partition block. The coupling subgraph is inherited
-   for pairs inside the block, with a fallback to a chain when the block
-   qubits were not directly coupled (pulse-level routing abstraction). *)
-let sub_block hw k =
-  let coupling = List.init (max 0 (k - 1)) (fun i -> (i, i + 1)) in
+let pair_strength hw a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  List.find_map
+    (fun (x, y, j) ->
+      let x, y = if x <= y then (x, y) else (y, x) in
+      if x = a && y = b then Some j else None)
+    hw.couplings
+
+(* --- device blocks ------------------------------------------------------ *)
+
+(* Connected components of an edge list over local indices 0..k-1,
+   as a component-id array. *)
+let components ~k edges =
+  let comp = Array.init k Fun.id in
+  let rec root i = if comp.(i) = i then i else root comp.(i) in
+  List.iter
+    (fun (a, b, _) ->
+      let ra = root a and rb = root b in
+      if ra <> rb then comp.(max ra rb) <- min ra rb)
+    edges;
+  Array.map root comp
+
+let string_of_qubits qs = String.concat "," (List.map string_of_int qs)
+
+(* The 2^k model of one partition block on device [d].  [qubits] are
+   global device indices in block order (ascending for partition
+   blocks); local qubit i of the model is [List.nth qubits i].
+
+   Coupling is the induced subgraph of the device.  When the induced
+   subgraph is disconnected, each disconnected pair of components is
+   bridged by a virtual coupling between its closest global pair
+   (smallest (distance, a, b), deterministically), with
+   J_eff = (min edge strength along one shortest path) / distance —
+   interaction must be routed across the intervening qubits, so the
+   effective entangling rate degrades with distance.
+
+   @raise Invalid_argument when a block qubit pair has no connecting
+   path on the device at all. *)
+let of_device (d : Device.t) ~qubits =
+  let k = List.length qubits in
+  if k < 1 then invalid_arg "Hardware.of_device: empty block";
+  let qarr = Array.of_list qubits in
+  Array.iter
+    (fun q ->
+      if q < 0 || q >= d.Device.n then
+        invalid_arg
+          (Fmt.str "Hardware.of_device: qubit %d out of range for %s" q
+             d.Device.name))
+    qarr;
+  let local g =
+    let rec go i = if qarr.(i) = g then i else go (i + 1) in
+    go 0
+  in
+  let induced =
+    List.filter_map
+      (fun e ->
+        if
+          Array.exists (( = ) e.Device.e_a) qarr
+          && Array.exists (( = ) e.Device.e_b) qarr
+        then
+          Some
+            ( local e.Device.e_a,
+              local e.Device.e_b,
+              two_pi *. e.Device.e_ghz )
+        else None)
+      d.Device.edges
+  in
+  (* Bridge induced components until connected. *)
+  let rec bridge edges =
+    let comp = components ~k edges in
+    if Array.for_all (fun c -> c = comp.(0)) comp then edges
+    else
+      let best = ref None in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          if comp.(i) <> comp.(j) then
+            match Device.distance d qarr.(i) qarr.(j) with
+            | None -> ()
+            | Some dist ->
+                let cand = (dist, qarr.(i), qarr.(j), i, j) in
+                if
+                  match !best with
+                  | None -> true
+                  | Some (bd, ba, bb, _, _) ->
+                      (dist, qarr.(i), qarr.(j)) < (bd, ba, bb)
+                then best := Some cand
+        done
+      done;
+      match !best with
+      | None ->
+          invalid_arg
+            (Fmt.str "Hardware.of_device: block [%s] is disconnected on %s"
+               (string_of_qubits qubits) d.Device.name)
+      | Some (dist, ga, gb, la, lb) ->
+          let path = Option.get (Device.shortest_path d ga gb) in
+          let rec min_edge acc = function
+            | a :: (b :: _ as rest) ->
+                let g = Option.get (Device.strength_ghz d a b) in
+                min_edge (Float.min acc g) rest
+            | _ -> acc
+          in
+          let j_eff =
+            two_pi *. min_edge infinity path /. float_of_int dist
+          in
+          bridge (edges @ [ (la, lb, j_eff) ])
+  in
+  let couplings = bridge induced in
+  let crosstalk =
+    List.filter_map
+      (fun e ->
+        if
+          e.Device.e_ghz > 0.0
+          && Array.exists (( = ) e.Device.e_a) qarr
+          && Array.exists (( = ) e.Device.e_b) qarr
+        then
+          Some
+            ( local e.Device.e_a,
+              local e.Device.e_b,
+              two_pi *. e.Device.e_ghz )
+        else None)
+      d.Device.crosstalk
+  in
+  let device_floor =
+    min_strength ~default:(two_pi *. 0.005)
+      (List.map
+         (fun e -> (e.Device.e_a, e.Device.e_b, two_pi *. e.Device.e_ghz))
+         d.Device.edges)
+  in
+  {
+    n = k;
+    dt = d.Device.dt;
+    drive_limit = two_pi *. d.Device.drive_ghz;
+    coupling = List.map (fun (a, b, _) -> (a, b)) couplings;
+    couplings;
+    coupling_strength = min_strength ~default:device_floor couplings;
+    t_coherence = d.Device.t_coherence;
+    context =
+      Fmt.str "%s[%s]" d.Device.name (string_of_qubits qubits);
+    (* crosstalk ZZ joins the drift: always-on parasitic terms the
+       optimizer must steer around, exactly like the couplings *)
+    drift_h = build_drift ~n:k ~couplings:(couplings @ crosstalk);
+    controls_h = build_controls ~n:k;
+  }
+
+(* Restrict a model to a sub-block of its qubits, deriving the coupling
+   from the parent's coupling subgraph (no chain fallback: a sub-block
+   of a ring is a path, a sub-block of a grid may be an L — inventing
+   chain couplings here silently mis-modeled every non-linear parent).
+
+   [qubits] are parent-local indices in block order; local qubit i of
+   the result is [List.nth qubits i].
+
+   @raise Invalid_argument when the induced coupling subgraph is
+   disconnected — such a block has no entangling path and must be
+   partitioned differently (or built via [of_device], which can route
+   virtual couplings through qubits outside the block). *)
+let sub_block hw ~qubits =
+  let k = List.length qubits in
+  if k < 1 then invalid_arg "Hardware.sub_block: empty block";
+  let qarr = Array.of_list qubits in
+  Array.iter
+    (fun q ->
+      if q < 0 || q >= hw.n then
+        invalid_arg
+          (Fmt.str "Hardware.sub_block: qubit %d out of range (parent has %d)"
+             q hw.n))
+    qarr;
+  let local g =
+    let rec go i = if qarr.(i) = g then i else go (i + 1) in
+    go 0
+  in
+  let couplings =
+    List.filter_map
+      (fun (a, b, j) ->
+        if Array.exists (( = ) a) qarr && Array.exists (( = ) b) qarr then
+          Some (local a, local b, j)
+        else None)
+      hw.couplings
+  in
+  let comp = components ~k couplings in
+  if k > 1 && not (Array.for_all (fun c -> c = comp.(0)) comp) then
+    invalid_arg
+      (Fmt.str
+         "Hardware.sub_block: block [%s] is disconnected in the parent \
+          coupling graph"
+         (string_of_qubits qubits));
   {
     hw with
     n = k;
-    coupling;
-    drift_h = build_drift ~n:k ~coupling ~coupling_strength:hw.coupling_strength;
+    coupling = List.map (fun (a, b, _) -> (a, b)) couplings;
+    couplings;
+    coupling_strength =
+      min_strength ~default:hw.coupling_strength couplings;
+    context =
+      (if hw.context = "" then ""
+       else Fmt.str "%s/[%s]" hw.context (string_of_qubits qubits));
+    drift_h = build_drift ~n:k ~couplings;
     controls_h = build_controls ~n:k;
   }
 
@@ -126,29 +345,43 @@ let entangling_gate_time hw =
 
 (* --- model memo --------------------------------------------------------- *)
 
-(* Explicit memo of default-topology models keyed by (dt, t_coherence, n):
-   candidates and pipeline runs with the same physical parameters reuse
-   one model instead of rebuilding the Pauli embeddings per candidate.
-   The memo is a first-class value owned by whoever scopes the sharing —
-   the pipeline's [Epoc.Engine] holds one per engine, so compile requests
-   multiplexed onto one engine share hot models while two engines in one
-   process stay fully isolated (there is deliberately no process-wide
-   instance).  Models are immutable after [make], so sharing them across
-   domains is safe; the mutex only guards the table. *)
+(* Explicit memo of models: default-topology models keyed by
+   (dt, t_coherence, n), device-block models keyed by
+   (device name, block qubits).  Candidates and pipeline runs with the
+   same physical parameters reuse one model instead of rebuilding the
+   Pauli embeddings per candidate.  The memo is a first-class value
+   owned by whoever scopes the sharing — the pipeline's [Epoc.Engine]
+   holds one per engine, so compile requests multiplexed onto one
+   engine share hot models while two engines in one process stay fully
+   isolated (there is deliberately no process-wide instance).  Models
+   are immutable after construction, so sharing them across domains is
+   safe; the mutex only guards the tables.
+
+   Device blocks are keyed by the device *name*: an engine registry
+   maps each name to one device value, so two devices sharing a name on
+   one engine would alias — the registry's replace-on-register makes
+   the latest registration win, matching resolution order. *)
 module Memo = struct
   type memo = {
     models : (float * float * int, t) Hashtbl.t;
+    blocks : (string * string, t) Hashtbl.t;
     lock : Mutex.t;
   }
 
-  let create () = { models = Hashtbl.create 8; lock = Mutex.create () }
+  let create () =
+    {
+      models = Hashtbl.create 8;
+      blocks = Hashtbl.create 8;
+      lock = Mutex.create ();
+    }
+
+  let with_lock memo f =
+    Mutex.lock memo.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock memo.lock) f
 
   let get memo ?(dt = 0.5) ?(t_coherence = 100_000.0) n =
     let key = (dt, t_coherence, n) in
-    Mutex.lock memo.lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock memo.lock)
-      (fun () ->
+    with_lock memo (fun () ->
         match Hashtbl.find_opt memo.models key with
         | Some hw -> hw
         | None ->
@@ -156,9 +389,17 @@ module Memo = struct
             Hashtbl.add memo.models key hw;
             hw)
 
+  let get_block memo (d : Device.t) ~qubits =
+    let key = (d.Device.name, string_of_qubits qubits) in
+    with_lock memo (fun () ->
+        match Hashtbl.find_opt memo.blocks key with
+        | Some hw -> hw
+        | None ->
+            let hw = of_device d ~qubits in
+            Hashtbl.add memo.blocks key hw;
+            hw)
+
   let size memo =
-    Mutex.lock memo.lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock memo.lock)
-      (fun () -> Hashtbl.length memo.models)
+    with_lock memo (fun () ->
+        Hashtbl.length memo.models + Hashtbl.length memo.blocks)
 end

@@ -5,10 +5,16 @@
     on coupled pairs and amplitude-limited X/Y drives per qubit.
     Units: time in ns, energies in rad/ns.
 
-    The drift and control Hamiltonians are built eagerly in {!make}
-    and stored on the (immutable) record: GRAPE reads them once per
-    optimize call and {!Memo} memoizes models per owner (the pipeline
-    engine), so the Pauli embeddings are not rebuilt per block. *)
+    Models are built two ways: {!make} is the default uniform chain
+    used when no device is configured, and {!of_device} instantiates
+    the 2^k model of one partition block from a
+    {!Epoc_device.Device.t}'s coupling subgraph — the full device never
+    becomes a Hamiltonian; only block-sized models exist.
+
+    The drift and control Hamiltonians are built eagerly and stored on
+    the (immutable) record: GRAPE reads them once per optimize call and
+    {!Memo} memoizes models per owner (the pipeline engine), so the
+    Pauli embeddings are not rebuilt per block. *)
 
 open Epoc_linalg
 
@@ -19,16 +25,25 @@ type t = {
   dt : float;  (** GRAPE slot duration, ns *)
   drive_limit : float;  (** max |u_j|, rad/ns *)
   coupling : (int * int) list;  (** coupled qubit pairs *)
-  coupling_strength : float;  (** J, rad/ns *)
+  couplings : (int * int * float) list;
+      (** per-pair coupling [(a, b, J_ab)] in rad/ns; same order as
+          [coupling] *)
+  coupling_strength : float;
+      (** representative J (minimum over pairs — the slowest entangler
+          prices conservative reference durations), rad/ns *)
   t_coherence : float;  (** effective coherence time, ns (for ESP) *)
+  context : string;
+      (** cache-key tag distinguishing the coupling context: [""] for
+          the default chain model (so legacy library/store keys are
+          unchanged), ["<device>[q0,q1,...]"] for device blocks *)
   drift_h : Mat.t;  (** precomputed H0 (2^n x 2^n) *)
   controls_h : control list;  (** precomputed H_j *)
 }
 
 (** Build a model for [n] qubits; [coupling] defaults to a linear
-    chain.  Default parameters give the usual superconducting scales
-    (pi rotation at full drive ~10 ns, CZ-equivalent interaction
-    ~pi/J = 50 ns).
+    chain with uniform strength.  Default parameters give the usual
+    superconducting scales (pi rotation at full drive ~10 ns,
+    CZ-equivalent interaction ~pi/J = 50 ns).
 
     @raise Invalid_argument when [n < 1]. *)
 val make :
@@ -46,9 +61,36 @@ val drift : t -> Mat.t
 (** Control Hamiltonians H_j (X/2 and Y/2 per qubit). *)
 val controls : t -> control list
 
-(** Restrict the device to a contiguous sub-block of [k] qubits, with a
-    chain coupling fallback (pulse-level routing abstraction). *)
-val sub_block : t -> int -> t
+(** Coupling strength of a pair (rad/ns), order-insensitive; [None]
+    when the pair is not coupled. *)
+val pair_strength : t -> int -> int -> float option
+
+(** The 2^k model of one partition block on a device.  [qubits] are
+    global device indices in block order; local qubit [i] of the model
+    is [List.nth qubits i].  Coupling is the induced device subgraph;
+    physical parameters (drive, dt, coherence) come from the device,
+    and device crosstalk terms inside the block join the drift.  When
+    the induced subgraph is disconnected (an unrouted two-qubit gate
+    between non-adjacent device qubits), disconnected components are
+    bridged by deterministic virtual couplings along shortest
+    parent-graph paths with [J_eff = J_path / distance] — the
+    pulse-level routing abstraction.
+
+    @raise Invalid_argument on an empty block, an out-of-range qubit,
+    or a block pair with no connecting device path at all. *)
+val of_device : Epoc_device.Device.t -> qubits:int list -> t
+
+(** Restrict a model to a sub-block of its qubits, deriving the
+    coupling from the parent's coupling subgraph.  [qubits] are
+    parent-local indices in block order.  There is deliberately no
+    chain fallback: a sub-block of a non-linear parent keeps its real
+    (possibly sparser) coupling.
+
+    @raise Invalid_argument on an empty block, an out-of-range qubit,
+    or a block whose induced coupling subgraph is disconnected — such
+    a block has no entangling path; build it via {!of_device} when
+    routed virtual couplings are acceptable. *)
+val sub_block : t -> qubits:int list -> t
 
 (** Calibrated reference durations (ns) for the latency estimator and
     the gate-based baseline. *)
@@ -56,11 +98,12 @@ val single_qubit_gate_time : t -> float
 
 val entangling_gate_time : t -> float
 
-(** Explicit memo of default-topology models keyed by
-    (dt, t_coherence, n).  A memo is a first-class value owned by
-    whoever scopes the sharing — the pipeline's engine holds one per
+(** Explicit memo of models: default-topology models keyed by
+    (dt, t_coherence, n) and device-block models keyed by
+    (device name, block qubits).  A memo is a first-class value owned
+    by whoever scopes the sharing — the pipeline's engine holds one per
     engine — so there is no process-wide model table.  Thread-safe:
-    models are immutable and the table is mutex-guarded. *)
+    models are immutable and the tables are mutex-guarded. *)
 module Memo : sig
   type memo
 
@@ -69,6 +112,9 @@ module Memo : sig
   (** Memoized {!make} with the default topology. *)
   val get : memo -> ?dt:float -> ?t_coherence:float -> int -> t
 
-  (** Number of distinct models currently held. *)
+  (** Memoized {!of_device}, keyed by (device name, block qubits). *)
+  val get_block : memo -> Epoc_device.Device.t -> qubits:int list -> t
+
+  (** Number of distinct models currently held (both tables). *)
   val size : memo -> int
 end

@@ -6,6 +6,9 @@
      {"circuit": "bench:bb84" | "<OPENQASM source>",
       "flow": "epoc"|"gate"|"accqoc"|"paqoc",   (optional, default epoc)
       "mode": "estimate"|"grape",               (optional, default estimate)
+      "device": "grid3x3" | "/path/dev.json",   (optional; resolved against
+                                                 the engine's device registry,
+                                                 default the daemon's --device)
       "deadline_s": 5.0,                        (optional)
       "priority": 2}                            (optional, default 0)
 
@@ -37,6 +40,9 @@ type job = {
   circuit : string;  (* bench:<name> or inline OPENQASM source *)
   flow : string;  (* epoc | gate | accqoc | paqoc *)
   mode : Config.qoc_mode;
+  device : string option;
+      (* zoo name or device-file path; resolved against the engine's
+         registry at pickup, [None] keeps the daemon's default *)
   deadline_s : float option;
   priority : int;  (* higher runs first; ties in arrival order *)
 }
@@ -84,6 +90,12 @@ let parse_request (line : string) : (request, string) result =
                 | Some "grape" -> Ok Config.Grape
                 | Some m -> Error (Printf.sprintf "unknown mode %S" m)
               in
+              let device =
+                match J.member "device" json with
+                | None | Some J.Null -> Ok None
+                | Some (J.Str d) -> Ok (Some d)
+                | Some _ -> Error "device must be a string"
+              in
               let deadline_s =
                 Option.bind (J.member "deadline_s" json) J.to_num
               in
@@ -91,12 +103,15 @@ let parse_request (line : string) : (request, string) result =
                 Option.value ~default:0
                   (Option.bind (J.member "priority" json) J.to_int)
               in
-              match (flow, mode) with
-              | Error e, _ | _, Error e -> Error e
-              | Ok flow, Ok mode ->
+              match (flow, mode, device) with
+              | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+              | Ok flow, Ok mode, Ok device ->
                   if deadline_s <> None && Option.get deadline_s <= 0.0 then
                     Error "deadline_s must be positive"
-                  else Ok (Compile { circuit; flow; mode; deadline_s; priority })
+                  else
+                    Ok
+                      (Compile
+                         { circuit; flow; mode; device; deadline_s; priority })
               )))
 
 (* --- responses ------------------------------------------------------------ *)

@@ -3,8 +3,9 @@
     Requests (one JSON object per line):
     - compile job: [{"circuit": "bench:bb84" | "<OPENQASM source>",
       "flow": "epoc"|"gate"|"accqoc"|"paqoc", "mode":
-      "estimate"|"grape", "deadline_s": 5.0, "priority": 2}] — only
-      [circuit] is required.
+      "estimate"|"grape", "device": "grid3x3"|"/path/dev.json",
+      "deadline_s": 5.0, "priority": 2}] — only [circuit] is
+      required.
     - commands: [{"cmd": "metrics"}] (JSON registry scrape),
       [{"cmd": "prometheus"}] (text exposition as a string field),
       [{"cmd": "recent"}] (flight-recorder summaries) and
@@ -28,6 +29,9 @@ type job = {
   circuit : string;  (** [bench:<name>] or inline OPENQASM source *)
   flow : string;  (** epoc | gate | accqoc | paqoc *)
   mode : Config.qoc_mode;
+  device : string option;
+      (** zoo name or device-file path, resolved against the engine's
+          registry at pickup; [None] keeps the daemon's default *)
   deadline_s : float option;
       (** per-request compile deadline, bounds this job during drain too *)
   priority : int;  (** higher runs first; ties in arrival order *)

@@ -141,6 +141,25 @@ let compile st (p : pending) ~request_id ~queue_wait_s ~worker ~drained =
         | None -> st.config.Config.total_deadline);
     }
   in
+  (* per-job device override, resolved against the engine's registry
+     (zoo name or device-file path); the daemon's --device default
+     already lives in st.config *)
+  match
+    match job.Protocol.device with
+    | None -> Ok config
+    | Some spec -> (
+        match
+          Epoc_device.Device.Registry.resolve
+            (Epoc.Engine.devices st.engine)
+            spec
+        with
+        | Ok d -> Ok (Config.with_device d config)
+        | Error m -> Error m)
+  with
+  | Error msg ->
+      Protocol.error_response ~jid:p.jid ~request_id ~queue_wait_s ~worker
+        ~drained msg
+  | Ok config -> (
   match load_circuit job.Protocol.circuit with
   | Error msg ->
       Protocol.error_response ~jid:p.jid ~request_id ~queue_wait_s ~worker
@@ -163,7 +182,7 @@ let compile st (p : pending) ~request_id ~queue_wait_s ~worker ~drained =
           then Library.absorb shared library;
           M.absorb st.runs result.Epoc.Pipeline.metrics;
           Protocol.result_response ~jid:p.jid ~queue_wait_s ~worker ~drained
-            result)
+            result))
 
 let process st ~worker ~drained (p : pending) =
   let em = Epoc.Engine.metrics st.engine in

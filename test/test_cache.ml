@@ -231,7 +231,12 @@ let test_pipeline_warm_run () =
   let cfg = { Config.default with Config.cache_dir = Some dir } in
   let run () =
     let metrics = M.create () in
-    let r = Pipeline.run ~config:cfg ~metrics ~name:"qaoa" circuit in
+    let r =
+      Pipeline.compile
+        (Engine.session ~config:cfg ~metrics ~name:"qaoa"
+           (Engine.create ~config:cfg ()))
+        circuit
+    in
     (r, metrics)
   in
   let cold, cold_m = run () in
@@ -259,11 +264,19 @@ let test_warm_run_domain_determinism () =
   let dir = tmp_dir "determinism" in
   let circuit = Epoc_benchmarks.Benchmarks.find "bb84" in
   let cfg = { Config.grape with Config.cache_dir = Some dir } in
-  ignore (Pipeline.run ~config:cfg ~name:"bb84" circuit);
+  ignore
+    (Pipeline.compile
+       (Engine.session ~config:cfg ~name:"bb84" (Engine.create ~config:cfg ()))
+       circuit);
   let run domains =
     let pool = Epoc_parallel.Pool.create ~domains () in
     let metrics = M.create () in
-    let r = Pipeline.run ~config:cfg ~pool ~metrics ~name:"bb84" circuit in
+    let r =
+      Pipeline.compile
+        (Engine.session ~config:cfg ~pool ~metrics ~name:"bb84"
+           (Engine.create ~config:cfg ~pool ()))
+        circuit
+    in
     Alcotest.(check bool)
       (Printf.sprintf "%d-domain warm run hits" domains)
       true

@@ -9,6 +9,10 @@ module Library = Epoc_pulse.Library
 module Schedule = Epoc_pulse.Schedule
 
 let bb84 () = Epoc_benchmarks.Benchmarks.find "bb84"
+
+let run ?request_id ?library ?engine ~name c =
+  let engine = match engine with Some e -> e | None -> Engine.create () in
+  Pipeline.compile (Engine.session ?request_id ?library ~name engine) c
 let qaoa () = Epoc_benchmarks.Benchmarks.find "qaoa"
 
 let schedule_t =
@@ -24,14 +28,14 @@ let test_pool_counter_scoping () =
   in
   let e1 = Engine.create ~domains:2 () in
   let e2 = Engine.create ~domains:2 () in
-  let _ = Pipeline.run ~engine:e1 ~name:"bb84" (bb84 ()) in
+  let _ = run ~engine:e1 ~name:"bb84" (bb84 ()) in
   let n1 = pool_traffic e1 in
   Alcotest.(check bool) "run recorded traffic on its engine" true (n1 > 0);
   Alcotest.(check int) "idle engine saw none" 0 (pool_traffic e2);
-  let _ = Pipeline.run ~engine:e2 ~name:"bb84" (bb84 ()) in
+  let _ = run ~engine:e2 ~name:"bb84" (bb84 ()) in
   Alcotest.(check int) "fresh engine reports the same count, not a sum" n1
     (pool_traffic e2);
-  let _ = Pipeline.run ~engine:e1 ~name:"bb84" (bb84 ()) in
+  let _ = run ~engine:e1 ~name:"bb84" (bb84 ()) in
   Alcotest.(check int) "same engine accumulates" (2 * n1) (pool_traffic e1)
 
 (* the hardware memo is engine-owned: repeated lookups share one model,
@@ -94,12 +98,12 @@ let test_request_ids () =
    engine's flight recorder *)
 let test_request_id_on_result () =
   let e = Engine.create () in
-  let r1 = Pipeline.run ~engine:e ~name:"bb84" (bb84 ()) in
-  let r2 = Pipeline.run ~engine:e ~name:"bb84" (bb84 ()) in
+  let r1 = run ~engine:e ~name:"bb84" (bb84 ()) in
+  let r2 = run ~engine:e ~name:"bb84" (bb84 ()) in
   Alcotest.(check string) "first run" "r1" r1.Pipeline.request_id;
   Alcotest.(check string) "second run" "r2" r2.Pipeline.request_id;
   let given =
-    Pipeline.run ~engine:e ~request_id:"srv-7" ~name:"bb84" (bb84 ())
+    run ~engine:e ~request_id:"srv-7" ~name:"bb84" (bb84 ())
   in
   Alcotest.(check string) "caller-supplied id" "srv-7"
     given.Pipeline.request_id;
@@ -114,7 +118,7 @@ let test_request_id_on_result () =
         (Epoc_obs.Flight.find f id <> None))
     [ "r1"; "r2"; "srv-7" ];
   (* one-shot runs (ephemeral engine) still stamp an id *)
-  let solo = Pipeline.run ~name:"bb84" (bb84 ()) in
+  let solo = run ~name:"bb84" (bb84 ()) in
   Alcotest.(check string) "one-shot id" "r1" solo.Pipeline.request_id
 
 (* two concurrent sessions on one engine — bb84 and qaoa compiling in
@@ -122,14 +126,14 @@ let test_request_id_on_result () =
    does — produce schedules bit-identical to solo one-shot runs *)
 let concurrent_vs_solo domains () =
   let solo name c =
-    (Pipeline.run ~name c : Pipeline.result).Pipeline.schedule
+    (run ~name c : Pipeline.result).Pipeline.schedule
   in
   let solo_bb84 = solo "bb84" (bb84 ()) in
   let solo_qaoa = solo "qaoa" (qaoa ()) in
   let engine = Engine.create ~domains () in
   let compile name c =
     Domain.spawn (fun () ->
-        Pipeline.run ~engine ~library:(Library.create ()) ~name c)
+        run ~engine ~library:(Library.create ()) ~name c)
   in
   let d1 = compile "bb84" (bb84 ()) in
   let d2 = compile "qaoa" (qaoa ()) in

@@ -5,12 +5,22 @@ open Epoc
 
 let op gate qubits = { Circuit.gate; qubits }
 
+(* One-shot session on an ephemeral engine: the migration target of the
+   deleted [Pipeline.run]-style wrappers.  Every resource the old
+   wrappers threaded ([pool], [library]) rides on the session. *)
+let session ?(config = Config.default) ?library ?pool ~name () =
+  let engine = Engine.create ~config ?pool () in
+  Engine.session ~config ?library ?pool ~name engine
+
+let compile ?config ?library ?pool ~name c =
+  Pipeline.compile (session ?config ?library ?pool ~name ()) c
+
 let suite = Epoc_benchmarks.Benchmarks.suite ()
 
 let test_pipeline_runs_on_all_benchmarks () =
   List.iter
     (fun (name, c) ->
-      let r = Pipeline.run ~name c in
+      let r = compile ~name c in
       Alcotest.(check bool) (name ^ " latency positive") true (r.Pipeline.latency >= 0.0);
       Alcotest.(check bool)
         (name ^ " esp in (0,1]")
@@ -25,8 +35,8 @@ let test_pipeline_runs_on_all_benchmarks () =
 let test_epoc_beats_or_matches_gate_based () =
   List.iter
     (fun (name, c) ->
-      let e = Pipeline.run ~name c in
-      let g = Baselines.gate_based ~name c in
+      let e = compile ~name c in
+      let g = Baselines.compile_gate_based (session ~name ()) c in
       Alcotest.(check bool)
         (Printf.sprintf "%s: epoc %.1f <= gate %.1f" name e.Pipeline.latency
            g.Pipeline.latency)
@@ -37,8 +47,8 @@ let test_epoc_beats_or_matches_gate_based () =
 let test_epoc_beats_or_matches_paqoc () =
   List.iter
     (fun (name, c) ->
-      let e = Pipeline.run ~name c in
-      let p = Baselines.paqoc_like ~name c in
+      let e = compile ~name c in
+      let p = Baselines.compile_paqoc_like (session ~name ()) c in
       Alcotest.(check bool)
         (Printf.sprintf "%s: epoc %.1f <= paqoc %.1f" name e.Pipeline.latency
            p.Pipeline.latency)
@@ -50,8 +60,8 @@ let test_regrouping_reduces_latency () =
   (* the Figure 8 claim: grouping never hurts, usually helps *)
   List.iter
     (fun (name, c) ->
-      let w = Pipeline.run ~config:Config.default ~name c in
-      let wo = Pipeline.run ~config:Config.no_regroup ~name c in
+      let w = compile ~config:Config.default ~name c in
+      let wo = compile ~config:Config.no_regroup ~name c in
       Alcotest.(check bool)
         (Printf.sprintf "%s: grouped %.1f <= ungrouped %.1f" name
            w.Pipeline.latency wo.Pipeline.latency)
@@ -64,8 +74,8 @@ let test_regrouping_improves_esp () =
   let improved =
     List.filter
       (fun (name, c) ->
-        let w = Pipeline.run ~config:Config.default ~name c in
-        let wo = Pipeline.run ~config:Config.no_regroup ~name c in
+        let w = compile ~config:Config.default ~name c in
+        let wo = compile ~config:Config.no_regroup ~name c in
         w.Pipeline.esp >= wo.Pipeline.esp -. 1e-12)
       suite
   in
@@ -78,7 +88,7 @@ let test_regrouping_improves_esp () =
 let test_shared_library_accumulates () =
   let lib = Epoc_pulse.Library.create () in
   List.iter
-    (fun (name, c) -> ignore (Pipeline.run ~library:lib ~name c))
+    (fun (name, c) -> ignore (compile ~library:lib ~name c))
     [ List.nth suite 0; List.nth suite 1 ];
   let s = Epoc_pulse.Library.stats lib in
   Alcotest.(check bool) "library grew" true (s.Epoc_pulse.Library.entries > 0)
@@ -86,14 +96,14 @@ let test_shared_library_accumulates () =
 let test_pipeline_schedule_consistent () =
   (* reported latency equals the schedule's critical path *)
   let c = Epoc_benchmarks.Benchmarks.find "simon" in
-  let r = Pipeline.run ~name:"simon" c in
+  let r = compile ~name:"simon" c in
   Alcotest.(check (float 1e-9)) "latency = schedule latency"
     (Epoc_pulse.Schedule.latency r.Pipeline.schedule)
     r.Pipeline.latency
 
 let test_gate_based_virtual_z_free () =
   let c = Circuit.of_ops 1 [ op (Gate.RZ 0.7) [ 0 ]; op Gate.Z [ 0 ] ] in
-  let g = Baselines.gate_based ~name:"rz" c in
+  let g = Baselines.compile_gate_based (session ~name:"rz" ()) c in
   Alcotest.(check (float 1e-9)) "pure virtual circuit is free" 0.0
     g.Pipeline.latency
 
@@ -105,7 +115,7 @@ let test_domain_count_determinism () =
       let run d =
         let pool = Epoc_parallel.Pool.create ~domains:d () in
         let lib = Epoc_pulse.Library.create () in
-        let r = Pipeline.run ~pool ~library:lib ~name c in
+        let r = compile ~pool ~library:lib ~name c in
         ( r.Pipeline.latency,
           r.Pipeline.esp,
           r.Pipeline.stats,
@@ -120,13 +130,13 @@ let test_domain_count_determinism () =
     cases
 
 let test_empty_circuit () =
-  let r = Pipeline.run ~name:"empty" (Circuit.empty 3) in
+  let r = compile ~name:"empty" (Circuit.empty 3) in
   Alcotest.(check (float 1e-9)) "empty latency" 0.0 r.Pipeline.latency;
   Alcotest.(check (float 1e-9)) "empty esp" 1.0 r.Pipeline.esp
 
 let test_single_gate_circuit () =
   let c = Circuit.of_ops 2 [ op Gate.CX [ 0; 1 ] ] in
-  let r = Pipeline.run ~name:"cx" c in
+  let r = compile ~name:"cx" c in
   Alcotest.(check bool)
     (Printf.sprintf "cx latency %.1f in [40, 80]" r.Pipeline.latency)
     true
@@ -135,8 +145,8 @@ let test_single_gate_circuit () =
 let test_grape_mode_small () =
   (* full GRAPE pulses on a small circuit: latency close to the estimate *)
   let c = Circuit.of_ops 2 [ op Gate.H [ 0 ]; op Gate.CX [ 0; 1 ] ] in
-  let est = Pipeline.run ~name:"bell-est" c in
-  let grape = Pipeline.run ~config:Config.grape ~name:"bell-grape" c in
+  let est = compile ~name:"bell-est" c in
+  let grape = compile ~config:Config.grape ~name:"bell-grape" c in
   let ratio = grape.Pipeline.latency /. est.Pipeline.latency in
   Alcotest.(check bool)
     (Printf.sprintf "grape %.1f vs est %.1f (ratio %.2f)" grape.Pipeline.latency

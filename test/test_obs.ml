@@ -307,7 +307,9 @@ let test_flight_records_runs () =
   let config = { Config.default with Config.slow_trace_s = Some 0.0 } in
   let engine = Engine.create ~config () in
   let r =
-    Pipeline.run ~engine ~name:"bb84" (Epoc_benchmarks.Benchmarks.find "bb84")
+    Pipeline.compile
+      (Engine.session ~config ~name:"bb84" engine)
+      (Epoc_benchmarks.Benchmarks.find "bb84")
   in
   let f = Engine.flight engine in
   Alcotest.(check int) "one entry" 1 (Flight.length f);
@@ -346,7 +348,11 @@ let test_pipeline_metrics_determinism () =
   let run domains =
     let pool = Epoc_parallel.Pool.create ~domains () in
     let metrics = M.create () in
-    let _ = Pipeline.run ~pool ~metrics ~name:"simon" c in
+    let _ =
+      Pipeline.compile
+        (Engine.session ~pool ~metrics ~name:"simon" (Engine.create ~pool ()))
+        c
+    in
     M.snapshot metrics
   in
   let s1 = run 1 and s4 = run 4 in
@@ -400,7 +406,7 @@ let test_gc_capture () =
 
 let test_chrome_trace_shape () =
   let c = Epoc_benchmarks.Benchmarks.find "qaoa" in
-  let r = Pipeline.run ~name:"qaoa" c in
+  let r = Pipeline.compile (Engine.session ~name:"qaoa" (Engine.create ())) c in
   let v = J.parse_exn (Trace.to_chrome_json r.Pipeline.trace) in
   let events =
     Option.get (Option.bind (J.member "traceEvents" v) J.to_list)

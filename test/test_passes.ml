@@ -41,12 +41,16 @@ let golden =
     ("adder", "paqoc", (616.00000057226748, 0.9727486446884186, 6, 6, false, 8, 0, 18, 16, 14, 27, 9, 9));
   ]
 
+let session ?pool ~name () =
+  Engine.session ?pool ~name (Engine.create ?pool ())
+
 let compile flow name c =
+  let s = session ~name () in
   match flow with
-  | "epoc" -> Pipeline.run ~name c
-  | "gate" -> Baselines.gate_based ~name c
-  | "accqoc" -> Baselines.accqoc_like ~name c
-  | "paqoc" -> Baselines.paqoc_like ~name c
+  | "epoc" -> Pipeline.compile s c
+  | "gate" -> Baselines.compile_gate_based s c
+  | "accqoc" -> Baselines.compile_accqoc_like s c
+  | "paqoc" -> Baselines.compile_paqoc_like s c
   | f -> invalid_arg f
 
 let test_golden_equivalence () =
@@ -85,11 +89,12 @@ let test_baseline_domain_determinism () =
       let c = Epoc_benchmarks.Benchmarks.find bench in
       let run d =
         let pool = Epoc_parallel.Pool.create ~domains:d () in
+        let s = session ~pool ~name:bench () in
         let r =
           match flow with
-          | "gate" -> Baselines.gate_based ~pool ~name:bench c
-          | "accqoc" -> Baselines.accqoc_like ~pool ~name:bench c
-          | "paqoc" -> Baselines.paqoc_like ~pool ~name:bench c
+          | "gate" -> Baselines.compile_gate_based s c
+          | "accqoc" -> Baselines.compile_accqoc_like s c
+          | "paqoc" -> Baselines.compile_paqoc_like s c
           | f -> invalid_arg f
         in
         (r.Pipeline.latency, r.Pipeline.esp, r.Pipeline.stats, r.Pipeline.library_stats)
@@ -107,7 +112,7 @@ let test_baseline_domain_determinism () =
    account for (almost) all of the measured compile time. *)
 let test_trace_structure () =
   let c = Epoc_benchmarks.Benchmarks.find "qaoa" in
-  let r = Pipeline.run ~name:"qaoa" c in
+  let r = Pipeline.compile (session ~name:"qaoa" ()) c in
   let events = Trace.events r.Pipeline.trace in
   let top = List.filter (fun (e : Trace.event) -> e.Trace.depth = 0) events in
   let names = List.map (fun (e : Trace.event) -> e.Trace.name) top in
@@ -267,7 +272,7 @@ let test_similarity_warm_start_quality () =
    with its own pass list. *)
 let test_gate_flow_trace () =
   let c = Epoc_benchmarks.Benchmarks.find "bb84" in
-  let r = Baselines.gate_based ~name:"bb84" c in
+  let r = Baselines.compile_gate_based (session ~name:"bb84" ()) c in
   let names =
     List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.events r.Pipeline.trace)
   in

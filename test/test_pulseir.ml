@@ -1,0 +1,178 @@
+(* Pulse-IR tests: export -> import round trips (byte-identical), the
+   degraded-schedule case, device provenance, and the strict reader's
+   rejection of malformed documents. *)
+
+module P = Epoc_pulseir.Pulseir
+module Schedule = Epoc_pulse.Schedule
+module D = Epoc_device.Device
+open Epoc
+
+let compile ?(config = Config.default) ~name c =
+  let engine = Engine.create ~config () in
+  Pipeline.compile (Engine.session ~config ~name engine) c
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+(* One byte-identity round trip: export, import, export again. *)
+let roundtrip ?device ~name s =
+  let text = P.to_string (P.export ?device ~name s) in
+  let back = P.of_string text in
+  Alcotest.(check string) "byte-identical" text (P.to_string back);
+  back
+
+(* --- compiled-schedule round trips ---------------------------------------- *)
+
+let test_estimate_roundtrip () =
+  let c = Epoc_benchmarks.Benchmarks.find "ghz" in
+  let r = compile ~name:"ghz" c in
+  let back = roundtrip ~name:"ghz" r.Pipeline.schedule in
+  Alcotest.(check string) "name" "ghz" back.P.ir_name;
+  Alcotest.(check bool) "no device" true (back.P.ir_device = None);
+  let s = back.P.ir_schedule in
+  Alcotest.(check int) "n" r.Pipeline.schedule.Schedule.n s.Schedule.n;
+  Alcotest.(check int)
+    "instructions"
+    (Schedule.instruction_count r.Pipeline.schedule)
+    (Schedule.instruction_count s);
+  Alcotest.(check (float 0.0))
+    "latency" r.Pipeline.schedule.Schedule.latency s.Schedule.latency;
+  (* estimate mode resolves no amplitudes: every waveform is null *)
+  List.iter
+    (fun (p : Schedule.placed) ->
+      Alcotest.(check bool) "no waveform" true
+        (p.Schedule.instruction.Schedule.pulse = None))
+    s.Schedule.placed
+
+let test_grape_roundtrip () =
+  let c = Epoc_benchmarks.Benchmarks.find "iswap" in
+  let config = { Config.default with Config.qoc_mode = Config.Grape } in
+  let r = compile ~config ~name:"iswap" c in
+  let back = roundtrip ~name:"iswap" r.Pipeline.schedule in
+  (* Grape mode attaches the control amplitudes; they survive exactly *)
+  let waveforms s =
+    List.filter_map
+      (fun (p : Schedule.placed) -> p.Schedule.instruction.Schedule.pulse)
+      s.Schedule.placed
+  in
+  let orig = waveforms r.Pipeline.schedule in
+  let imported = waveforms back.P.ir_schedule in
+  Alcotest.(check bool) "has waveforms" true (orig <> []);
+  Alcotest.(check int) "waveform count" (List.length orig) (List.length imported);
+  List.iter2
+    (fun (a : Epoc_qoc.Grape.pulse) (b : Epoc_qoc.Grape.pulse) ->
+      Alcotest.(check (float 0.0)) "dt" a.Epoc_qoc.Grape.dt b.Epoc_qoc.Grape.dt;
+      Alcotest.(check (array string))
+        "labels" a.Epoc_qoc.Grape.labels b.Epoc_qoc.Grape.labels;
+      Alcotest.(check bool) "amplitudes exact" true
+        (a.Epoc_qoc.Grape.amplitudes = b.Epoc_qoc.Grape.amplitudes))
+    orig imported
+
+let test_degraded_roundtrip () =
+  (* every GRAPE solve faults: all blocks degrade to gate-pulse playback
+     (fb* labels, null waveforms) — the IR must carry that through *)
+  let c = Epoc_benchmarks.Benchmarks.find "ghz" in
+  let config =
+    {
+      Config.default with
+      Config.qoc_mode = Config.Grape;
+      fault = Some (Epoc_fault.parse_exn "grape_nan:1.0");
+      max_retries = 1;
+    }
+  in
+  let r = compile ~config ~name:"ghz" c in
+  Alcotest.(check bool) "degraded" true
+    (r.Pipeline.stats.Pipeline.degraded_blocks > 0);
+  let back = roundtrip ~name:"ghz-degraded" r.Pipeline.schedule in
+  let fallback_labels =
+    List.filter
+      (fun (p : Schedule.placed) ->
+        let l = p.Schedule.instruction.Schedule.label in
+        String.length l >= 2 && String.sub l 0 2 = "fb")
+      back.P.ir_schedule.Schedule.placed
+  in
+  Alcotest.(check bool) "fallback entries survive" true (fallback_labels <> []);
+  List.iter
+    (fun (p : Schedule.placed) ->
+      Alcotest.(check bool) "fallback has no waveform" true
+        (p.Schedule.instruction.Schedule.pulse = None))
+    fallback_labels
+
+let test_device_provenance () =
+  let d = D.grid ~rows:3 ~cols:3 () in
+  let c = Epoc_benchmarks.Benchmarks.find "ghz" in
+  let config = Config.with_device d Config.default in
+  let r = compile ~config ~name:"ghz" c in
+  let back = roundtrip ~device:d ~name:"ghz" r.Pipeline.schedule in
+  Alcotest.(check bool)
+    "provenance" true
+    (back.P.ir_device = Some ("grid3x3", 9))
+
+let test_file_io () =
+  let c = Epoc_benchmarks.Benchmarks.find "bb84" in
+  let r = compile ~name:"bb84" c in
+  let text = P.to_string (P.export ~name:"bb84" r.Pipeline.schedule) in
+  let path = Filename.temp_file "epoc-ir" ".json" in
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc;
+  let back = P.of_file path in
+  Sys.remove path;
+  Alcotest.(check string) "file round trip" text (P.to_string back)
+
+(* --- strict reader ---------------------------------------------------------- *)
+
+let minimal ?(version = "1") ?(qubits = "[0]") ?(start = "0") ?(latency = "10")
+    ?(waveform = "null") ?(extra = "") () =
+  Printf.sprintf
+    {|{"epoc_pulse_ir": %s, "name": "t", "device": null, "qubits": 2, "latency_ns": %s, "instructions": [{"qubits": %s, "start_ns": %s, "duration_ns": 10, "fidelity": 0.99, "label": "g0", "waveform": %s}]%s}|}
+    version latency qubits start waveform extra
+
+let test_reader_accepts_minimal () =
+  let ir = P.of_string (minimal ()) in
+  Alcotest.(check int) "n" 2 ir.P.ir_schedule.Schedule.n;
+  Alcotest.(check (float 0.0)) "latency" 10.0 (Schedule.latency ir.P.ir_schedule)
+
+let test_reader_rejects () =
+  expect_invalid "unknown field" (fun () ->
+      P.of_string (minimal ~extra:{|, "color": 1|} ()));
+  expect_invalid "bad version" (fun () -> P.of_string (minimal ~version:"99" ()));
+  expect_invalid "qubit out of range" (fun () ->
+      P.of_string (minimal ~qubits:"[5]" ()));
+  expect_invalid "negative qubit" (fun () ->
+      P.of_string (minimal ~qubits:"[-1]" ()));
+  expect_invalid "start inconsistent with ASAP" (fun () ->
+      P.of_string (minimal ~start:"5" ()));
+  expect_invalid "latency inconsistent" (fun () ->
+      P.of_string (minimal ~latency:"99" ()));
+  expect_invalid "empty waveform" (fun () ->
+      P.of_string (minimal ~waveform:{|{"dt_ns": 0.5, "channels": []}|} ()));
+  expect_invalid "ragged waveform" (fun () ->
+      P.of_string
+        (minimal
+           ~waveform:
+             {|{"dt_ns": 0.5, "channels": [{"name": "x0", "samples": [1, 2]}, {"name": "y0", "samples": [1]}]}|}
+           ()));
+  expect_invalid "not json" (fun () -> P.of_string "nope");
+  expect_invalid "missing field" (fun () ->
+      P.of_string {|{"epoc_pulse_ir": 1, "name": "t"}|})
+
+let () =
+  Alcotest.run "pulseir"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "estimate" `Quick test_estimate_roundtrip;
+          Alcotest.test_case "grape waveforms" `Quick test_grape_roundtrip;
+          Alcotest.test_case "degraded" `Quick test_degraded_roundtrip;
+          Alcotest.test_case "device provenance" `Quick test_device_provenance;
+          Alcotest.test_case "file io" `Quick test_file_io;
+        ] );
+      ( "reader",
+        [
+          Alcotest.test_case "minimal accepted" `Quick test_reader_accepts_minimal;
+          Alcotest.test_case "strict rejects" `Quick test_reader_rejects;
+        ] );
+    ]

@@ -251,7 +251,7 @@ let test_guess_slots_positive () =
 (* --- schedule --------------------------------------------------------------- *)
 
 let instr qubits duration fidelity label =
-  { Schedule.qubits; duration; fidelity; label }
+  { Schedule.qubits; duration; fidelity; label; pulse = None }
 
 let test_schedule_serial () =
   let s =

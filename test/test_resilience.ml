@@ -152,7 +152,10 @@ let grape_config ?fault ?(retries = 2) () =
 
 let compile ?fault ?retries ?pool name =
   let c = Epoc_benchmarks.Benchmarks.find name in
-  Pipeline.run ~config:(grape_config ?fault ?retries ()) ?pool ~name c
+  let config = grape_config ?fault ?retries () in
+  Pipeline.compile
+    (Engine.session ~config ?pool ~name (Engine.create ~config ?pool ()))
+    c
 
 (* First attempt diverges, the jittered retry runs clean: no degradation,
    at least one retry burned, and the schedule is complete. *)
@@ -203,7 +206,11 @@ let test_deadline_mid_qsearch () =
      wider than the search cutoff and would never reach the solver) *)
   let c = Epoc_benchmarks.Benchmarks.find "bb84" in
   let metrics = Epoc_obs.Metrics.create () in
-  let r = Pipeline.run ~config ~metrics ~name:"bb84" c in
+  let r =
+    Pipeline.compile
+      (Engine.session ~config ~metrics ~name:"bb84" (Engine.create ~config ()))
+      c
+  in
   Alcotest.(check bool) "synthesis failure recorded" true
     (Epoc_obs.Metrics.counter_value metrics "synth.failures" >= 1);
   Alcotest.(check int) "no schedule degradation" 0

@@ -177,7 +177,11 @@ let test_live_daemon () =
   Alcotest.(check bool) "metrics has runs aggregate" true
     (J.member "runs" metrics_r <> None);
   (* the served schedule is bit-identical to a one-shot run *)
-  let solo = Epoc.Pipeline.run ~config ~name:"solo" (Epoc_benchmarks.Benchmarks.find "bb84") in
+  let solo =
+    Epoc.Pipeline.compile
+      (Epoc.Engine.session ~config ~name:"solo" (Epoc.Engine.create ~config ()))
+      (Epoc_benchmarks.Benchmarks.find "bb84")
+  in
   Alcotest.(check string) "schedule identical to one-shot"
     (J.to_string (P.schedule_json solo.Epoc.Pipeline.schedule))
     (J.to_string (Option.get (J.member "schedule" compile_r)));

@@ -44,8 +44,9 @@ let load path =
    produced by a different shape is worse than failing.  v2 added
    per-benchmark degraded_blocks/retries; v3 added synth_cache_sweep
    (additive, so a v2 baseline still compares cleanly — the sweep checks
-   just skip). *)
-let supported_schema_versions = [ 2; 3 ]
+   just skip); v4 added the device_sweep section and per-benchmark
+   ir_roundtrip flags (also additive). *)
+let supported_schema_versions = [ 2; 3; 4 ]
 
 let check_schema path json =
   match Option.bind (J.member "schema_version" json) J.to_int with
